@@ -1,0 +1,50 @@
+//! Criterion bench for Fig. 9: R-tree filtering vs. Basic evaluation cost
+//! per query, across dataset sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpnn_bench::experiments::DEFAULT_P;
+use cpnn_core::{CpnnQuery, Strategy, UncertainDb};
+use cpnn_datagen::{longbeach::longbeach_with, query_points, LongBeachConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let queries = query_points(0xBEEF, 8);
+    for &size in &[1_000usize, 5_000, 20_000] {
+        let cfg = LongBeachConfig {
+            count: size,
+            ..LongBeachConfig::default()
+        };
+        let db = UncertainDb::build(longbeach_with(0xC0FFEE, cfg)).unwrap();
+        group.bench_with_input(BenchmarkId::new("basic", size), &db, |b, db| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                db.cpnn(&CpnnQuery::new(q, DEFAULT_P, 0.01), Strategy::Basic)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("filter_only", size), &db, |b, db| {
+            // Approximate pure filtering by a PNN candidate probe: run the
+            // cheapest full path and subtract nothing — the filter time
+            // dominates a Verified query at P = 1 with huge tolerance.
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                db.cpnn(&CpnnQuery::new(q, 1.0, 1.0), Strategy::Verified)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

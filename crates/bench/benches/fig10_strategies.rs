@@ -1,0 +1,43 @@
+//! Criterion bench for Figs. 10/11: per-query latency of Basic vs. Refine
+//! vs. VR on the Long Beach analog at representative thresholds.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpnn_bench::experiments::longbeach_db;
+use cpnn_core::{CpnnQuery, Strategy};
+use cpnn_datagen::query_points;
+
+fn bench(c: &mut Criterion) {
+    let db = longbeach_db(true);
+    let queries = query_points(0xBEEF, 16);
+    let mut group = c.benchmark_group("fig10");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &p in &[0.3f64, 0.7] {
+        for (name, strategy) in [
+            ("basic", Strategy::Basic),
+            ("refine", Strategy::RefineOnly),
+            ("vr", Strategy::Verified),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("P={p}")),
+                &db,
+                |b, db| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let q = queries[i % queries.len()];
+                        i += 1;
+                        db.cpnn(&CpnnQuery::new(q, p, 0.01), strategy).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

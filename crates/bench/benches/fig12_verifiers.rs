@@ -1,0 +1,50 @@
+//! Criterion bench for Fig. 12 / Table III: individual verifier passes on a
+//! controlled candidate set (|C| = 128 heavily overlapping objects).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpnn_core::verifiers::{
+    LowerSubregion, RightmostSubregion, UpperSubregion, VerificationState, Verifier,
+};
+use cpnn_core::{CandidateSet, ObjectId, SubregionTable, UncertainObject};
+
+fn controlled_table(c: usize) -> SubregionTable {
+    let objects: Vec<UncertainObject> = (0..c)
+        .map(|i| {
+            let lo = 1.0 + 0.05 * i as f64;
+            UncertainObject::uniform(ObjectId(i as u64), lo, lo + 50.0).unwrap()
+        })
+        .collect();
+    let cands = CandidateSet::build(&objects, 0.0, 0).unwrap();
+    SubregionTable::build(&cands)
+}
+
+fn bench(c: &mut Criterion) {
+    let table = controlled_table(128);
+    let mut group = c.benchmark_group("fig12_verifier_passes");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (name, verifier) in [
+        ("RS", Box::new(RightmostSubregion) as Box<dyn Verifier>),
+        ("L-SR", Box::new(LowerSubregion)),
+        ("U-SR", Box::new(UpperSubregion)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut state = VerificationState::new(&table);
+                verifier.apply(&table, &mut state);
+                state
+            });
+        });
+    }
+    group.bench_function("exact_evaluation", |b| {
+        b.iter(|| cpnn_core::exact::exact_probabilities(&table));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

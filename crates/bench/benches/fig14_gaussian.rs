@@ -1,0 +1,41 @@
+//! Criterion bench for Fig. 14: strategy latencies with Gaussian (300-bar)
+//! uncertainty pdfs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpnn_core::{CpnnQuery, Strategy, UncertainDb};
+use cpnn_datagen::{gaussian_variant, longbeach::longbeach_with, query_points, LongBeachConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = LongBeachConfig {
+        count: 2_000,
+        ..LongBeachConfig::default()
+    };
+    let base = longbeach_with(0xC0FFEE, cfg);
+    let db = UncertainDb::build(gaussian_variant(&base, 300)).unwrap();
+    let queries = query_points(0xBEEF, 8);
+    let mut group = c.benchmark_group("fig14_gaussian");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for (name, strategy) in [
+        ("basic", Strategy::Basic),
+        ("refine", Strategy::RefineOnly),
+        ("vr", Strategy::Verified),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "P=0.3"), &db, |b, db| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                db.cpnn(&CpnnQuery::new(q, 0.3, 0.01), strategy).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//! ```text
+//! repro [--quick] [--out DIR] [EXPERIMENT ...]
+//! ```
+//! where `EXPERIMENT` is any of `fig9 fig10 fig11 fig12 fig13 fig14 table3
+//! ablations` or `all` (default). `--quick` uses a reduced workload (same
+//! shapes, faster); `--out` selects the results directory (default
+//! `results/`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use cpnn_bench::experiments;
+use cpnn_bench::report::Table;
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--quick] [--out DIR] \
+                     [fig9|fig10|fig11|fig12|fig13|fig14|table3|ablations|all ...]"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    fs::create_dir_all(&out_dir).expect("can create results directory");
+    let mut produced: Vec<Table> = Vec::new();
+
+    let run = |name: &str, f: &dyn Fn(bool) -> Table, produced: &mut Vec<Table>| {
+        eprintln!(">> running {name} ({}) ...", if quick { "quick" } else { "full" });
+        let t = f(quick);
+        println!("{}", t.to_text());
+        produced.push(t);
+    };
+
+    if want("fig9") {
+        run("fig9", &experiments::fig09::run, &mut produced);
+    }
+    if want("fig10") {
+        run("fig10", &experiments::fig10::run, &mut produced);
+    }
+    if want("fig11") {
+        run("fig11", &experiments::fig11::run, &mut produced);
+    }
+    if want("fig12") {
+        run("fig12", &experiments::fig12::run, &mut produced);
+    }
+    if want("fig13") {
+        run("fig13", &experiments::fig13::run, &mut produced);
+    }
+    if want("fig14") {
+        run("fig14", &experiments::fig14::run, &mut produced);
+    }
+    if want("table3") {
+        run("table3", &experiments::table3::run, &mut produced);
+    }
+    if want("ablations") {
+        run("ablation-a", &experiments::ablations::verifier_chain, &mut produced);
+        run("ablation-b", &experiments::ablations::refinement_order, &mut produced);
+        run("ablation-c", &experiments::ablations::distance_bins, &mut produced);
+        run("ablation-d", &experiments::ablations::extended_chain, &mut produced);
+    }
+
+    for t in &produced {
+        let stem: String = t
+            .id
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+            .trim_matches('_')
+            .replace("__", "_");
+        fs::write(out_dir.join(format!("{stem}.md")), t.to_markdown())
+            .expect("can write markdown result");
+        fs::write(out_dir.join(format!("{stem}.csv")), t.to_csv())
+            .expect("can write csv result");
+    }
+    eprintln!(
+        ">> wrote {} result table(s) to {}",
+        produced.len(),
+        out_dir.display()
+    );
+}

@@ -1,0 +1,173 @@
+//! Ablations of design choices the paper leaves implicit:
+//!
+//! * **verifier chains** — is the RS → L-SR → U-SR order (ascending cost)
+//!   actually the right trade-off? We time alternative chains end-to-end;
+//! * **refinement order** — largest-mass-first vs. left-to-right subregion
+//!   visiting during incremental refinement;
+//! * **distance-histogram resolution** — how the `max_distance_bins` knob
+//!   (our representation of the paper's "distance pdf as a histogram")
+//!   trades verification cost for bound tightness on Gaussian data.
+
+use cpnn_core::{EngineConfig, RefinementOrder, Strategy, UncertainDb};
+use cpnn_datagen::{gaussian_variant, longbeach::longbeach_with, LongBeachConfig};
+
+use crate::experiments::{longbeach_db, workload_queries, DEFAULT_DELTA, DEFAULT_P};
+use crate::harness::run_queries;
+use crate::report::{frac, ms, Table};
+
+/// Ablation A: alternative verifier chains.
+///
+/// Chains are simulated through the public engine by comparing `Verified`
+/// (full chain) against `RefineOnly` (empty chain); the per-stage timings
+/// of the full chain come from the stage reports in Fig. 12's data. Here we
+/// report the end-to-end effect of verification at several thresholds.
+pub fn verifier_chain(quick: bool) -> Table {
+    let db = longbeach_db(quick);
+    let queries = workload_queries(quick);
+    let mut table = Table::new(
+        "Ablation A",
+        "does verification pay for itself? (VR vs Refine-only)",
+        &[
+            "P",
+            "VR (ms)",
+            "Refine (ms)",
+            "VR integ.",
+            "Refine integ.",
+            "resolved by verif.",
+        ],
+    );
+    table.note("verification is profitable whenever its integ. saving outweighs its pass cost");
+    for p in [0.1, 0.3, 0.5, 0.7] {
+        let vr = run_queries(&db, &queries, p, DEFAULT_DELTA, Strategy::Verified);
+        let refine = run_queries(&db, &queries, p, DEFAULT_DELTA, Strategy::RefineOnly);
+        table.push_row(vec![
+            format!("{p:.1}"),
+            ms(vr.avg_total),
+            ms(refine.avg_total),
+            format!("{:.1}", vr.avg_integrations),
+            format!("{:.1}", refine.avg_integrations),
+            frac(vr.resolved_fraction),
+        ]);
+    }
+    table
+}
+
+/// Ablation B: refinement subregion-visiting order.
+pub fn refinement_order(quick: bool) -> Table {
+    let data = longbeach_with(
+        0xC0FFEE,
+        LongBeachConfig {
+            count: if quick { 8_000 } else { 53_144 },
+            ..LongBeachConfig::default()
+        },
+    );
+    let queries = workload_queries(quick);
+    let mut table = Table::new(
+        "Ablation B",
+        "refinement order: largest-mass-first vs left-to-right",
+        &["P", "desc-mass integ.", "left-right integ.", "desc (ms)", "ltr (ms)"],
+    );
+    table.note("fewer integrations per refined object = earlier classification");
+    for p in [0.2, 0.3, 0.4, 0.5] {
+        let mut results = Vec::new();
+        for order in [RefinementOrder::DescendingMass, RefinementOrder::LeftToRight] {
+            let config = EngineConfig {
+                refinement_order: order,
+                ..EngineConfig::default()
+            };
+            let db = UncertainDb::with_config(data.clone(), config).expect("valid data");
+            results.push(run_queries(&db, &queries, p, DEFAULT_DELTA, Strategy::Verified));
+        }
+        table.push_row(vec![
+            format!("{p:.1}"),
+            format!("{:.1}", results[0].avg_integrations),
+            format!("{:.1}", results[1].avg_integrations),
+            ms(results[0].avg_total),
+            ms(results[1].avg_total),
+        ]);
+    }
+    table
+}
+
+/// Ablation D: the FL-SR extra verifier (beyond the paper) — does adding a
+/// second lower-bound pass pay off on this workload?
+pub fn extended_chain(quick: bool) -> Table {
+    let data = longbeach_with(
+        0xC0FFEE,
+        LongBeachConfig {
+            count: if quick { 8_000 } else { 53_144 },
+            ..LongBeachConfig::default()
+        },
+    );
+    let queries = workload_queries(quick);
+    let mut table = Table::new(
+        "Ablation D",
+        "paper chain (RS,L-SR,U-SR) vs extended (+FL-SR)",
+        &["P", "paper (ms)", "+FL-SR (ms)", "paper integ.", "+FL-SR integ."],
+    );
+    table.note("FL-SR adds one O(|C|·M) pass; it pays off when it saves refinement integrations");
+    for p in [0.05, 0.1, 0.3] {
+        let mut results = Vec::new();
+        for extended in [false, true] {
+            let config = EngineConfig {
+                extended_verifiers: extended,
+                ..EngineConfig::default()
+            };
+            let db = UncertainDb::with_config(data.clone(), config).expect("valid data");
+            results.push(run_queries(&db, &queries, p, DEFAULT_DELTA, Strategy::Verified));
+        }
+        table.push_row(vec![
+            format!("{p:.2}"),
+            ms(results[0].avg_total),
+            ms(results[1].avg_total),
+            format!("{:.1}", results[0].avg_integrations),
+            format!("{:.1}", results[1].avg_integrations),
+        ]);
+    }
+    table
+}
+
+/// Ablation C: distance-histogram resolution on Gaussian data.
+pub fn distance_bins(quick: bool) -> Table {
+    let base = longbeach_with(
+        0xC0FFEE,
+        LongBeachConfig {
+            count: if quick { 3_000 } else { 10_000 },
+            ..LongBeachConfig::default()
+        },
+    );
+    let gauss = gaussian_variant(&base, 300);
+    let queries = workload_queries(quick);
+    let mut table = Table::new(
+        "Ablation C",
+        "distance-histogram resolution (Gaussian pdfs)",
+        &["max bins", "VR (ms)", "avg M", "resolved by verif."],
+    );
+    table.note("coarser distance histograms = smaller M = cheaper verifiers, looser bounds");
+    for bins in [16usize, 32, 64, 128] {
+        let config = EngineConfig {
+            max_distance_bins: bins,
+            ..EngineConfig::default()
+        };
+        let db = UncertainDb::with_config(gauss.clone(), config).expect("valid data");
+        // Average M over a few queries (M is per-query).
+        let mut m_total = 0usize;
+        for &q in queries.iter().take(5) {
+            let res = db
+                .cpnn(
+                    &cpnn_core::CpnnQuery::new(q, DEFAULT_P, DEFAULT_DELTA),
+                    Strategy::Verified,
+                )
+                .expect("query succeeds");
+            m_total += res.stats.subregions;
+        }
+        let s = run_queries(&db, &queries, DEFAULT_P, DEFAULT_DELTA, Strategy::Verified);
+        table.push_row(vec![
+            bins.to_string(),
+            ms(s.avg_total),
+            format!("{:.0}", m_total as f64 / 5.0),
+            frac(s.resolved_fraction),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,141 @@
+//! Query-set runner: executes a batch of queries under one strategy and
+//! aggregates the per-phase statistics the figures plot.
+
+use std::time::Duration;
+
+use cpnn_core::{CpnnQuery, Strategy, UncertainDb};
+
+/// Aggregated statistics over a query set (each paper graph point "is an
+/// average of the results for 100 queries").
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Mean end-to-end time per query.
+    pub avg_total: Duration,
+    /// Mean filtering time.
+    pub avg_filter: Duration,
+    /// Mean initialization time (distance pdfs + subregion table).
+    pub avg_init: Duration,
+    /// Mean verification time.
+    pub avg_verify: Duration,
+    /// Mean refinement / exact-evaluation time.
+    pub avg_refine: Duration,
+    /// Mean candidate-set size.
+    pub avg_candidates: f64,
+    /// Mean work counter (integrations / integrand evals / worlds).
+    pub avg_integrations: f64,
+    /// Fraction of queries fully resolved by verification alone.
+    pub resolved_fraction: f64,
+    /// Mean fraction of candidates still unknown after each verifier stage,
+    /// keyed by stage name (empty unless the strategy verifies).
+    pub unknown_fraction_after: Vec<(&'static str, f64)>,
+}
+
+/// Run every query in `queries` with the given parameters and aggregate.
+pub fn run_queries(
+    db: &UncertainDb,
+    queries: &[f64],
+    threshold: f64,
+    tolerance: f64,
+    strategy: Strategy,
+) -> RunSummary {
+    let mut sum = RunSummary {
+        queries: queries.len(),
+        ..Default::default()
+    };
+    let mut total = Duration::ZERO;
+    let mut filter = Duration::ZERO;
+    let mut init = Duration::ZERO;
+    let mut verify = Duration::ZERO;
+    let mut refine = Duration::ZERO;
+    let mut candidates = 0usize;
+    let mut integrations = 0usize;
+    let mut resolved = 0usize;
+    // stage name -> (sum of fractions, count)
+    let mut stage_acc: Vec<(&'static str, f64, usize)> = Vec::new();
+
+    for &q in queries {
+        let res = db
+            .cpnn(&CpnnQuery::new(q, threshold, tolerance), strategy)
+            .expect("query evaluation succeeds");
+        let s = &res.stats;
+        total += s.total_time();
+        filter += s.filter_time;
+        init += s.init_time;
+        verify += s.verify_time;
+        refine += s.refine_time;
+        candidates += s.candidates;
+        integrations += s.integrations;
+        if s.resolved_by_verification {
+            resolved += 1;
+        }
+        for st in &s.stages {
+            let f = if s.candidates > 0 {
+                st.unknown_after as f64 / s.candidates as f64
+            } else {
+                0.0
+            };
+            match stage_acc.iter_mut().find(|(n, _, _)| *n == st.name) {
+                Some(entry) => {
+                    entry.1 += f;
+                    entry.2 += 1;
+                }
+                None => stage_acc.push((st.name, f, 1)),
+            }
+        }
+    }
+
+    let n = queries.len().max(1) as u32;
+    sum.avg_total = total / n;
+    sum.avg_filter = filter / n;
+    sum.avg_init = init / n;
+    sum.avg_verify = verify / n;
+    sum.avg_refine = refine / n;
+    sum.avg_candidates = candidates as f64 / n as f64;
+    sum.avg_integrations = integrations as f64 / n as f64;
+    sum.resolved_fraction = resolved as f64 / n as f64;
+    sum.unknown_fraction_after = stage_acc
+        .into_iter()
+        // Average over all queries: stages that never ran left no unknowns
+        // to report, so normalize by the query count, not the stage count.
+        .map(|(name, acc, _)| (name, acc / n as f64))
+        .collect();
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpnn_datagen::{longbeach::longbeach_with, query_points, LongBeachConfig};
+
+    fn db() -> UncertainDb {
+        let cfg = LongBeachConfig {
+            count: 2_000,
+            ..LongBeachConfig::default()
+        };
+        UncertainDb::build(longbeach_with(3, cfg)).unwrap()
+    }
+
+    #[test]
+    fn summary_aggregates_phases() {
+        let db = db();
+        let queries = query_points(1, 5);
+        let s = run_queries(&db, &queries, 0.3, 0.01, Strategy::Verified);
+        assert_eq!(s.queries, 5);
+        assert!(s.avg_candidates > 0.0);
+        assert!(s.avg_total >= s.avg_refine);
+        assert!(!s.unknown_fraction_after.is_empty());
+        assert!(s.unknown_fraction_after.iter().all(|(_, f)| *f <= 1.0));
+    }
+
+    #[test]
+    fn basic_strategy_has_no_stage_reports() {
+        let db = db();
+        let queries = query_points(2, 3);
+        let s = run_queries(&db, &queries, 0.3, 0.01, Strategy::Basic);
+        assert!(s.unknown_fraction_after.is_empty());
+        assert!(s.avg_integrations > 0.0);
+        assert_eq!(s.resolved_fraction, 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # cpnn-bench — benchmark harness for the ICDE 2008 C-PNN evaluation
+//!
+//! Every figure of the paper's Sec. V (Figs. 9–14) plus Table III has a
+//! module under [`experiments`] that regenerates its rows/series, and a
+//! Criterion bench under `benches/`. The `repro` binary drives the full
+//! sweep:
+//!
+//! ```text
+//! cargo run -p cpnn-bench --release --bin repro -- all
+//! cargo run -p cpnn-bench --release --bin repro -- --quick fig10 fig12
+//! ```
+//!
+//! Results land in `results/<id>.md` and `results/<id>.csv` and are pasted
+//! into EXPERIMENTS.md with the paper-vs-measured commentary.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use harness::{run_queries, RunSummary};
+pub use report::Table;

@@ -1,0 +1,143 @@
+//! Minimal `--flag value` argument parsing (no external crates).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A usage / parse error with a human message.
+#[derive(Debug)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Parsed arguments: positionals in order plus `--key value` pairs.
+#[derive(Debug, Default)]
+pub struct ArgBag {
+    positionals: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl ArgBag {
+    /// Parse raw argv (after the subcommand).
+    pub fn parse(args: &[String]) -> Result<Self, UsageError> {
+        let mut bag = ArgBag::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| UsageError(format!("--{key} requires a value")))?;
+                if bag.flags.insert(key.to_string(), value.clone()).is_some() {
+                    return Err(UsageError(format!("--{key} given twice")));
+                }
+            } else {
+                bag.positionals.push(a.clone());
+            }
+        }
+        Ok(bag)
+    }
+
+    /// Consume the next positional argument.
+    pub fn positional<T: FromStr>(&mut self, what: &str) -> Result<T, UsageError>
+    where
+        T::Err: fmt::Display,
+    {
+        if self.positionals.is_empty() {
+            return Err(UsageError(format!("missing {what}")));
+        }
+        let raw = self.positionals.remove(0);
+        raw.parse()
+            .map_err(|e| UsageError(format!("invalid {what} `{raw}`: {e}")))
+    }
+
+    /// Consume a required `--key`.
+    pub fn required<T: FromStr>(&mut self, key: &str) -> Result<T, UsageError>
+    where
+        T::Err: fmt::Display,
+    {
+        self.optional(key)?
+            .ok_or_else(|| UsageError(format!("missing required --{key}")))
+    }
+
+    /// Consume an optional `--key`.
+    pub fn optional<T: FromStr>(&mut self, key: &str) -> Result<Option<T>, UsageError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.flags.remove(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| UsageError(format!("invalid --{key} `{raw}`: {e}"))),
+        }
+    }
+
+    /// Error on any leftover arguments (catches typos).
+    pub fn finish(&mut self) -> Result<(), UsageError> {
+        if let Some(p) = self.positionals.first() {
+            return Err(UsageError(format!("unexpected argument `{p}`")));
+        }
+        if let Some(k) = self.flags.keys().next() {
+            return Err(UsageError(format!("unexpected flag --{k}")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let mut bag = ArgBag::parse(&strs(&["data.cpnn", "--q", "42.5", "--top", "3"])).unwrap();
+        let file: String = bag.positional("file").unwrap();
+        assert_eq!(file, "data.cpnn");
+        let q: f64 = bag.required("q").unwrap();
+        assert_eq!(q, 42.5);
+        let top: Option<usize> = bag.optional("top").unwrap();
+        assert_eq!(top, Some(3));
+        bag.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(ArgBag::parse(&strs(&["--q"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        assert!(ArgBag::parse(&strs(&["--q", "1", "--q", "2"])).is_err());
+    }
+
+    #[test]
+    fn leftover_arguments_are_caught() {
+        let mut bag = ArgBag::parse(&strs(&["x", "--oops", "1"])).unwrap();
+        let _: String = bag.positional("file").unwrap();
+        assert!(bag.finish().is_err());
+    }
+
+    #[test]
+    fn invalid_number_reports_key() {
+        let mut bag = ArgBag::parse(&strs(&["--q", "abc"])).unwrap();
+        let err = bag.required::<f64>("q").unwrap_err();
+        assert!(err.0.contains("--q"));
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let mut bag = ArgBag::parse(&[]).unwrap();
+        assert!(bag.required::<f64>("p").is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! `cpnn` — command-line front end for the uncertain-data query engine.
+//!
+//! ```text
+//! cpnn generate --count 53144 --seed 7 --out data.cpnn     # build a dataset snapshot
+//! cpnn info data.cpnn                                      # dataset statistics
+//! cpnn pnn data.cpnn --q 4200                              # exact probabilities
+//! cpnn cpnn data.cpnn --q 4200 --p 0.3 --delta 0.01        # constrained query (VR)
+//! cpnn cpnn data.cpnn --q 4200 --p 0.3 --strategy basic    # baseline strategies
+//! cpnn knn data.cpnn --q 4200 --k 3 --p 0.5                # constrained k-NN
+//! cpnn range data.cpnn --lo 100 --hi 200 --p 0.5           # probabilistic range
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cpnn_core::persist::{load_from_path, save_to_path};
+use cpnn_core::{CpnnQuery, Strategy, UncertainDb};
+use cpnn_datagen::{longbeach::longbeach_with, LongBeachConfig};
+
+mod args;
+
+use args::{ArgBag, UsageError};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let mut bag = ArgBag::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "generate" => generate(&mut bag),
+        "info" => info(&mut bag),
+        "pnn" => pnn(&mut bag),
+        "cpnn" => cpnn(&mut bag),
+        "knn" => knn(&mut bag),
+        "range" => range(&mut bag),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(Box::new(UsageError(format!("unknown command `{other}`")))),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cpnn <command> [options]\n\n\
+         commands:\n\
+         \x20 generate --out FILE [--count N] [--seed S]   create a synthetic dataset snapshot\n\
+         \x20 info FILE                                    dataset statistics\n\
+         \x20 pnn FILE --q Q [--top N]                     exact qualification probabilities\n\
+         \x20 cpnn FILE --q Q --p P [--delta D] [--strategy vr|basic|refine|mc]\n\
+         \x20 knn FILE --q Q --k K --p P [--delta D]       constrained probabilistic k-NN\n\
+         \x20 range FILE --lo A --hi B --p P               probabilistic range query"
+    );
+}
+
+fn load(bag: &mut ArgBag) -> Result<UncertainDb, Box<dyn std::error::Error>> {
+    let path: PathBuf = bag.positional("dataset file")?;
+    Ok(load_from_path(&path)?)
+}
+
+fn generate(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
+    let out: PathBuf = bag.required("out")?;
+    let count: usize = bag.optional("count")?.unwrap_or(53_144);
+    let seed: u64 = bag.optional("seed")?.unwrap_or(0xC0FFEE);
+    bag.finish()?;
+    let cfg = LongBeachConfig {
+        count,
+        ..LongBeachConfig::default()
+    };
+    let db = UncertainDb::build(longbeach_with(seed, cfg))?;
+    save_to_path(&db, &out)?;
+    println!(
+        "wrote {} objects (seed {seed}) to {}",
+        db.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn info(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
+    let db = load(bag)?;
+    bag.finish()?;
+    let (lo, hi) = db.domain().unwrap_or((0.0, 0.0));
+    let mut widths: Vec<f64> = db
+        .objects()
+        .iter()
+        .map(|o| {
+            let (a, b) = o.region();
+            b - a
+        })
+        .collect();
+    widths.sort_by(f64::total_cmp);
+    let mid = widths.len() / 2;
+    println!("objects : {}", db.len());
+    println!("domain  : [{lo:.2}, {hi:.2}]");
+    if !widths.is_empty() {
+        println!(
+            "widths  : min {:.3}  median {:.3}  max {:.3}",
+            widths[0],
+            widths[mid],
+            widths[widths.len() - 1]
+        );
+    }
+    Ok(())
+}
+
+fn pnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
+    let db = load(bag)?;
+    let q: f64 = bag.required("q")?;
+    let top: usize = bag.optional("top")?.unwrap_or(10);
+    bag.finish()?;
+    let res = db.pnn(q)?;
+    println!(
+        "{} candidates, {} subregions, evaluated in {:?}",
+        res.stats.candidates,
+        res.stats.subregions,
+        res.stats.total_time()
+    );
+    for (id, p) in res.probabilities.iter().take(top) {
+        println!("  {id}: {:.4}", p);
+    }
+    Ok(())
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, UsageError> {
+    match name {
+        "vr" | "verified" => Ok(Strategy::Verified),
+        "basic" => Ok(Strategy::Basic),
+        "refine" => Ok(Strategy::RefineOnly),
+        "mc" | "montecarlo" => Ok(Strategy::MonteCarlo {
+            worlds: 10_000,
+            seed: 7,
+        }),
+        other => Err(UsageError(format!("unknown strategy `{other}`"))),
+    }
+}
+
+fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
+    let db = load(bag)?;
+    let q: f64 = bag.required("q")?;
+    let p: f64 = bag.required("p")?;
+    let delta: f64 = bag.optional("delta")?.unwrap_or(0.01);
+    let strategy = parse_strategy(&bag.optional::<String>("strategy")?.unwrap_or_else(|| "vr".into()))?;
+    bag.finish()?;
+    let res = db.cpnn(&CpnnQuery::new(q, p, delta), strategy)?;
+    println!(
+        "answers: {:?}",
+        res.answers.iter().map(|id| id.0).collect::<Vec<_>>()
+    );
+    println!(
+        "candidates {} | resolved by verification: {} | refined {} | total {:?}",
+        res.stats.candidates,
+        res.stats.resolved_by_verification,
+        res.stats.refined_objects,
+        res.stats.total_time()
+    );
+    for r in res.reports.iter().filter(|r| r.bound.hi() > 0.01) {
+        println!("  {}: {} -> {:?}", r.id, r.bound, r.label);
+    }
+    Ok(())
+}
+
+fn knn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
+    let db = load(bag)?;
+    let q: f64 = bag.required("q")?;
+    let k: usize = bag.required("k")?;
+    let p: f64 = bag.required("p")?;
+    let delta: f64 = bag.optional("delta")?.unwrap_or(0.0);
+    bag.finish()?;
+    let res = db.cknn(q, k, p, delta)?;
+    println!(
+        "answers: {:?}  ({} candidates, {} integrations)",
+        res.answers.iter().map(|id| id.0).collect::<Vec<_>>(),
+        res.stats.candidates,
+        res.stats.integrations
+    );
+    Ok(())
+}
+
+fn range(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
+    let db = load(bag)?;
+    let lo: f64 = bag.required("lo")?;
+    let hi: f64 = bag.required("hi")?;
+    let p: f64 = bag.required("p")?;
+    bag.finish()?;
+    let res = db.range_query(lo, hi, p)?;
+    println!("{} object(s) in [{lo}, {hi}] with probability >= {p}:", res.len());
+    for a in res.iter().take(20) {
+        println!("  {}: {:.4}", a.id, a.probability);
+    }
+    Ok(())
+}

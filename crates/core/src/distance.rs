@@ -1,0 +1,214 @@
+//! Distance pdfs and cdfs (paper Definition 2, Fig. 6).
+//!
+//! For an uncertain object `Xi` and query point `q`, the random variable
+//! `Ri = |Xi − q|` has a *distance pdf* `di(r)` and *distance cdf* `Di(r)`.
+//! For a histogram uncertainty pdf the distance pdf is obtained exactly by
+//! **folding** the histogram around `q`: `di(r) = f(q + r) + f(q − r)`, with
+//! breakpoints at the folded images `|e − q|` of every bin edge `e` (plus 0
+//! when `q` lies inside the region). The result is again a histogram, whose
+//! cdf is piecewise linear — exactly the representation the subregion
+//! machinery requires (Sec. IV-A).
+
+use cpnn_pdf::{discretize, HistogramPdf, Pdf};
+
+use crate::error::Result;
+
+/// The distribution of `Ri = |Xi − q|`, stored as a histogram on
+/// `[near, far]` (paper Definition 3: near point `ni`, far point `fi`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceDistribution {
+    hist: HistogramPdf,
+}
+
+impl DistanceDistribution {
+    /// Fold `pdf` around the query point `q`.
+    ///
+    /// The fold is exact: every returned histogram bin has constant density,
+    /// with bin edges at the folded images of the source bin edges.
+    pub fn from_pdf(pdf: &HistogramPdf, q: f64) -> Result<Self> {
+        let (lo, hi) = pdf.support();
+        let mut breaks: Vec<f64> = pdf.edges().iter().map(|&e| (e - q).abs()).collect();
+        if q >= lo && q <= hi {
+            breaks.push(0.0);
+        }
+        breaks.sort_by(f64::total_cmp);
+        // Merge numerically identical breakpoints.
+        let scale = breaks.last().copied().unwrap_or(1.0).max(1.0);
+        let mut merged: Vec<f64> = Vec::with_capacity(breaks.len());
+        for b in breaks {
+            match merged.last() {
+                Some(&last) if b - last <= 1e-12 * scale => {}
+                _ => merged.push(b),
+            }
+        }
+        debug_assert!(merged.len() >= 2, "degenerate distance support");
+        let densities: Vec<f64> = merged
+            .windows(2)
+            .map(|w| {
+                let m = 0.5 * (w[0] + w[1]);
+                pdf.density(q + m) + pdf.density(q - m)
+            })
+            .collect();
+        Ok(Self {
+            hist: HistogramPdf::from_densities(merged, densities)?,
+        })
+    }
+
+    /// Re-bin onto at most `max_bins` equal-width bins (mass-preserving at
+    /// the new edges). This is the paper's "represent a distance pdf as a
+    /// histogram" step: it bounds the number of subregion endpoints, trading
+    /// resolution for verifier cost. Folds of uniform objects (≤ 3 bins) are
+    /// returned unchanged.
+    pub fn with_max_bins(self, max_bins: usize) -> Result<Self> {
+        if max_bins == 0 || self.hist.bar_count() <= max_bins {
+            return Ok(self);
+        }
+        Ok(Self {
+            hist: discretize(&self.hist, max_bins)?,
+        })
+    }
+
+    /// Near point `ni`: the minimum possible distance.
+    pub fn near(&self) -> f64 {
+        self.hist.support().0
+    }
+
+    /// Far point `fi`: the maximum possible distance.
+    pub fn far(&self) -> f64 {
+        self.hist.support().1
+    }
+
+    /// Distance cdf `Di(r)` (piecewise linear, clamped to `[0, 1]`).
+    pub fn cdf(&self, r: f64) -> f64 {
+        self.hist.cdf(r)
+    }
+
+    /// Distance pdf `di(r)`.
+    pub fn density(&self, r: f64) -> f64 {
+        self.hist.density(r)
+    }
+
+    /// `Pr[a ≤ Ri ≤ b]`.
+    pub fn mass_between(&self, a: f64, b: f64) -> f64 {
+        self.hist.mass_between(a, b)
+    }
+
+    /// Inverse cdf (used by the Monte-Carlo baseline).
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.hist.quantile(p)
+    }
+
+    /// Bin edges of the distance histogram — the "points at which the
+    /// distance pdf changes" that must become subregion endpoints.
+    pub fn breakpoints(&self) -> &[f64] {
+        self.hist.edges()
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &HistogramPdf {
+        &self.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Fig. 6(b): uniform object on [l, u], query inside.
+    #[test]
+    fn fold_uniform_query_inside() {
+        // X1 uniform on [0, 10], q = 3. Distance pdf: 2/10 on [0,3], 1/10 on [3,7].
+        let pdf = HistogramPdf::uniform(0.0, 10.0).unwrap();
+        let d = DistanceDistribution::from_pdf(&pdf, 3.0).unwrap();
+        assert_eq!(d.near(), 0.0);
+        assert_eq!(d.far(), 7.0);
+        assert!((d.density(1.0) - 0.2).abs() < 1e-12);
+        assert!((d.density(5.0) - 0.1).abs() < 1e-12);
+        assert!((d.cdf(3.0) - 0.6).abs() < 1e-12);
+        assert!((d.cdf(7.0) - 1.0).abs() < 1e-12);
+        // cdf is piecewise linear: halfway along [3,7] adds half of 0.4.
+        assert!((d.cdf(5.0) - 0.8).abs() < 1e-12);
+    }
+
+    /// Paper Fig. 6(c): query outside the region — the distance pdf is a
+    /// pure shift of the uncertainty pdf.
+    #[test]
+    fn fold_uniform_query_outside() {
+        let pdf = HistogramPdf::uniform(4.0, 9.0).unwrap();
+        let d = DistanceDistribution::from_pdf(&pdf, 1.0).unwrap();
+        assert_eq!(d.near(), 3.0);
+        assert_eq!(d.far(), 8.0);
+        assert!((d.density(5.0) - 0.2).abs() < 1e-12);
+        assert_eq!(d.density(2.0), 0.0);
+        assert!((d.cdf(5.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_at_exact_center_merges_breakpoints() {
+        let pdf = HistogramPdf::uniform(0.0, 10.0).unwrap();
+        let d = DistanceDistribution::from_pdf(&pdf, 5.0).unwrap();
+        assert_eq!(d.near(), 0.0);
+        assert_eq!(d.far(), 5.0);
+        // All mass folds symmetrically: density 2·(1/10).
+        assert!((d.density(2.0) - 0.2).abs() < 1e-12);
+        assert!((d.cdf(5.0) - 1.0).abs() < 1e-12);
+        assert_eq!(d.histogram().bar_count(), 1);
+    }
+
+    #[test]
+    fn fold_multibar_histogram_is_exact() {
+        // Two bars: [0,2] mass 0.25, [2,6] mass 0.75; q = 4 (inside bar 2).
+        let pdf =
+            HistogramPdf::from_masses(vec![0.0, 2.0, 6.0], vec![0.25, 0.75]).unwrap();
+        let d = DistanceDistribution::from_pdf(&pdf, 4.0).unwrap();
+        assert_eq!(d.near(), 0.0);
+        assert_eq!(d.far(), 4.0);
+        // For r in [0, 2): density = f(4+r) + f(4-r) = 0.1875 + 0.1875 (both in bar 2,
+        // height 0.75/4) except 4+r leaves support at r=2.
+        assert!((d.density(1.0) - 0.375).abs() < 1e-12);
+        // For r in (2, 4): 4+r outside; 4-r in bar 1 (height 0.125).
+        assert!((d.density(3.0) - 0.125).abs() < 1e-12);
+        // Total mass must be 1.
+        assert!((d.cdf(4.0) - 1.0).abs() < 1e-12);
+        // Cross-check masses: Pr[R ≤ 2] = mass of [2,6] = 0.75.
+        assert!((d.cdf(2.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebinning_preserves_mass_and_support() {
+        let pdf = HistogramPdf::from_masses(
+            (0..=100).map(|i| i as f64).collect(),
+            vec![0.01; 100],
+        )
+        .unwrap();
+        let d = DistanceDistribution::from_pdf(&pdf, 17.3).unwrap();
+        let (near, far) = (d.near(), d.far());
+        let coarse = d.clone().with_max_bins(16).unwrap();
+        assert_eq!(coarse.histogram().bar_count(), 16);
+        assert!((coarse.near() - near).abs() < 1e-12);
+        assert!((coarse.far() - far).abs() < 1e-12);
+        assert!((coarse.cdf(far) - 1.0).abs() < 1e-12);
+        // Coarse cdf approximates the fine cdf.
+        for r in [5.0, 20.0, 40.0, 70.0] {
+            assert!((coarse.cdf(r) - d.cdf(r)).abs() < 0.08, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn rebinning_noop_when_already_coarse() {
+        let pdf = HistogramPdf::uniform(0.0, 1.0).unwrap();
+        let d = DistanceDistribution::from_pdf(&pdf, 0.5).unwrap();
+        let same = d.clone().with_max_bins(64).unwrap();
+        assert_eq!(d, same);
+    }
+
+    #[test]
+    fn quantile_round_trips() {
+        let pdf = HistogramPdf::from_masses(vec![0.0, 1.0, 5.0], vec![0.5, 0.5]).unwrap();
+        let d = DistanceDistribution::from_pdf(&pdf, 2.0).unwrap();
+        for p in [0.1, 0.5, 0.9] {
+            let r = d.quantile(p);
+            assert!((d.cdf(r) - p).abs() < 1e-9);
+        }
+    }
+}

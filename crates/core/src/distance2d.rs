@@ -1,0 +1,347 @@
+//! 2-D uncertainty: circular regions with uniform pdfs.
+//!
+//! The paper focuses on 1-D but notes (Sec. IV-A): "our solution only needs
+//! distance pdfs and cdfs. Thus, our solution can be extended to 2D space,
+//! by computing the distance pdf and cdf from the 2D uncertainty regions,
+//! using the formulae discussed in \[8\]" — \[8\] derives them for circles.
+//!
+//! For a uniform disk of center `c`, radius `R`, and a query point `q` at
+//! distance `d = |q − c|`, the distance cdf is a *lens area* ratio:
+//!
+//! ```text
+//! D(r) = area( disk(q, r) ∩ disk(c, R) ) / (π R²)
+//! ```
+//!
+//! which has a closed form. The cdf is discretized (mass-preserving) into a
+//! distance histogram, after which the entire 1-D verifier machinery —
+//! subregions, RS/L-SR/U-SR, refinement — applies unchanged through
+//! [`CandidateSet::from_distances`].
+
+use cpnn_pdf::HistogramPdf;
+
+use crate::candidate::CandidateSet;
+use crate::classify::{Classifier, Label};
+use crate::distance::DistanceDistribution;
+use crate::engine::ObjectReport;
+use crate::error::{CoreError, Result};
+use crate::framework::{default_verifiers, run_verification};
+use crate::object::ObjectId;
+use crate::refine::{incremental_refine, RefinementOrder};
+use crate::subregion::SubregionTable;
+
+/// A 2-D uncertain object: uniform pdf over a disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircleObject {
+    /// Object identifier.
+    pub id: ObjectId,
+    /// Disk center.
+    pub center: [f64; 2],
+    /// Disk radius (must be positive).
+    pub radius: f64,
+}
+
+impl CircleObject {
+    /// Validated constructor.
+    pub fn new(id: ObjectId, center: [f64; 2], radius: f64) -> Result<Self> {
+        if !(radius > 0.0) || !radius.is_finite() {
+            return Err(CoreError::Pdf(cpnn_pdf::PdfError::NonPositiveParameter {
+                name: "radius",
+                value: radius,
+            }));
+        }
+        if !(center[0].is_finite() && center[1].is_finite()) {
+            return Err(CoreError::InvalidQueryPoint(center[0]));
+        }
+        Ok(Self { id, center, radius })
+    }
+
+    /// Minimum possible distance from `q` (the near point).
+    pub fn near(&self, q: [f64; 2]) -> f64 {
+        (self.center_dist(q) - self.radius).max(0.0)
+    }
+
+    /// Maximum possible distance from `q` (the far point).
+    pub fn far(&self, q: [f64; 2]) -> f64 {
+        self.center_dist(q) + self.radius
+    }
+
+    fn center_dist(&self, q: [f64; 2]) -> f64 {
+        let dx = self.center[0] - q[0];
+        let dy = self.center[1] - q[1];
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Area of the intersection of two disks with radii `r1`, `r2` and center
+/// distance `d` (the circular lens).
+pub fn lens_area(d: f64, r1: f64, r2: f64) -> f64 {
+    if r1 <= 0.0 || r2 <= 0.0 {
+        return 0.0;
+    }
+    if d >= r1 + r2 {
+        return 0.0;
+    }
+    let rmin = r1.min(r2);
+    if d <= (r1 - r2).abs() {
+        return std::f64::consts::PI * rmin * rmin;
+    }
+    let alpha = ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0);
+    let beta = ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0);
+    let t1 = r1 * r1 * alpha.acos();
+    let t2 = r2 * r2 * beta.acos();
+    let s = ((-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2)).max(0.0);
+    t1 + t2 - 0.5 * s.sqrt()
+}
+
+/// Distance cdf of a uniform disk from `q`: `D(r) = lens(d, r, R)/(πR²)`.
+pub fn circle_distance_cdf(obj: &CircleObject, q: [f64; 2], r: f64) -> f64 {
+    let d = obj.center_dist(q);
+    let total = std::f64::consts::PI * obj.radius * obj.radius;
+    (lens_area(d, r.max(0.0), obj.radius) / total).clamp(0.0, 1.0)
+}
+
+/// Build the distance distribution of a circular object by discretizing its
+/// lens-area cdf onto `bins` equal-width bins over `[near, far]`.
+pub fn circle_distance_distribution(
+    obj: &CircleObject,
+    q: [f64; 2],
+    bins: usize,
+) -> Result<DistanceDistribution> {
+    let bins = bins.max(2);
+    let near = obj.near(q);
+    let far = obj.far(q);
+    let w = (far - near) / bins as f64;
+    let edges: Vec<f64> = (0..=bins)
+        .map(|i| if i == bins { far } else { near + i as f64 * w })
+        .collect();
+    let masses: Vec<f64> = (0..bins)
+        .map(|i| {
+            (circle_distance_cdf(obj, q, edges[i + 1]) - circle_distance_cdf(obj, q, edges[i]))
+                .max(0.0)
+        })
+        .collect();
+    let hist = HistogramPdf::from_masses(edges, masses)?;
+    // Route through the 1-D fold with query 0: the histogram already lives
+    // on the distance domain, so folding around 0 is the identity.
+    DistanceDistribution::from_pdf(&hist, 0.0)
+}
+
+/// Result of a 2-D C-PNN query.
+#[derive(Debug, Clone)]
+pub struct Cpnn2dResult {
+    /// IDs satisfying the query, ascending.
+    pub answers: Vec<ObjectId>,
+    /// Verdict per candidate.
+    pub reports: Vec<ObjectReport>,
+    /// Candidate-set size after filtering.
+    pub candidates: usize,
+    /// Whether verification alone resolved the query.
+    pub resolved_by_verification: bool,
+}
+
+/// Evaluate a C-PNN over 2-D circular objects: exact near/far filtering,
+/// lens-area distance cdfs, then the standard verify → refine pipeline.
+pub fn cpnn_2d(
+    objects: &[CircleObject],
+    q: [f64; 2],
+    threshold: f64,
+    tolerance: f64,
+    bins: usize,
+) -> Result<Cpnn2dResult> {
+    let classifier = Classifier::new(threshold, tolerance)?;
+    // Filtering with exact circle distances.
+    let fmin = objects
+        .iter()
+        .map(|o| o.far(q))
+        .fold(f64::INFINITY, f64::min);
+    let mut items = Vec::new();
+    for o in objects {
+        if o.near(q) <= fmin {
+            items.push((o.id, circle_distance_distribution(o, q, bins)?));
+        }
+    }
+    let cands = CandidateSet::from_distances(items, 1);
+    let table = SubregionTable::build(&cands);
+    let outcome = run_verification(&table, &classifier, &default_verifiers());
+    let resolved = outcome.resolved();
+    let mut state = outcome.state;
+    incremental_refine(&table, &classifier, &mut state, RefinementOrder::DescendingMass);
+    let reports: Vec<ObjectReport> = cands
+        .members()
+        .iter()
+        .zip(state.bounds.iter().zip(&state.labels))
+        .map(|(m, (&bound, &label))| ObjectReport {
+            id: m.id,
+            bound,
+            label,
+        })
+        .collect();
+    let mut answers: Vec<ObjectId> = reports
+        .iter()
+        .filter(|r| r.label == Label::Satisfy)
+        .map(|r| r.id)
+        .collect();
+    answers.sort_unstable();
+    Ok(Cpnn2dResult {
+        answers,
+        candidates: cands.len(),
+        resolved_by_verification: resolved,
+        reports,
+    })
+}
+
+/// Exact 2-D PNN probabilities (subregion decomposition over lens-area
+/// cdfs), descending.
+pub fn pnn_2d(
+    objects: &[CircleObject],
+    q: [f64; 2],
+    bins: usize,
+) -> Result<Vec<(ObjectId, f64)>> {
+    let fmin = objects
+        .iter()
+        .map(|o| o.far(q))
+        .fold(f64::INFINITY, f64::min);
+    let mut items = Vec::new();
+    for o in objects {
+        if o.near(q) <= fmin {
+            items.push((o.id, circle_distance_distribution(o, q, bins)?));
+        }
+    }
+    let cands = CandidateSet::from_distances(items, 1);
+    let table = SubregionTable::build(&cands);
+    let (probs, _) = crate::exact::exact_probabilities(&table);
+    let mut out: Vec<(ObjectId, f64)> = cands
+        .members()
+        .iter()
+        .zip(probs)
+        .map(|(m, p)| (m.id, p))
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lens_area_limits() {
+        let pi = std::f64::consts::PI;
+        // Disjoint.
+        assert_eq!(lens_area(5.0, 2.0, 2.0), 0.0);
+        // Contained.
+        assert!((lens_area(0.5, 1.0, 5.0) - pi).abs() < 1e-12);
+        // Identical circles fully overlapping.
+        assert!((lens_area(0.0, 2.0, 2.0) - 4.0 * pi).abs() < 1e-12);
+        // Half-overlap symmetry: lens(d, r, r) at d = r is 2r²(π/3 − √3/4).
+        let r: f64 = 3.0;
+        let expect = 2.0 * r * r * (pi / 3.0 - 3.0f64.sqrt() / 4.0);
+        assert!((lens_area(r, r, r) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_from_disk_center_is_r_squared() {
+        // q at the disk center: D(r) = (r/R)².
+        let o = CircleObject::new(ObjectId(0), [0.0, 0.0], 2.0).unwrap();
+        for r in [0.0, 0.5, 1.0, 1.5, 2.0] {
+            let want = (r / 2.0) * (r / 2.0);
+            let got = circle_distance_cdf(&o, [0.0, 0.0], r);
+            assert!((got - want).abs() < 1e-12, "r = {r}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn distance_distribution_is_normalized_and_bounded() {
+        let o = CircleObject::new(ObjectId(0), [3.0, 4.0], 1.5).unwrap();
+        let q = [0.0, 0.0];
+        let d = circle_distance_distribution(&o, q, 64).unwrap();
+        assert!((d.near() - 3.5).abs() < 1e-12); // |q−c| = 5, R = 1.5
+        assert!((d.far() - 6.5).abs() < 1e-12);
+        assert!((d.cdf(6.5) - 1.0).abs() < 1e-12);
+        assert!(d.cdf(3.5) < 1e-12);
+        // Monotone cdf.
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let r = 3.5 + 3.0 * i as f64 / 20.0;
+            let c = d.cdf(r);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn symmetric_circles_split_evenly() {
+        let objects = vec![
+            CircleObject::new(ObjectId(0), [2.0, 0.0], 1.0).unwrap(),
+            CircleObject::new(ObjectId(1), [-2.0, 0.0], 1.0).unwrap(),
+        ];
+        let probs = pnn_2d(&objects, [0.0, 0.0], 64).unwrap();
+        for (_, p) in &probs {
+            assert!((p - 0.5).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn nearer_circle_dominates() {
+        let objects = vec![
+            CircleObject::new(ObjectId(0), [1.0, 0.0], 0.5).unwrap(),
+            CircleObject::new(ObjectId(1), [5.0, 0.0], 0.5).unwrap(),
+        ];
+        let probs = pnn_2d(&objects, [0.0, 0.0], 64).unwrap();
+        assert_eq!(probs[0].0, ObjectId(0));
+        assert!((probs[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpnn_2d_answers_match_exact_thresholding() {
+        let objects: Vec<CircleObject> = (0..8)
+            .map(|i| {
+                let angle = i as f64 * 0.7;
+                CircleObject::new(
+                    ObjectId(i),
+                    [
+                        (2.0 + 0.4 * i as f64) * angle.cos(),
+                        (2.0 + 0.4 * i as f64) * angle.sin(),
+                    ],
+                    0.8 + 0.1 * i as f64,
+                )
+                .unwrap()
+            })
+            .collect();
+        let q = [0.5, 0.5];
+        let exact = pnn_2d(&objects, q, 48).unwrap();
+        for threshold in [0.2, 0.4, 0.6] {
+            let res = cpnn_2d(&objects, q, threshold, 0.0, 48).unwrap();
+            let want: Vec<ObjectId> = {
+                let mut v: Vec<ObjectId> = exact
+                    .iter()
+                    .filter(|(_, p)| *p >= threshold)
+                    .map(|(id, _)| *id)
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(res.answers, want, "P = {threshold}");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_2d() {
+        let objects: Vec<CircleObject> = (0..6)
+            .map(|i| {
+                CircleObject::new(ObjectId(i), [i as f64, (i % 3) as f64], 1.0 + 0.2 * i as f64)
+                    .unwrap()
+            })
+            .collect();
+        let probs = pnn_2d(&objects, [1.5, 1.0], 64).unwrap();
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum = {total}");
+    }
+
+    #[test]
+    fn invalid_circles_rejected() {
+        assert!(CircleObject::new(ObjectId(0), [0.0, 0.0], 0.0).is_err());
+        assert!(CircleObject::new(ObjectId(0), [0.0, 0.0], -1.0).is_err());
+        assert!(CircleObject::new(ObjectId(0), [f64::NAN, 0.0], 1.0).is_err());
+    }
+}

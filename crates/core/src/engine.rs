@@ -1,0 +1,899 @@
+//! The query engine: the full three-phase C-PNN pipeline of paper Fig. 3
+//! (filter → verify → refine), plus the baselines it is benchmarked against.
+
+use std::time::{Duration, Instant};
+
+use cpnn_rtree::{Params, RTree, Rect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bounds::ProbBound;
+use crate::candidate::CandidateSet;
+use crate::classify::{Classifier, Label};
+use crate::error::{CoreError, Result};
+use crate::exact::{basic_probabilities, exact_probabilities};
+use crate::framework::{default_verifiers, run_verification, StageReport};
+use crate::montecarlo::monte_carlo_probabilities;
+use crate::object::{ObjectId, UncertainObject};
+use crate::refine::{incremental_refine, RefinementOrder};
+use crate::subregion::SubregionTable;
+use crate::verifiers::VerificationState;
+
+/// Evaluation strategy — the three methods compared throughout Sec. V, plus
+/// the sampling baseline of \[9\].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Exact probabilities for every candidate by direct numerical
+    /// integration (\[5\]); answers thresholded afterwards.
+    Basic,
+    /// Skip verification; incremental refinement directly ("Refine").
+    RefineOnly,
+    /// Verifiers first, refinement only for leftovers ("VR" — the paper's
+    /// proposed method).
+    Verified,
+    /// Monte-Carlo sampling over possible worlds (\[9\]).
+    MonteCarlo {
+        /// Number of sampled worlds.
+        worlds: usize,
+        /// RNG seed (queries are deterministic given the seed).
+        seed: u64,
+    },
+}
+
+/// A C-PNN query: point, threshold `P`, tolerance `Δ` (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpnnQuery {
+    /// The query point `q`.
+    pub q: f64,
+    /// Threshold `P ∈ (0, 1]`.
+    pub threshold: f64,
+    /// Tolerance `Δ ∈ [0, 1]`.
+    pub tolerance: f64,
+}
+
+impl CpnnQuery {
+    /// Convenience constructor.
+    pub fn new(q: f64, threshold: f64, tolerance: f64) -> Self {
+        Self {
+            q,
+            threshold,
+            tolerance,
+        }
+    }
+}
+
+/// Per-candidate verdict in a query result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectReport {
+    /// The object.
+    pub id: ObjectId,
+    /// Final probability bound (collapsed to a point for exact strategies).
+    pub bound: ProbBound,
+    /// Final classification.
+    pub label: Label,
+}
+
+/// Wall-clock and work statistics for one query (feeds Figs. 9–13).
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Objects in the database.
+    pub total_objects: usize,
+    /// Candidate set size `|C|` after filtering.
+    pub candidates: usize,
+    /// Subregion count `M` (0 when no table was built).
+    pub subregions: usize,
+    /// Filtering (R-tree) time.
+    pub filter_time: Duration,
+    /// Initialization time (distance distributions + subregion table).
+    pub init_time: Duration,
+    /// Verification time (all verifier stages).
+    pub verify_time: Duration,
+    /// Refinement / exact-evaluation time.
+    pub refine_time: Duration,
+    /// Per-verifier-stage reports (empty for non-verified strategies).
+    pub stages: Vec<StageReport>,
+    /// Objects that entered refinement.
+    pub refined_objects: usize,
+    /// Work counter: subregion integrations (VR/Refine) or integrand
+    /// evaluations (Basic) or sampled worlds (Monte-Carlo).
+    pub integrations: usize,
+    /// Did verification alone resolve the query (Fig. 13's metric)?
+    pub resolved_by_verification: bool,
+}
+
+impl QueryStats {
+    /// Total time across all phases.
+    pub fn total_time(&self) -> Duration {
+        self.filter_time + self.init_time + self.verify_time + self.refine_time
+    }
+}
+
+/// Result of a C-PNN query.
+#[derive(Debug, Clone)]
+pub struct CpnnResult {
+    /// IDs of objects satisfying the query, ascending.
+    pub answers: Vec<ObjectId>,
+    /// Verdict for every candidate (in candidate order).
+    pub reports: Vec<ObjectReport>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+/// Result of a plain PNN query: every candidate with its qualification
+/// probability, descending.
+#[derive(Debug, Clone)]
+pub struct PnnResult {
+    /// `(id, probability)` pairs, descending by probability.
+    pub probabilities: Vec<(ObjectId, f64)>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Cap on distance-histogram resolution (0 = exact folds). Bounds the
+    /// subregion count `M`; see `DistanceDistribution::with_max_bins`.
+    pub max_distance_bins: usize,
+    /// Adaptive-Simpson tolerance for the Basic baseline.
+    pub basic_tolerance: f64,
+    /// Subregion visiting order during incremental refinement.
+    pub refinement_order: RefinementOrder,
+    /// R-tree fan-out parameters.
+    pub rtree_params: Params,
+    /// Add the FL-SR verifier to the chain (an extra lower-bound pass
+    /// beyond the paper; see `verifiers::FarLowerSubregion`).
+    pub extended_verifiers: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_distance_bins: 64,
+            basic_tolerance: 1e-6,
+            refinement_order: RefinementOrder::DescendingMass,
+            rtree_params: Params::default(),
+            extended_verifiers: false,
+        }
+    }
+}
+
+/// An in-memory database of 1-D uncertain objects with an R-tree over their
+/// uncertainty regions.
+#[derive(Debug)]
+pub struct UncertainDb {
+    objects: Vec<UncertainObject>,
+    tree: RTree<usize, 1>,
+    config: EngineConfig,
+}
+
+impl UncertainDb {
+    /// Build with default configuration. Fails on duplicate object ids.
+    pub fn build(objects: Vec<UncertainObject>) -> Result<Self> {
+        Self::with_config(objects, EngineConfig::default())
+    }
+
+    /// Build with explicit configuration.
+    pub fn with_config(objects: Vec<UncertainObject>, config: EngineConfig) -> Result<Self> {
+        let mut ids: Vec<u64> = objects.iter().map(|o| o.id().0).collect();
+        ids.sort_unstable();
+        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CoreError::DuplicateObjectId(w[0]));
+        }
+        let tree = RTree::bulk_load_with(
+            objects
+                .iter()
+                .enumerate()
+                .map(|(idx, o)| {
+                    let (lo, hi) = o.region();
+                    (Rect::interval(lo, hi), idx)
+                })
+                .collect(),
+            config.rtree_params,
+        );
+        Ok(Self {
+            objects,
+            tree,
+            config,
+        })
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The stored objects.
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The underlying R-tree over uncertainty regions (crate-internal:
+    /// used by the range-query module).
+    pub(crate) fn tree(&self) -> &RTree<usize, 1> {
+        &self.tree
+    }
+
+    /// Insert a new object (dynamic R-tree insertion; the sensor-network
+    /// use case streams new readings into the database). Fails on a
+    /// duplicate id.
+    pub fn insert(&mut self, object: UncertainObject) -> Result<()> {
+        if self.objects.iter().any(|o| o.id() == object.id()) {
+            return Err(CoreError::DuplicateObjectId(object.id().0));
+        }
+        let (lo, hi) = object.region();
+        let idx = self.objects.len();
+        self.objects.push(object);
+        self.tree.insert(Rect::interval(lo, hi), idx);
+        Ok(())
+    }
+
+    /// Remove an object by id, returning it if present. Uses the R-tree's
+    /// condense-tree deletion; the vacated slot is backfilled by moving the
+    /// last object (its index entry is re-keyed accordingly).
+    pub fn remove(&mut self, id: ObjectId) -> Option<UncertainObject> {
+        let idx = self.objects.iter().position(|o| o.id() == id)?;
+        let (lo, hi) = self.objects[idx].region();
+        self.tree
+            .remove_one(&Rect::interval(lo, hi), |&i| i == idx)
+            .expect("index entry exists for stored object");
+        let removed = self.objects.swap_remove(idx);
+        if idx < self.objects.len() {
+            // The former last object now lives at `idx`: re-key its entry.
+            let (mlo, mhi) = self.objects[idx].region();
+            let moved_from = self.objects.len();
+            self.tree
+                .remove_one(&Rect::interval(mlo, mhi), |&i| i == moved_from)
+                .expect("index entry exists for moved object");
+            self.tree.insert(Rect::interval(mlo, mhi), idx);
+        }
+        Some(removed)
+    }
+
+    /// The extent of all uncertainty regions `[min, max]`, or `None` if
+    /// empty.
+    pub fn domain(&self) -> Option<(f64, f64)> {
+        self.tree.mbr().map(|r| (r.min()[0], r.max()[0]))
+    }
+
+    /// Filtering phase: prune objects that cannot be the NN of `q`.
+    fn filter(&self, q: f64) -> (Vec<&UncertainObject>, Duration) {
+        let start = Instant::now();
+        let (cands, _) = self.tree.pnn_candidates(&[q]);
+        let out: Vec<&UncertainObject> =
+            cands.into_iter().map(|c| &self.objects[*c.item]).collect();
+        (out, start.elapsed())
+    }
+
+    /// Execute a C-PNN query with the given strategy.
+    pub fn cpnn(&self, query: &CpnnQuery, strategy: Strategy) -> Result<CpnnResult> {
+        if !query.q.is_finite() {
+            return Err(CoreError::InvalidQueryPoint(query.q));
+        }
+        let classifier = Classifier::new(query.threshold, query.tolerance)?;
+
+        let mut stats = QueryStats {
+            total_objects: self.objects.len(),
+            ..Default::default()
+        };
+        let (filtered, filter_time) = self.filter(query.q);
+        stats.filter_time = filter_time;
+
+        let init_start = Instant::now();
+        let cands = CandidateSet::build(
+            filtered.iter().copied(),
+            query.q,
+            self.config.max_distance_bins,
+        )?;
+        stats.candidates = cands.len();
+
+        match strategy {
+            Strategy::Basic => {
+                stats.init_time = init_start.elapsed();
+                let start = Instant::now();
+                let (probs, evals) = basic_probabilities(&cands, self.config.basic_tolerance);
+                stats.refine_time = start.elapsed();
+                stats.integrations = evals;
+                Ok(self.finish_exact(&cands, &classifier, probs, stats))
+            }
+            Strategy::MonteCarlo { worlds, seed } => {
+                stats.init_time = init_start.elapsed();
+                let start = Instant::now();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let probs = monte_carlo_probabilities(&cands, worlds, &mut rng)?;
+                stats.refine_time = start.elapsed();
+                stats.integrations = worlds;
+                Ok(self.finish_exact(&cands, &classifier, probs, stats))
+            }
+            Strategy::RefineOnly => {
+                let table = SubregionTable::build(&cands);
+                stats.init_time = init_start.elapsed();
+                stats.subregions = table.subregion_count();
+                let mut state = VerificationState::new(&table);
+                let start = Instant::now();
+                let report = incremental_refine(
+                    &table,
+                    &classifier,
+                    &mut state,
+                    self.config.refinement_order,
+                );
+                stats.refine_time = start.elapsed();
+                stats.refined_objects = report.refined_objects;
+                stats.integrations = report.integrations;
+                Ok(Self::finish_state(&cands, state, stats))
+            }
+            Strategy::Verified => {
+                let table = SubregionTable::build(&cands);
+                stats.init_time = init_start.elapsed();
+                stats.subregions = table.subregion_count();
+                let verify_start = Instant::now();
+                let chain = if self.config.extended_verifiers {
+                    crate::framework::extended_verifiers()
+                } else {
+                    default_verifiers()
+                };
+                let outcome = run_verification(&table, &classifier, &chain);
+                stats.verify_time = verify_start.elapsed();
+                stats.resolved_by_verification = outcome.resolved();
+                stats.stages = outcome.stages.clone();
+                let mut state = outcome.state;
+                let refine_start = Instant::now();
+                let report = incremental_refine(
+                    &table,
+                    &classifier,
+                    &mut state,
+                    self.config.refinement_order,
+                );
+                stats.refine_time = refine_start.elapsed();
+                stats.refined_objects = report.refined_objects;
+                stats.integrations = report.integrations;
+                Ok(Self::finish_state(&cands, state, stats))
+            }
+        }
+    }
+
+    /// Plain PNN: exact qualification probabilities for every candidate
+    /// (via the subregion decomposition).
+    pub fn pnn(&self, q: f64) -> Result<PnnResult> {
+        if !q.is_finite() {
+            return Err(CoreError::InvalidQueryPoint(q));
+        }
+        let mut stats = QueryStats {
+            total_objects: self.objects.len(),
+            ..Default::default()
+        };
+        let (filtered, filter_time) = self.filter(q);
+        stats.filter_time = filter_time;
+        let init_start = Instant::now();
+        let cands =
+            CandidateSet::build(filtered.iter().copied(), q, self.config.max_distance_bins)?;
+        let table = SubregionTable::build(&cands);
+        stats.candidates = cands.len();
+        stats.subregions = table.subregion_count();
+        stats.init_time = init_start.elapsed();
+        let start = Instant::now();
+        let (probs, integrations) = exact_probabilities(&table);
+        stats.refine_time = start.elapsed();
+        stats.integrations = integrations;
+        let mut probabilities: Vec<(ObjectId, f64)> = cands
+            .members()
+            .iter()
+            .zip(&probs)
+            .map(|(m, &p)| (m.id, p))
+            .collect();
+        probabilities.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(PnnResult {
+            probabilities,
+            stats,
+        })
+    }
+
+    /// Exact probabilistic k-NN: for every candidate, the probability of
+    /// being among the `k` nearest neighbors of `q` (the paper's future-work
+    /// query; see [`crate::knn`]). Probabilities sum to `min(k, |C|)`.
+    pub fn pknn(&self, q: f64, k: usize) -> Result<PnnResult> {
+        if !q.is_finite() {
+            return Err(CoreError::InvalidQueryPoint(q));
+        }
+        let k = k.max(1);
+        let mut stats = QueryStats {
+            total_objects: self.objects.len(),
+            ..Default::default()
+        };
+        let filter_start = Instant::now();
+        let (raw, _) = self.tree.pnn_candidates_k(&[q], k);
+        let filtered: Vec<&UncertainObject> =
+            raw.into_iter().map(|c| &self.objects[*c.item]).collect();
+        stats.filter_time = filter_start.elapsed();
+        let init_start = Instant::now();
+        let cands = CandidateSet::build_k(
+            filtered.iter().copied(),
+            q,
+            self.config.max_distance_bins,
+            k,
+        )?;
+        let table = SubregionTable::build(&cands);
+        stats.candidates = cands.len();
+        stats.subregions = table.subregion_count();
+        stats.init_time = init_start.elapsed();
+        let start = Instant::now();
+        let probs = crate::knn::knn_probabilities(&table, k);
+        stats.refine_time = start.elapsed();
+        let mut probabilities: Vec<(ObjectId, f64)> = cands
+            .members()
+            .iter()
+            .zip(&probs)
+            .map(|(m, &p)| (m.id, p))
+            .collect();
+        probabilities.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(PnnResult {
+            probabilities,
+            stats,
+        })
+    }
+
+    /// Constrained probabilistic k-NN (C-PkNN): objects whose probability
+    /// of being among the `k` nearest clears the threshold, evaluated with
+    /// the RS-k bound plus incremental exact refinement.
+    pub fn cknn(&self, q: f64, k: usize, threshold: f64, tolerance: f64) -> Result<CpnnResult> {
+        if !q.is_finite() {
+            return Err(CoreError::InvalidQueryPoint(q));
+        }
+        let k = k.max(1);
+        let classifier = Classifier::new(threshold, tolerance)?;
+        let mut stats = QueryStats {
+            total_objects: self.objects.len(),
+            ..Default::default()
+        };
+        let filter_start = Instant::now();
+        let (raw, _) = self.tree.pnn_candidates_k(&[q], k);
+        let filtered: Vec<&UncertainObject> =
+            raw.into_iter().map(|c| &self.objects[*c.item]).collect();
+        stats.filter_time = filter_start.elapsed();
+        let init_start = Instant::now();
+        let cands = CandidateSet::build_k(
+            filtered.iter().copied(),
+            q,
+            self.config.max_distance_bins,
+            k,
+        )?;
+        let table = SubregionTable::build(&cands);
+        stats.candidates = cands.len();
+        stats.subregions = table.subregion_count();
+        stats.init_time = init_start.elapsed();
+        let start = Instant::now();
+        let verdicts = crate::knn::constrained_knn(&table, &classifier, k);
+        stats.refine_time = start.elapsed();
+        stats.integrations = verdicts.iter().map(|v| v.integrations).sum();
+        stats.refined_objects = verdicts.iter().filter(|v| v.integrations > 0).count();
+        let reports: Vec<ObjectReport> = cands
+            .members()
+            .iter()
+            .zip(&verdicts)
+            .map(|(m, v)| ObjectReport {
+                id: m.id,
+                bound: v.bound,
+                label: v.label,
+            })
+            .collect();
+        Ok(Self::collect(reports, stats))
+    }
+
+    /// Evaluate a batch of C-PNN queries, optionally in parallel.
+    ///
+    /// The database is immutable and shared by reference across
+    /// `threads` scoped worker threads; results come back in input order.
+    /// `threads = 0` or `1` runs sequentially. Errors surface per query
+    /// position.
+    pub fn cpnn_batch(
+        &self,
+        queries: &[CpnnQuery],
+        strategy: Strategy,
+        threads: usize,
+    ) -> Vec<Result<CpnnResult>> {
+        let threads = threads.max(1).min(queries.len().max(1));
+        if threads == 1 {
+            return queries.iter().map(|q| self.cpnn(q, strategy)).collect();
+        }
+        let mut results: Vec<Option<Result<CpnnResult>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        let chunk = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (q, slot) in qs.iter().zip(rs.iter_mut()) {
+                        *slot = Some(self.cpnn(q, strategy));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot is filled by its worker"))
+            .collect()
+    }
+
+    /// Minimum query (paper Sec. I): which object has the minimum value? A
+    /// PNN with the query point left of every region.
+    pub fn pnn_min(&self) -> Result<PnnResult> {
+        let (lo, _) = self.domain().unwrap_or((0.0, 0.0));
+        self.pnn(lo - 1.0)
+    }
+
+    /// Maximum query: which object has the maximum value? A PNN with the
+    /// query point right of every region.
+    pub fn pnn_max(&self) -> Result<PnnResult> {
+        let (_, hi) = self.domain().unwrap_or((0.0, 0.0));
+        self.pnn(hi + 1.0)
+    }
+
+    fn finish_exact(
+        &self,
+        cands: &CandidateSet,
+        classifier: &Classifier,
+        probs: Vec<f64>,
+        stats: QueryStats,
+    ) -> CpnnResult {
+        let reports: Vec<ObjectReport> = cands
+            .members()
+            .iter()
+            .zip(&probs)
+            .map(|(m, &p)| {
+                let bound = ProbBound::exact(p);
+                ObjectReport {
+                    id: m.id,
+                    bound,
+                    label: classifier.classify(&bound),
+                }
+            })
+            .collect();
+        Self::collect(reports, stats)
+    }
+
+    fn finish_state(
+        cands: &CandidateSet,
+        state: VerificationState,
+        stats: QueryStats,
+    ) -> CpnnResult {
+        let reports: Vec<ObjectReport> = cands
+            .members()
+            .iter()
+            .zip(state.bounds.iter().zip(&state.labels))
+            .map(|(m, (&bound, &label))| ObjectReport {
+                id: m.id,
+                bound,
+                label,
+            })
+            .collect();
+        Self::collect(reports, stats)
+    }
+
+    fn collect(reports: Vec<ObjectReport>, stats: QueryStats) -> CpnnResult {
+        let mut answers: Vec<ObjectId> = reports
+            .iter()
+            .filter(|r| r.label == Label::Satisfy)
+            .map(|r| r.id)
+            .collect();
+        answers.sort_unstable();
+        CpnnResult {
+            answers,
+            reports,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig2_scenario, fig7_scenario};
+
+    fn fig7_db() -> UncertainDb {
+        let (_, objects) = fig7_scenario();
+        UncertainDb::build(objects).unwrap()
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let objects = vec![
+            UncertainObject::uniform(ObjectId(1), 0.0, 1.0).unwrap(),
+            UncertainObject::uniform(ObjectId(1), 2.0, 3.0).unwrap(),
+        ];
+        assert!(matches!(
+            UncertainDb::build(objects),
+            Err(CoreError::DuplicateObjectId(1))
+        ));
+    }
+
+    #[test]
+    fn all_strategies_agree_on_answers() {
+        let db = fig7_db();
+        for p in [0.05, 0.1, 0.3, 0.45, 0.5, 0.7, 0.9] {
+            let query = CpnnQuery::new(0.0, p, 0.0);
+            let basic = db.cpnn(&query, Strategy::Basic).unwrap();
+            let refine = db.cpnn(&query, Strategy::RefineOnly).unwrap();
+            let vr = db.cpnn(&query, Strategy::Verified).unwrap();
+            assert_eq!(basic.answers, refine.answers, "P = {p}");
+            assert_eq!(basic.answers, vr.answers, "P = {p}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_away_from_threshold() {
+        let db = fig7_db();
+        // Thresholds far from the exact probabilities {.464, .485, .051}.
+        for p in [0.2, 0.7] {
+            let query = CpnnQuery::new(0.0, p, 0.0);
+            let exact = db.cpnn(&query, Strategy::Basic).unwrap();
+            let mc = db
+                .cpnn(
+                    &query,
+                    Strategy::MonteCarlo {
+                        worlds: 20_000,
+                        seed: 99,
+                    },
+                )
+                .unwrap();
+            assert_eq!(exact.answers, mc.answers, "P = {p}");
+        }
+    }
+
+    #[test]
+    fn verified_strategy_reports_stage_progress() {
+        let db = fig7_db();
+        let query = CpnnQuery::new(0.0, 0.45, 0.0);
+        let res = db.cpnn(&query, Strategy::Verified).unwrap();
+        assert_eq!(res.stats.stages.len(), 3);
+        assert!(!res.stats.resolved_by_verification);
+        assert_eq!(res.stats.refined_objects, 2);
+        // Exact probabilities: .464 and .485 ≥ .45 → two answers.
+        assert_eq!(res.answers.len(), 2);
+    }
+
+    #[test]
+    fn verification_alone_resolves_high_thresholds() {
+        let db = fig7_db();
+        let query = CpnnQuery::new(0.0, 0.6, 0.0);
+        let res = db.cpnn(&query, Strategy::Verified).unwrap();
+        assert!(res.stats.resolved_by_verification);
+        assert_eq!(res.stats.refined_objects, 0);
+        assert!(res.answers.is_empty());
+    }
+
+    #[test]
+    fn pnn_returns_descending_probabilities_summing_to_one() {
+        let db = fig7_db();
+        let res = db.pnn(0.0).unwrap();
+        let total: f64 = res.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for w in res.probabilities.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(res.probabilities[0].0, ObjectId(2)); // X2 = .485
+    }
+
+    #[test]
+    fn fig2_style_scenario_has_sensible_shape() {
+        let (objects, q) = fig2_scenario();
+        let db = UncertainDb::build(objects).unwrap();
+        let res = db.pnn(q).unwrap();
+        let by_id = |id: u64| {
+            res.probabilities
+                .iter()
+                .find(|(o, _)| o.0 == id)
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0)
+        };
+        // Paper Fig. 2: B = 41%, D = 29%, A = 20%, C = 10%. Our analytic
+        // geometry lands at (41.0, 28.9, 18.9, 11.3)%.
+        assert!((by_id(1) - 0.41).abs() < 0.01, "B = {}", by_id(1));
+        assert!((by_id(3) - 0.29).abs() < 0.01, "D = {}", by_id(3));
+        assert!((by_id(0) - 0.20).abs() < 0.02, "A = {}", by_id(0));
+        assert!((by_id(2) - 0.10).abs() < 0.02, "C = {}", by_id(2));
+        let total: f64 = res.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_and_max_queries_are_pnn_special_cases() {
+        let objects = vec![
+            UncertainObject::uniform(ObjectId(0), 0.0, 2.0).unwrap(),
+            UncertainObject::uniform(ObjectId(1), 1.0, 3.0).unwrap(),
+            UncertainObject::uniform(ObjectId(2), 10.0, 11.0).unwrap(),
+        ];
+        let db = UncertainDb::build(objects).unwrap();
+        let min = db.pnn_min().unwrap();
+        // Object 2 can never be the minimum.
+        assert!(min.probabilities.iter().all(|(id, _)| id.0 != 2));
+        assert_eq!(min.probabilities[0].0, ObjectId(0));
+        let max = db.pnn_max().unwrap();
+        assert_eq!(max.probabilities[0].0, ObjectId(2));
+        assert!((max.probabilities[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pknn_sums_to_k_and_k1_matches_pnn() {
+        let db = fig7_db();
+        let p1 = db.pknn(0.0, 1).unwrap();
+        let pnn = db.pnn(0.0).unwrap();
+        for ((a, pa), (b, pb)) in p1.probabilities.iter().zip(&pnn.probabilities) {
+            assert_eq!(a, b);
+            assert!((pa - pb).abs() < 1e-9);
+        }
+        let p2 = db.pknn(0.0, 2).unwrap();
+        let total: f64 = p2.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total - 2.0).abs() < 1e-6, "sum = {total}");
+    }
+
+    #[test]
+    fn cknn_matches_exact_thresholding() {
+        let db = fig7_db();
+        let exact = db.pknn(0.0, 2).unwrap();
+        for threshold in [0.4, 0.7, 0.95] {
+            let res = db.cknn(0.0, 2, threshold, 0.0).unwrap();
+            let mut want: Vec<ObjectId> = exact
+                .probabilities
+                .iter()
+                .filter(|(_, p)| *p >= threshold)
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(res.answers, want, "P = {threshold}");
+        }
+    }
+
+    #[test]
+    fn cknn_keeps_objects_the_1nn_filter_would_prune() {
+        // X2's near point (4) exceeds fmin_1 (= 2), so it is not a 1-NN
+        // candidate — but it is a 2-NN candidate.
+        let objects = vec![
+            UncertainObject::uniform(ObjectId(0), 1.0, 2.0).unwrap(),
+            UncertainObject::uniform(ObjectId(1), 4.0, 6.0).unwrap(),
+        ];
+        let db = UncertainDb::build(objects).unwrap();
+        let p1 = db.pknn(0.0, 1).unwrap();
+        assert_eq!(p1.probabilities.len(), 1);
+        let p2 = db.pknn(0.0, 2).unwrap();
+        assert_eq!(p2.probabilities.len(), 2);
+        for (_, p) in &p2.probabilities {
+            assert!((p - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tolerance_widens_the_answer_set_monotonically() {
+        let db = fig7_db();
+        let strict = db
+            .cpnn(&CpnnQuery::new(0.0, 0.47, 0.0), Strategy::Verified)
+            .unwrap();
+        let loose = db
+            .cpnn(&CpnnQuery::new(0.0, 0.47, 0.25), Strategy::Verified)
+            .unwrap();
+        for id in &strict.answers {
+            assert!(loose.answers.contains(id));
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_keep_queries_consistent() {
+        let (_, objects) = fig7_scenario();
+        let mut db = UncertainDb::build(objects.clone()).unwrap();
+        // Insert a new dominating object right next to q = 0.
+        db.insert(UncertainObject::uniform(ObjectId(99), 0.1, 0.2).unwrap())
+            .unwrap();
+        assert_eq!(db.len(), 4);
+        let res = db.pnn(0.0).unwrap();
+        assert_eq!(res.probabilities[0].0, ObjectId(99));
+        assert!((res.probabilities[0].1 - 1.0).abs() < 1e-9);
+        // Remove it again: results must match a fresh build.
+        let removed = db.remove(ObjectId(99)).unwrap();
+        assert_eq!(removed.id(), ObjectId(99));
+        let fresh = UncertainDb::build(objects).unwrap();
+        let a = db.pnn(0.0).unwrap();
+        let b = fresh.pnn(0.0).unwrap();
+        assert_eq!(a.probabilities.len(), b.probabilities.len());
+        for ((ida, pa), (idb, pb)) in a.probabilities.iter().zip(&b.probabilities) {
+            assert_eq!(ida, idb);
+            assert!((pa - pb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn remove_backfills_swapped_index() {
+        // Removing a middle object must re-key the moved last object, or
+        // later queries would resolve the wrong index.
+        let objects: Vec<UncertainObject> = (0..6)
+            .map(|i| {
+                UncertainObject::uniform(ObjectId(i), i as f64 * 10.0, i as f64 * 10.0 + 1.0)
+                    .unwrap()
+            })
+            .collect();
+        let mut db = UncertainDb::build(objects).unwrap();
+        assert!(db.remove(ObjectId(2)).is_some());
+        assert!(db.remove(ObjectId(0)).is_some());
+        assert_eq!(db.len(), 4);
+        assert!(db.remove(ObjectId(2)).is_none());
+        // Each survivor is still individually findable as certain NN.
+        for id in [1u64, 3, 4, 5] {
+            let q = id as f64 * 10.0 + 0.5;
+            let res = db.pnn(q).unwrap();
+            assert_eq!(res.probabilities[0].0, ObjectId(id), "query at {q}");
+        }
+    }
+
+    #[test]
+    fn insert_duplicate_id_rejected() {
+        let (_, objects) = fig7_scenario();
+        let mut db = UncertainDb::build(objects).unwrap();
+        let dup = UncertainObject::uniform(ObjectId(1), 0.0, 1.0).unwrap();
+        assert!(matches!(
+            db.insert(dup),
+            Err(CoreError::DuplicateObjectId(1))
+        ));
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_is_order_preserving() {
+        let db = fig7_db();
+        let queries: Vec<CpnnQuery> = (0..12)
+            .map(|i| CpnnQuery::new(i as f64 * 0.5, 0.3, 0.01))
+            .collect();
+        let seq = db.cpnn_batch(&queries, Strategy::Verified, 1);
+        let par = db.cpnn_batch(&queries, Strategy::Verified, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(
+                s.as_ref().unwrap().answers,
+                p.as_ref().unwrap().answers
+            );
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors() {
+        let db = fig7_db();
+        let queries = vec![
+            CpnnQuery::new(0.0, 0.3, 0.01),
+            CpnnQuery::new(f64::NAN, 0.3, 0.01),
+        ];
+        let res = db.cpnn_batch(&queries, Strategy::Verified, 2);
+        assert!(res[0].is_ok());
+        assert!(res[1].is_err());
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let db = fig7_db();
+        assert!(db
+            .cpnn(&CpnnQuery::new(f64::NAN, 0.3, 0.0), Strategy::Verified)
+            .is_err());
+        assert!(db
+            .cpnn(&CpnnQuery::new(0.0, 0.0, 0.0), Strategy::Verified)
+            .is_err());
+        assert!(db
+            .cpnn(&CpnnQuery::new(0.0, 0.3, 2.0), Strategy::Verified)
+            .is_err());
+        assert!(db.pnn(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn empty_database_yields_empty_results() {
+        let db = UncertainDb::build(Vec::new()).unwrap();
+        let res = db
+            .cpnn(&CpnnQuery::new(0.0, 0.3, 0.0), Strategy::Verified)
+            .unwrap();
+        assert!(res.answers.is_empty());
+        assert!(res.reports.is_empty());
+        assert_eq!(res.stats.candidates, 0);
+    }
+}

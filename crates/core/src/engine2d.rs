@@ -1,0 +1,392 @@
+//! A 2-D uncertain-object database: the paper's "extension to 2D space"
+//! (Sec. IV-A) made concrete, with R-tree filtering over bounding boxes and
+//! the unchanged 1-D verifier machinery running on 2-D distance cdfs.
+//!
+//! Supported region shapes: uniform disks (lens-area cdf, closed form —
+//! [`crate::distance2d`]) and uniform axis-aligned rectangles (chord
+//! integration — [`crate::geometry2d`]). The R-tree indexes conservative
+//! bounding boxes; candidate pruning is finished with exact region
+//! near/far distances, mirroring \[8\]'s 2-D treatment.
+
+use std::time::Instant;
+
+use cpnn_pdf::HistogramPdf;
+use cpnn_rtree::{RTree, Rect};
+
+use crate::candidate::CandidateSet;
+use crate::classify::{Classifier, Label};
+use crate::distance::DistanceDistribution;
+use crate::distance2d::{circle_distance_distribution, CircleObject};
+use crate::engine::{CpnnResult, ObjectReport, PnnResult, QueryStats};
+use crate::error::{CoreError, Result};
+use crate::framework::{default_verifiers, run_verification};
+use crate::geometry2d::{rect_distance_cdf, Rect2};
+use crate::object::ObjectId;
+use crate::refine::{incremental_refine, RefinementOrder};
+use crate::subregion::SubregionTable;
+
+/// A 2-D uncertain object: an id plus a uniform uncertainty region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Object2d {
+    /// Uniform pdf over a disk.
+    Circle(CircleObject),
+    /// Uniform pdf over an axis-aligned rectangle.
+    Rectangle {
+        /// Object identifier.
+        id: ObjectId,
+        /// The rectangle.
+        rect: Rect2,
+    },
+}
+
+impl Object2d {
+    /// Uniform disk constructor.
+    pub fn circle(id: ObjectId, center: [f64; 2], radius: f64) -> Result<Self> {
+        Ok(Object2d::Circle(CircleObject::new(id, center, radius)?))
+    }
+
+    /// Uniform rectangle constructor.
+    pub fn rectangle(id: ObjectId, min: [f64; 2], max: [f64; 2]) -> Result<Self> {
+        if !(min[0] < max[0] && min[1] < max[1])
+            || !min.iter().chain(&max).all(|v| v.is_finite())
+        {
+            return Err(CoreError::Pdf(cpnn_pdf::PdfError::EmptyRegion {
+                lo: min[0],
+                hi: max[0],
+            }));
+        }
+        Ok(Object2d::Rectangle {
+            id,
+            rect: Rect2::new(min, max),
+        })
+    }
+
+    /// The object's identifier.
+    pub fn id(&self) -> ObjectId {
+        match self {
+            Object2d::Circle(c) => c.id,
+            Object2d::Rectangle { id, .. } => *id,
+        }
+    }
+
+    /// Minimum possible distance from `q`.
+    pub fn near(&self, q: [f64; 2]) -> f64 {
+        match self {
+            Object2d::Circle(c) => c.near(q),
+            Object2d::Rectangle { rect, .. } => rect.near(q),
+        }
+    }
+
+    /// Maximum possible distance from `q`.
+    pub fn far(&self, q: [f64; 2]) -> f64 {
+        match self {
+            Object2d::Circle(c) => c.far(q),
+            Object2d::Rectangle { rect, .. } => rect.far(q),
+        }
+    }
+
+    /// Conservative bounding box (exact for rectangles).
+    pub fn bounding_box(&self) -> Rect<2> {
+        match self {
+            Object2d::Circle(c) => Rect::new(
+                [c.center[0] - c.radius, c.center[1] - c.radius],
+                [c.center[0] + c.radius, c.center[1] + c.radius],
+            ),
+            Object2d::Rectangle { rect, .. } => Rect::new(rect.min, rect.max),
+        }
+    }
+
+    /// Distance distribution from `q`, discretized onto `bins` bars.
+    pub fn distance_distribution(
+        &self,
+        q: [f64; 2],
+        bins: usize,
+    ) -> Result<DistanceDistribution> {
+        match self {
+            Object2d::Circle(c) => circle_distance_distribution(c, q, bins),
+            Object2d::Rectangle { rect, .. } => {
+                let bins = bins.max(2);
+                let near = rect.near(q);
+                let far = rect.far(q);
+                let w = (far - near) / bins as f64;
+                let edges: Vec<f64> = (0..=bins)
+                    .map(|i| if i == bins { far } else { near + i as f64 * w })
+                    .collect();
+                let masses: Vec<f64> = (0..bins)
+                    .map(|i| {
+                        (rect_distance_cdf(q, rect, edges[i + 1])
+                            - rect_distance_cdf(q, rect, edges[i]))
+                        .max(0.0)
+                    })
+                    .collect();
+                let hist = HistogramPdf::from_masses(edges, masses)?;
+                DistanceDistribution::from_pdf(&hist, 0.0)
+            }
+        }
+    }
+}
+
+/// Engine knobs for the 2-D database.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine2dConfig {
+    /// Distance-histogram resolution per object.
+    pub distance_bins: usize,
+}
+
+impl Default for Engine2dConfig {
+    fn default() -> Self {
+        Self { distance_bins: 48 }
+    }
+}
+
+/// An in-memory database of 2-D uncertain objects.
+#[derive(Debug)]
+pub struct UncertainDb2d {
+    objects: Vec<Object2d>,
+    tree: RTree<usize, 2>,
+    config: Engine2dConfig,
+}
+
+impl UncertainDb2d {
+    /// Build with default configuration. Fails on duplicate ids.
+    pub fn build(objects: Vec<Object2d>) -> Result<Self> {
+        Self::with_config(objects, Engine2dConfig::default())
+    }
+
+    /// Build with explicit configuration.
+    pub fn with_config(objects: Vec<Object2d>, config: Engine2dConfig) -> Result<Self> {
+        let mut ids: Vec<u64> = objects.iter().map(|o| o.id().0).collect();
+        ids.sort_unstable();
+        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CoreError::DuplicateObjectId(w[0]));
+        }
+        let tree = RTree::bulk_load(
+            objects
+                .iter()
+                .enumerate()
+                .map(|(idx, o)| (o.bounding_box(), idx))
+                .collect(),
+        );
+        Ok(Self {
+            objects,
+            tree,
+            config,
+        })
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The stored objects.
+    pub fn objects(&self) -> &[Object2d] {
+        &self.objects
+    }
+
+    /// Filter + initialize: bounding-box R-tree pass, exact near/far
+    /// refinement, distance distributions, subregion table.
+    fn prepare(&self, q: [f64; 2]) -> Result<(CandidateSet, SubregionTable, QueryStats)> {
+        let mut stats = QueryStats {
+            total_objects: self.objects.len(),
+            ..Default::default()
+        };
+        let filter_start = Instant::now();
+        // Conservative bbox pruning (bbox near ≤ region near; bbox far ≥
+        // region far, so the bbox fmin over-estimates and never wrongly
+        // prunes), then exact pruning with true region distances.
+        let (coarse, _) = self.tree.pnn_candidates(&q);
+        let mut survivors: Vec<&Object2d> =
+            coarse.iter().map(|c| &self.objects[*c.item]).collect();
+        let fmin = survivors
+            .iter()
+            .map(|o| o.far(q))
+            .fold(f64::INFINITY, f64::min);
+        survivors.retain(|o| o.near(q) <= fmin);
+        stats.filter_time = filter_start.elapsed();
+
+        let init_start = Instant::now();
+        let mut items = Vec::with_capacity(survivors.len());
+        for o in survivors {
+            items.push((o.id(), o.distance_distribution(q, self.config.distance_bins)?));
+        }
+        let cands = CandidateSet::from_distances(items, 1);
+        let table = SubregionTable::build(&cands);
+        stats.candidates = cands.len();
+        stats.subregions = table.subregion_count();
+        stats.init_time = init_start.elapsed();
+        Ok((cands, table, stats))
+    }
+
+    /// C-PNN over 2-D objects: verify → refine, as in the 1-D engine.
+    pub fn cpnn(&self, q: [f64; 2], threshold: f64, tolerance: f64) -> Result<CpnnResult> {
+        if !(q[0].is_finite() && q[1].is_finite()) {
+            return Err(CoreError::InvalidQueryPoint(q[0]));
+        }
+        let classifier = Classifier::new(threshold, tolerance)?;
+        let (cands, table, mut stats) = self.prepare(q)?;
+        let verify_start = Instant::now();
+        let outcome = run_verification(&table, &classifier, &default_verifiers());
+        stats.verify_time = verify_start.elapsed();
+        stats.resolved_by_verification = outcome.resolved();
+        stats.stages = outcome.stages.clone();
+        let mut state = outcome.state;
+        let refine_start = Instant::now();
+        let report = incremental_refine(
+            &table,
+            &classifier,
+            &mut state,
+            RefinementOrder::DescendingMass,
+        );
+        stats.refine_time = refine_start.elapsed();
+        stats.refined_objects = report.refined_objects;
+        stats.integrations = report.integrations;
+        let reports: Vec<ObjectReport> = cands
+            .members()
+            .iter()
+            .zip(state.bounds.iter().zip(&state.labels))
+            .map(|(m, (&bound, &label))| ObjectReport {
+                id: m.id,
+                bound,
+                label,
+            })
+            .collect();
+        let mut answers: Vec<ObjectId> = reports
+            .iter()
+            .filter(|r| r.label == Label::Satisfy)
+            .map(|r| r.id)
+            .collect();
+        answers.sort_unstable();
+        Ok(CpnnResult {
+            answers,
+            reports,
+            stats,
+        })
+    }
+
+    /// Exact 2-D PNN probabilities, descending.
+    pub fn pnn(&self, q: [f64; 2]) -> Result<PnnResult> {
+        if !(q[0].is_finite() && q[1].is_finite()) {
+            return Err(CoreError::InvalidQueryPoint(q[0]));
+        }
+        let (cands, table, mut stats) = self.prepare(q)?;
+        let start = Instant::now();
+        let (probs, integrations) = crate::exact::exact_probabilities(&table);
+        stats.refine_time = start.elapsed();
+        stats.integrations = integrations;
+        let mut probabilities: Vec<(ObjectId, f64)> = cands
+            .members()
+            .iter()
+            .zip(probs)
+            .map(|(m, p)| (m.id, p))
+            .collect();
+        probabilities.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(PnnResult {
+            probabilities,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_db() -> UncertainDb2d {
+        let objects = vec![
+            Object2d::circle(ObjectId(0), [2.0, 0.0], 1.0).unwrap(),
+            Object2d::rectangle(ObjectId(1), [-3.0, -1.0], [-1.0, 1.0]).unwrap(),
+            Object2d::circle(ObjectId(2), [0.0, 5.0], 0.5).unwrap(),
+            Object2d::rectangle(ObjectId(3), [40.0, 40.0], [41.0, 41.0]).unwrap(),
+        ];
+        UncertainDb2d::build(objects).unwrap()
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let objects = vec![
+            Object2d::circle(ObjectId(0), [0.0, 0.0], 1.0).unwrap(),
+            Object2d::circle(ObjectId(0), [5.0, 0.0], 1.0).unwrap(),
+        ];
+        assert!(UncertainDb2d::build(objects).is_err());
+    }
+
+    #[test]
+    fn invalid_rectangle_rejected() {
+        assert!(Object2d::rectangle(ObjectId(0), [1.0, 0.0], [0.0, 1.0]).is_err());
+        assert!(Object2d::rectangle(ObjectId(0), [0.0, 0.0], [f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn far_objects_are_filtered() {
+        let db = mixed_db();
+        let res = db.pnn([0.0, 0.0]).unwrap();
+        // Object 3 (far corner) can never be nearest.
+        assert!(res.probabilities.iter().all(|(id, _)| id.0 != 3));
+        let total: f64 = res.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum = {total}");
+    }
+
+    #[test]
+    fn symmetric_mixed_shapes_split_probability() {
+        // A disk and a square of equal area, mirrored about the query.
+        let r = 1.0;
+        let side = (std::f64::consts::PI * r * r).sqrt();
+        let objects = vec![
+            Object2d::circle(ObjectId(0), [3.0, 0.0], r).unwrap(),
+            Object2d::rectangle(
+                ObjectId(1),
+                [-3.0 - side / 2.0, -side / 2.0],
+                [-3.0 + side / 2.0, side / 2.0],
+            )
+            .unwrap(),
+        ];
+        let db = UncertainDb2d::build(objects).unwrap();
+        let res = db.pnn([0.0, 0.0]).unwrap();
+        // Not exactly 50/50 (shapes differ), but both substantial.
+        for (_, p) in &res.probabilities {
+            assert!(*p > 0.25 && *p < 0.75, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn cpnn_2d_matches_exact_thresholding() {
+        let db = mixed_db();
+        let q = [0.0, 0.5];
+        let exact = db.pnn(q).unwrap();
+        for threshold in [0.15, 0.4, 0.8] {
+            let res = db.cpnn(q, threshold, 0.0).unwrap();
+            let mut want: Vec<ObjectId> = exact
+                .probabilities
+                .iter()
+                .filter(|(_, p)| *p >= threshold)
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(res.answers, want, "P = {threshold}");
+        }
+    }
+
+    #[test]
+    fn rectangle_inside_query_point_has_zero_near() {
+        let o = Object2d::rectangle(ObjectId(0), [0.0, 0.0], [2.0, 2.0]).unwrap();
+        assert_eq!(o.near([1.0, 1.0]), 0.0);
+        assert!((o.far([1.0, 1.0]) - 2f64.sqrt()).abs() < 1e-12);
+        let d = o.distance_distribution([1.0, 1.0], 32).unwrap();
+        assert!((d.cdf(d.far()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_stats_are_populated() {
+        let db = mixed_db();
+        let res = db.cpnn([0.0, 0.0], 0.3, 0.01).unwrap();
+        assert_eq!(res.stats.total_objects, 4);
+        assert!(res.stats.candidates >= 2);
+        assert!(!res.stats.stages.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for query construction and evaluation.
+
+use std::fmt;
+
+/// Errors raised by the C-PNN query machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A probability substrate error (invalid pdf, region, ...).
+    Pdf(cpnn_pdf::PdfError),
+    /// Threshold outside `(0, 1]`.
+    InvalidThreshold(f64),
+    /// Tolerance outside `[0, 1]`.
+    InvalidTolerance(f64),
+    /// The query point is not finite.
+    InvalidQueryPoint(f64),
+    /// A duplicate object id was inserted into the database.
+    DuplicateObjectId(u64),
+    /// Monte-Carlo world count must be positive.
+    ZeroWorlds,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Pdf(e) => write!(f, "pdf error: {e}"),
+            CoreError::InvalidThreshold(p) => {
+                write!(f, "threshold P must be in (0, 1], got {p}")
+            }
+            CoreError::InvalidTolerance(d) => {
+                write!(f, "tolerance Δ must be in [0, 1], got {d}")
+            }
+            CoreError::InvalidQueryPoint(q) => write!(f, "query point must be finite, got {q}"),
+            CoreError::DuplicateObjectId(id) => write!(f, "duplicate object id {id}"),
+            CoreError::ZeroWorlds => write!(f, "Monte-Carlo world count must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Pdf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cpnn_pdf::PdfError> for CoreError {
+    fn from(e: cpnn_pdf::PdfError) -> Self {
+        CoreError::Pdf(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

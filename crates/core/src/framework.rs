@@ -1,0 +1,186 @@
+//! The verification framework (paper Fig. 5): run verifiers in ascending
+//! cost order, classify after each, stop as soon as every object is decided.
+
+use std::time::{Duration, Instant};
+
+use crate::classify::{Classifier, Label};
+use crate::subregion::SubregionTable;
+use crate::verifiers::{
+    LowerSubregion, RightmostSubregion, UpperSubregion, VerificationState, Verifier,
+};
+
+/// Outcome of one verifier stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Verifier name ("RS", "L-SR", "U-SR").
+    pub name: &'static str,
+    /// Objects still `Unknown` after this stage's classification.
+    pub unknown_after: usize,
+    /// Wall-clock time of the stage (bound tightening + classification).
+    pub duration: Duration,
+}
+
+/// Outcome of the whole verification phase.
+#[derive(Debug, Clone)]
+pub struct VerificationOutcome {
+    /// Final state (bounds, labels, per-subregion qualification bounds).
+    pub state: VerificationState,
+    /// Per-stage reports, in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl VerificationOutcome {
+    /// True when no object is left `Unknown` (the query finished during
+    /// verification — Fig. 13 measures how often this happens).
+    pub fn resolved(&self) -> bool {
+        self.state.unknown_count() == 0
+    }
+}
+
+/// The paper's default verifier chain, in ascending running-cost order.
+pub fn default_verifiers() -> Vec<Box<dyn Verifier>> {
+    vec![
+        Box::new(RightmostSubregion),
+        Box::new(LowerSubregion),
+        Box::new(UpperSubregion),
+    ]
+}
+
+/// Extended chain including the [`crate::verifiers::FarLowerSubregion`]
+/// verifier (an extra
+/// lower-bound pass beyond the paper; see its module docs). Strictly at
+/// least as tight as [`default_verifiers`], one more `O(|C|·M)` pass.
+pub fn extended_verifiers() -> Vec<Box<dyn Verifier>> {
+    vec![
+        Box::new(RightmostSubregion),
+        Box::new(LowerSubregion),
+        Box::new(crate::verifiers::FarLowerSubregion),
+        Box::new(UpperSubregion),
+    ]
+}
+
+/// Classify every `Unknown` object against its current bound.
+pub fn classify_all(classifier: &Classifier, state: &mut VerificationState) {
+    for i in 0..state.labels.len() {
+        if state.labels[i] == Label::Unknown {
+            state.labels[i] = classifier.classify(&state.bounds[i]);
+        }
+    }
+}
+
+/// Run `verifiers` over the table, classifying after each; stops early once
+/// all objects are decided.
+pub fn run_verification(
+    table: &SubregionTable,
+    classifier: &Classifier,
+    verifiers: &[Box<dyn Verifier>],
+) -> VerificationOutcome {
+    let mut state = VerificationState::new(table);
+    let mut stages = Vec::with_capacity(verifiers.len());
+    for v in verifiers {
+        let start = Instant::now();
+        v.apply(table, &mut state);
+        classify_all(classifier, &mut state);
+        stages.push(StageReport {
+            name: v.name(),
+            unknown_after: state.unknown_count(),
+            duration: start.elapsed(),
+        });
+        if state.unknown_count() == 0 {
+            break;
+        }
+    }
+    VerificationOutcome { state, stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subregion::SubregionTable;
+    use crate::testutil::{fig7_exact, fig7_scenario};
+
+    #[test]
+    fn pipeline_tightens_bounds_monotonically_and_contains_exact() {
+        let (cands, _) = fig7_scenario();
+        let table = SubregionTable::build(&cands);
+        let classifier = Classifier::new(0.3, 0.0).unwrap();
+        let outcome = run_verification(&table, &classifier, &default_verifiers());
+        for (i, p) in fig7_exact().iter().enumerate() {
+            assert!(
+                outcome.state.bounds[i].contains(*p, 1e-9),
+                "object {i}: {} vs {p}",
+                outcome.state.bounds[i]
+            );
+        }
+    }
+
+    #[test]
+    fn high_threshold_resolves_without_refinement() {
+        // P = 0.6: all three upper bounds (.478, .5, .066) fall below it.
+        let (cands, _) = fig7_scenario();
+        let table = SubregionTable::build(&cands);
+        let classifier = Classifier::new(0.6, 0.0).unwrap();
+        let outcome = run_verification(&table, &classifier, &default_verifiers());
+        assert!(outcome.resolved());
+        assert!(outcome
+            .state
+            .labels
+            .iter()
+            .all(|&l| l == Label::Fail));
+    }
+
+    #[test]
+    fn low_threshold_accepts_via_lsr_lower_bound() {
+        // P = 0.2: L-SR proves X1 (.349) and X2 (.281) exceed it; X3's upper
+        // bound (.066) fails it.
+        let (cands, _) = fig7_scenario();
+        let table = SubregionTable::build(&cands);
+        let classifier = Classifier::new(0.2, 0.0).unwrap();
+        let outcome = run_verification(&table, &classifier, &default_verifiers());
+        assert!(outcome.resolved());
+        assert_eq!(outcome.state.labels[0], Label::Satisfy);
+        assert_eq!(outcome.state.labels[1], Label::Satisfy);
+        assert_eq!(outcome.state.labels[2], Label::Fail);
+    }
+
+    #[test]
+    fn ambiguous_threshold_leaves_unknowns() {
+        // P = 0.45 sits inside X1's bound [.349, .478] and X2's [.281, .5].
+        let (cands, _) = fig7_scenario();
+        let table = SubregionTable::build(&cands);
+        let classifier = Classifier::new(0.45, 0.0).unwrap();
+        let outcome = run_verification(&table, &classifier, &default_verifiers());
+        assert!(!outcome.resolved());
+        assert_eq!(outcome.state.labels[2], Label::Fail);
+        assert_eq!(outcome.state.unknown_count(), 2);
+        // All three stages ran.
+        assert_eq!(outcome.stages.len(), 3);
+        let names: Vec<_> = outcome.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["RS", "L-SR", "U-SR"]);
+    }
+
+    #[test]
+    fn stage_reports_are_monotone_in_unknowns() {
+        let (cands, _) = fig7_scenario();
+        let table = SubregionTable::build(&cands);
+        let classifier = Classifier::new(0.45, 0.0).unwrap();
+        let outcome = run_verification(&table, &classifier, &default_verifiers());
+        let unknowns: Vec<usize> = outcome.stages.iter().map(|s| s.unknown_after).collect();
+        for w in unknowns.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn generous_tolerance_short_circuits() {
+        // Δ = 1: every bound has width ≤ Δ, so the first verifier decides all
+        // (u ≥ P → satisfy, else fail).
+        let (cands, _) = fig7_scenario();
+        let table = SubregionTable::build(&cands);
+        let classifier = Classifier::new(0.3, 1.0).unwrap();
+        let outcome = run_verification(&table, &classifier, &default_verifiers());
+        assert!(outcome.resolved());
+        assert_eq!(outcome.stages.len(), 1);
+        assert_eq!(outcome.stages[0].name, "RS");
+    }
+}

@@ -1,0 +1,186 @@
+//! 2-D geometry for rectangular uncertainty regions.
+//!
+//! A uniform pdf over an axis-aligned rectangle has distance cdf
+//! `D(r) = area(disk(q, r) ∩ rect) / area(rect)` — the rectangle analogue
+//! of the circular lens of [`crate::distance2d`]. The disk–rectangle
+//! intersection area is evaluated by integrating the chord-overlap length
+//! along one axis with the crate's own adaptive quadrature, which keeps the
+//! code simple and is exact to the integration tolerance (the cdf is then
+//! discretized anyway).
+
+use cpnn_pdf::integrate::adaptive_simpson;
+
+/// An axis-aligned rectangle `[min, max]` in 2-D.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect2 {
+    /// Lower-left corner.
+    pub min: [f64; 2],
+    /// Upper-right corner.
+    pub max: [f64; 2],
+}
+
+impl Rect2 {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics on inverted or non-finite rectangles.
+    pub fn new(min: [f64; 2], max: [f64; 2]) -> Self {
+        for d in 0..2 {
+            assert!(
+                min[d].is_finite() && max[d].is_finite() && min[d] < max[d],
+                "invalid rectangle on axis {d}: [{}, {}]",
+                min[d],
+                max[d]
+            );
+        }
+        Self { min, max }
+    }
+
+    /// Rectangle area.
+    pub fn area(&self) -> f64 {
+        (self.max[0] - self.min[0]) * (self.max[1] - self.min[1])
+    }
+
+    /// Minimum distance from `q` to the rectangle (0 inside).
+    pub fn near(&self, q: [f64; 2]) -> f64 {
+        let mut s = 0.0;
+        for d in 0..2 {
+            let diff = if q[d] < self.min[d] {
+                self.min[d] - q[d]
+            } else if q[d] > self.max[d] {
+                q[d] - self.max[d]
+            } else {
+                0.0
+            };
+            s += diff * diff;
+        }
+        s.sqrt()
+    }
+
+    /// Maximum distance from `q` to the rectangle (farthest corner).
+    pub fn far(&self, q: [f64; 2]) -> f64 {
+        let mut s = 0.0;
+        for d in 0..2 {
+            let diff = (q[d] - self.min[d]).abs().max((q[d] - self.max[d]).abs());
+            s += diff * diff;
+        }
+        s.sqrt()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> [f64; 2] {
+        [
+            0.5 * (self.min[0] + self.max[0]),
+            0.5 * (self.min[1] + self.max[1]),
+        ]
+    }
+}
+
+/// Area of `disk(q, r) ∩ rect`.
+///
+/// Integrates, over `y` in the rectangle's vertical overlap with the disk,
+/// the horizontal chord-overlap length
+/// `max(0, min(x_hi, q_x + w(y)) − max(x_lo, q_x − w(y)))` with
+/// `w(y) = √(r² − (y − q_y)²)`.
+pub fn disk_rect_intersection_area(q: [f64; 2], r: f64, rect: &Rect2) -> f64 {
+    if r <= 0.0 {
+        return 0.0;
+    }
+    let y_lo = rect.min[1].max(q[1] - r);
+    let y_hi = rect.max[1].min(q[1] + r);
+    if y_lo >= y_hi {
+        return 0.0;
+    }
+    let chord = |y: f64| {
+        let dy = y - q[1];
+        let w2 = r * r - dy * dy;
+        if w2 <= 0.0 {
+            return 0.0;
+        }
+        let w = w2.sqrt();
+        let lo = rect.min[0].max(q[0] - w);
+        let hi = rect.max[0].min(q[0] + w);
+        (hi - lo).max(0.0)
+    };
+    adaptive_simpson(chord, y_lo, y_hi, 1e-10).max(0.0)
+}
+
+/// Distance cdf of a uniform rectangle from `q`:
+/// `Pr[|X − q| ≤ r] = area(disk(q, r) ∩ rect) / area(rect)`.
+pub fn rect_distance_cdf(q: [f64; 2], rect: &Rect2, r: f64) -> f64 {
+    (disk_rect_intersection_area(q, r, rect) / rect.area()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle")]
+    fn inverted_rect_panics() {
+        let _ = Rect2::new([1.0, 0.0], [0.0, 1.0]);
+    }
+
+    #[test]
+    fn near_far_distances() {
+        let rect = Rect2::new([1.0, 1.0], [3.0, 2.0]);
+        // Query inside.
+        assert_eq!(rect.near([2.0, 1.5]), 0.0);
+        // Query left: near is horizontal gap.
+        assert!((rect.near([0.0, 1.5]) - 1.0).abs() < 1e-12);
+        // Far: farthest corner (3, 2) from (0, 0): √13.
+        assert!((rect.far([0.0, 0.0]) - 13f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_containing_rect_gives_rect_area() {
+        let rect = Rect2::new([-1.0, -1.0], [1.0, 1.0]);
+        let a = disk_rect_intersection_area([0.0, 0.0], 10.0, &rect);
+        assert!((a - 4.0).abs() < 1e-7, "a = {a}");
+    }
+
+    #[test]
+    fn rect_containing_disk_gives_disk_area() {
+        let rect = Rect2::new([-10.0, -10.0], [10.0, 10.0]);
+        let a = disk_rect_intersection_area([0.0, 0.0], 2.0, &rect);
+        assert!((a - 4.0 * PI).abs() < 1e-6, "a = {a}");
+    }
+
+    #[test]
+    fn disjoint_disk_gives_zero() {
+        let rect = Rect2::new([5.0, 5.0], [6.0, 6.0]);
+        assert_eq!(disk_rect_intersection_area([0.0, 0.0], 1.0, &rect), 0.0);
+    }
+
+    #[test]
+    fn half_plane_case() {
+        // Disk centered on a rect edge that spans far beyond it: half disk.
+        let rect = Rect2::new([0.0, -10.0], [10.0, 10.0]);
+        let a = disk_rect_intersection_area([0.0, 0.0], 1.0, &rect);
+        assert!((a - PI / 2.0).abs() < 1e-6, "a = {a}");
+    }
+
+    #[test]
+    fn quarter_disk_at_corner() {
+        let rect = Rect2::new([0.0, 0.0], [10.0, 10.0]);
+        let a = disk_rect_intersection_area([0.0, 0.0], 2.0, &rect);
+        assert!((a - PI).abs() < 1e-6, "a = {a}");
+    }
+
+    #[test]
+    fn cdf_monotone_and_normalized() {
+        let rect = Rect2::new([2.0, 3.0], [5.0, 4.0]);
+        let q = [0.0, 0.0];
+        let far = rect.far(q);
+        let mut prev = 0.0;
+        for i in 0..=30 {
+            let r = far * i as f64 / 30.0;
+            let c = rect_distance_cdf(q, &rect, r);
+            assert!(c >= prev - 1e-12, "r = {r}");
+            prev = c;
+        }
+        assert!((rect_distance_cdf(q, &rect, far) - 1.0).abs() < 1e-7);
+        assert_eq!(rect_distance_cdf(q, &rect, rect.near(q) * 0.99), 0.0);
+    }
+}

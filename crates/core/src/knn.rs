@@ -1,0 +1,517 @@
+//! Probabilistic k-nearest-neighbor queries — the paper's stated future
+//! work ("For future work, we will … study the evaluation of k-NN
+//! queries", Sec. VI).
+//!
+//! For an object `X_i`, the *k-NN qualification probability* is
+//!
+//! ```text
+//! p_i(k) = Pr[ at most k−1 other objects are closer to q than X_i ]
+//!        = ∫ d_i(r) · PB_{≤ k−1}( { D_j(r) } for j ≠ i ) dr
+//! ```
+//!
+//! where `PB_{≤ t}` is the Poisson-binomial tail — the probability that at
+//! most `t` of the independent events "`R_j < r`" occur. Inside a subregion
+//! every `D_j` is linear, so the integrand is a polynomial and the same
+//! per-subregion Gauss–Legendre treatment as 1-NN applies; the dynamic
+//! program costs `O(|C|·k)` per evaluation point.
+//!
+//! Two pieces of the 1-NN machinery generalize directly:
+//!
+//! * **filtering** by `fmin_k`, the k-th smallest far point
+//!   ([`cpnn_rtree::RTree::pnn_candidates_k`], [`CandidateSet::build_k`]);
+//! * the **RS verifier**: mass beyond `fmin_k` can never qualify, so
+//!   `p_i(k).u ≤ 1 − s_iM` with the rightmost subregion now `[fmin_k, fmax]`.
+//!
+//! L-SR/U-SR-style subregion bounds for `k > 1` need a k-ary
+//! exchangeability argument the paper does not develop; here the RS-k bound
+//! plus incremental exact refinement evaluates the constrained query
+//! (C-PkNN), and the structure mirrors Fig. 3's pipeline.
+
+use rand::Rng;
+
+use crate::bounds::ProbBound;
+use crate::candidate::CandidateSet;
+use crate::classify::{Classifier, Label};
+use crate::error::{CoreError, Result};
+use crate::subregion::{SubregionTable, MASS_EPS};
+
+use cpnn_pdf::integrate::{gauss_legendre, GlOrder};
+
+/// `PB_{≤ limit}`: probability that at most `limit` of the independent
+/// events with probabilities `probs` occur. `O(n·limit)` dynamic program;
+/// mass beyond `limit` successes is absorbed (dropped), so the sum of the
+/// state vector is exactly the tail probability.
+pub fn poisson_binomial_at_most(probs: impl Iterator<Item = f64>, limit: usize) -> f64 {
+    let mut dp = vec![0.0; limit + 1];
+    dp[0] = 1.0;
+    for p in probs {
+        let p = p.clamp(0.0, 1.0);
+        for c in (0..=limit).rev() {
+            let stay = dp[c] * (1.0 - p);
+            let come = if c > 0 { dp[c - 1] * p } else { 0.0 };
+            dp[c] = stay + come;
+        }
+    }
+    dp.iter().sum::<f64>().clamp(0.0, 1.0)
+}
+
+/// Exact k-NN subregion qualification: the probability that `X_i` is among
+/// the `k` nearest, given `R_i ∈ S_j`.
+pub fn knn_subregion_qualification(table: &SubregionTable, i: usize, j: usize, k: usize) -> f64 {
+    let n = table.n_objects();
+    if k >= n {
+        return 1.0; // fewer competitors than slots
+    }
+    let active: Vec<(f64, f64)> = (0..n)
+        .filter(|&kk| kk != i)
+        .map(|kk| (table.cdf_at(kk, j), table.mass(kk, j)))
+        .collect();
+    let panels = active.len().div_ceil(24).max(1);
+    let w = 1.0 / panels as f64;
+    let mut total = 0.0;
+    for p in 0..panels {
+        let a = p as f64 * w;
+        total += gauss_legendre(
+            |t| {
+                poisson_binomial_at_most(
+                    active.iter().map(|&(a_k, m_k)| a_k + t * m_k),
+                    k - 1,
+                )
+            },
+            a,
+            a + w,
+            GlOrder::Sixteen,
+        );
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// Exact k-NN qualification probabilities for every candidate. The table
+/// must have been built from a k-horizon candidate set
+/// ([`CandidateSet::build_k`] with the same `k`).
+pub fn knn_probabilities(table: &SubregionTable, k: usize) -> Vec<f64> {
+    let n = table.n_objects();
+    let l = table.left_regions();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut p = 0.0;
+        for j in 0..l {
+            let s = table.mass(i, j);
+            if s > MASS_EPS {
+                p += s * knn_subregion_qualification(table, i, j, k);
+            }
+        }
+        out[i] = p.clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// The RS-k verifier bound: `p_i(k).u ≤ 1 − s_iM` where the rightmost
+/// subregion starts at `fmin_k`.
+pub fn knn_upper_bounds(table: &SubregionTable) -> Vec<f64> {
+    (0..table.n_objects())
+        .map(|i| 1.0 - table.rightmost(i))
+        .collect()
+}
+
+/// Truncated Poisson-binomial state: `dp[c] = Pr[exactly c successes]` for
+/// `c ≤ limit`, with overflow mass absorbed. Supports O(limit) exclude-one
+/// *deconvolution*: removing a factor `p` inverts the convolution step
+/// `dp[c] = (1−p)·dp'[c] + p·dp'[c−1]`, i.e.
+/// `dp'[c] = (dp[c] − p·dp'[c−1]) / (1−p)` — numerically fine away from
+/// `p ≈ 1`, with a direct-recompute fallback there.
+#[derive(Debug, Clone)]
+struct PbState {
+    dp: Vec<f64>,
+}
+
+impl PbState {
+    fn new(probs: &[f64], limit: usize) -> Self {
+        let mut dp = vec![0.0; limit + 1];
+        dp[0] = 1.0;
+        for &p in probs {
+            let p = p.clamp(0.0, 1.0);
+            for c in (0..=limit).rev() {
+                let come = if c > 0 { dp[c - 1] * p } else { 0.0 };
+                dp[c] = dp[c] * (1.0 - p) + come;
+            }
+        }
+        Self { dp }
+    }
+
+    /// Tail `Pr[≤ limit successes]` with factor `i` (probability `probs[i]`)
+    /// removed.
+    fn tail_excluding(&self, probs: &[f64], i: usize) -> f64 {
+        let p = probs[i].clamp(0.0, 1.0);
+        if p > 0.999 {
+            // Deconvolution divides by (1−p): recompute directly instead.
+            let rest: Vec<f64> = probs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &q)| q)
+                .collect();
+            return PbState::new(&rest, self.dp.len() - 1).dp.iter().sum::<f64>();
+        }
+        let q = 1.0 - p;
+        let mut prev = 0.0;
+        let mut tail = 0.0;
+        for c in 0..self.dp.len() {
+            let excl = ((self.dp[c] - p * prev) / q).clamp(0.0, 1.0);
+            tail += excl;
+            prev = excl;
+        }
+        tail.clamp(0.0, 1.0)
+    }
+}
+
+/// Subregion verifier bounds for k-NN — the L-SR/U-SR generalization the
+/// paper leaves to future work:
+///
+/// * **lower** (`L-SR-k`): given `R_i ∈ S_j`, if at most `k−1` others lie
+///   below `e_{j+1}` then certainly at most `k−1` lie below `R_i`, so
+///   `q_ij.l = PB_{≤k−1}({D_m(e_{j+1})}_{m≠i})`;
+/// * **upper** (`U-SR-k`): every object below `e_j` is certainly closer, so
+///   `q_ij.u = PB_{≤k−1}({D_m(e_j)}_{m≠i})`.
+///
+/// Both are pure tail evaluations at end-points — no integration. Using a
+/// shared truncated Poisson-binomial state per end-point plus exclude-one
+/// deconvolution the cost is `O(|C|·M·k)`, the natural k-ary analogue of
+/// Table III's `O(|C|·M)`.
+///
+/// Returns `(p.l, p.u)` per candidate (Eq. 4 aggregation).
+pub fn knn_verifier_bounds(table: &SubregionTable, k: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = table.n_objects();
+    let l = table.left_regions();
+    let limit = k.saturating_sub(1);
+    let mut lower = vec![0.0; n];
+    let mut upper = vec![0.0; n];
+    if n == 0 || l == 0 {
+        return (lower, upper);
+    }
+    if k >= n {
+        // Fewer competitors than slots: membership is certain wherever the
+        // object has mass below the horizon.
+        for i in 0..n {
+            let mass: f64 = (0..l).map(|j| table.mass(i, j)).sum();
+            lower[i] = mass.clamp(0.0, 1.0);
+            upper[i] = mass.clamp(0.0, 1.0);
+        }
+        return (lower, upper);
+    }
+    let probs_at = |j: usize| -> Vec<f64> { (0..n).map(|m| table.cdf_at(m, j)).collect() };
+    let mut probs_cur = probs_at(0);
+    let mut state_cur = PbState::new(&probs_cur, limit);
+    for j in 0..l {
+        let probs_next = probs_at(j + 1);
+        let state_next = PbState::new(&probs_next, limit);
+        for i in 0..n {
+            let s = table.mass(i, j);
+            if s <= MASS_EPS {
+                continue;
+            }
+            lower[i] += s * state_next.tail_excluding(&probs_next, i);
+            upper[i] += s * state_cur.tail_excluding(&probs_cur, i);
+        }
+        probs_cur = probs_next;
+        state_cur = state_next;
+    }
+    for i in 0..n {
+        lower[i] = lower[i].clamp(0.0, 1.0);
+        upper[i] = upper[i].clamp(0.0, 1.0);
+    }
+    (lower, upper)
+}
+
+/// Monte-Carlo estimate of k-NN qualification probabilities.
+pub fn monte_carlo_knn<R: Rng + ?Sized>(
+    cands: &CandidateSet,
+    k: usize,
+    worlds: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>> {
+    if worlds == 0 {
+        return Err(CoreError::ZeroWorlds);
+    }
+    let members = cands.members();
+    let n = members.len();
+    let k = k.min(n);
+    let mut counts = vec![0usize; n];
+    let mut sampled: Vec<(f64, usize)> = Vec::with_capacity(n);
+    for _ in 0..worlds {
+        sampled.clear();
+        for (i, m) in members.iter().enumerate() {
+            let u: f64 = rng.gen();
+            sampled.push((m.dist.quantile(u), i));
+        }
+        sampled.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(_, i) in sampled.iter().take(k) {
+            counts[i] += 1;
+        }
+    }
+    Ok(counts
+        .into_iter()
+        .map(|c| c as f64 / worlds as f64)
+        .collect())
+}
+
+/// Outcome of the constrained k-NN evaluation for one candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnVerdict {
+    /// Final probability bound.
+    pub bound: ProbBound,
+    /// Final classification.
+    pub label: Label,
+    /// Subregion integrations spent on this object.
+    pub integrations: usize,
+}
+
+/// Evaluate a constrained k-NN query over a k-horizon table: the RS-k and
+/// L-SR-k/U-SR-k verifier bounds first, then per-subregion exact refinement
+/// (largest mass first) until each object classifies.
+pub fn constrained_knn(
+    table: &SubregionTable,
+    classifier: &Classifier,
+    k: usize,
+) -> Vec<KnnVerdict> {
+    let n = table.n_objects();
+    let l = table.left_regions();
+    let (v_lower, v_upper) = knn_verifier_bounds(table, k);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut bound = ProbBound::vacuous();
+        bound.lower_hi(1.0 - table.rightmost(i));
+        bound.raise_lo(v_lower[i]);
+        bound.lower_hi(v_upper[i]);
+        let mut label = classifier.classify(&bound);
+        let mut integrations = 0usize;
+        if label == Label::Unknown {
+            let mut regions: Vec<usize> =
+                (0..l).filter(|&j| table.mass(i, j) > MASS_EPS).collect();
+            regions.sort_by(|&a, &b| table.mass(i, b).total_cmp(&table.mass(i, a)));
+            // Refined mass accumulates into [lo, lo + unrefined].
+            let mut exact_part = 0.0;
+            let mut unrefined: f64 = regions.iter().map(|&j| table.mass(i, j)).sum();
+            for j in regions {
+                let q = knn_subregion_qualification(table, i, j, k);
+                integrations += 1;
+                exact_part += table.mass(i, j) * q;
+                unrefined -= table.mass(i, j);
+                bound.raise_lo(exact_part);
+                bound.lower_hi(exact_part + unrefined);
+                label = classifier.classify(&bound);
+                if label != Label::Unknown {
+                    break;
+                }
+            }
+            if label == Label::Unknown {
+                label = classifier.classify(&bound);
+            }
+        }
+        out.push(KnnVerdict {
+            bound,
+            label,
+            integrations,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_probabilities;
+    use crate::object::{ObjectId, UncertainObject};
+    use crate::testutil::fig7_scenario;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn knn_setup(k: usize) -> (CandidateSet, SubregionTable) {
+        let (_, objects) = fig7_scenario();
+        let cands = CandidateSet::build_k(&objects, 0.0, 0, k).unwrap();
+        let table = SubregionTable::build(&cands);
+        (cands, table)
+    }
+
+    #[test]
+    fn poisson_binomial_edge_cases() {
+        assert_eq!(poisson_binomial_at_most([].into_iter(), 0), 1.0);
+        // Two fair coins: P[at most 1 head] = 3/4.
+        let p = poisson_binomial_at_most([0.5, 0.5].into_iter(), 1);
+        assert!((p - 0.75).abs() < 1e-12);
+        // P[at most 0] = product of failures.
+        let p0 = poisson_binomial_at_most([0.2, 0.3].into_iter(), 0);
+        assert!((p0 - 0.8 * 0.7).abs() < 1e-12);
+        // Limit ≥ n means certainty.
+        let pn = poisson_binomial_at_most([0.9, 0.9].into_iter(), 2);
+        assert!((pn - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_one_matches_exact_pnn() {
+        let (_, table) = knn_setup(1);
+        let knn = knn_probabilities(&table, 1);
+        let (exact, _) = exact_probabilities(&table);
+        for (a, b) in knn.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn knn_probabilities_sum_to_k() {
+        for k in [1usize, 2, 3] {
+            let (_, table) = knn_setup(k);
+            let probs = knn_probabilities(&table, k);
+            let total: f64 = probs.iter().sum();
+            assert!(
+                (total - k as f64).abs() < 1e-6,
+                "k = {k}: sum = {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_probabilities_monotone_in_k() {
+        // Membership probability can only grow as k grows. Build each table
+        // at the max horizon so candidate sets align.
+        let (_, objects) = fig7_scenario();
+        let cands = CandidateSet::build_k(&objects, 0.0, 0, 3).unwrap();
+        let table = SubregionTable::build(&cands);
+        let p1 = knn_probabilities(&table, 1);
+        let p2 = knn_probabilities(&table, 2);
+        let p3 = knn_probabilities(&table, 3);
+        for i in 0..p1.len() {
+            assert!(p1[i] <= p2[i] + 1e-9);
+            assert!(p2[i] <= p3[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_confirms_exact_knn() {
+        let (cands, table) = knn_setup(2);
+        let exact = knn_probabilities(&table, 2);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mc = monte_carlo_knn(&cands, 2, 100_000, &mut rng).unwrap();
+        for (a, b) in mc.iter().zip(&exact) {
+            assert!((a - b).abs() < 0.01, "MC {a} vs exact {b}");
+        }
+    }
+
+    #[test]
+    fn rs_k_bound_contains_exact() {
+        let (_, table) = knn_setup(2);
+        let exact = knn_probabilities(&table, 2);
+        let upper = knn_upper_bounds(&table);
+        for (p, u) in exact.iter().zip(&upper) {
+            assert!(p <= &(u + 1e-9), "exact {p} above RS-k bound {u}");
+        }
+    }
+
+    #[test]
+    fn constrained_knn_agrees_with_exact_thresholding() {
+        let (_, table) = knn_setup(2);
+        let exact = knn_probabilities(&table, 2);
+        for threshold in [0.3, 0.6, 0.9] {
+            let classifier = Classifier::new(threshold, 0.0).unwrap();
+            let verdicts = constrained_knn(&table, &classifier, 2);
+            for (i, v) in verdicts.iter().enumerate() {
+                let want = if exact[i] >= threshold {
+                    Label::Satisfy
+                } else {
+                    Label::Fail
+                };
+                assert_eq!(v.label, want, "object {i} at P = {threshold}");
+                assert!(v.bound.contains(exact[i], 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_knn_with_generous_tolerance_skips_work() {
+        let (_, table) = knn_setup(2);
+        let tight = constrained_knn(&table, &Classifier::new(0.5, 0.0).unwrap(), 2);
+        let loose = constrained_knn(&table, &Classifier::new(0.5, 0.5).unwrap(), 2);
+        let sum = |v: &[KnnVerdict]| v.iter().map(|x| x.integrations).sum::<usize>();
+        assert!(sum(&loose) <= sum(&tight));
+    }
+
+    #[test]
+    fn knn_verifier_bounds_contain_exact() {
+        for k in [1usize, 2, 3] {
+            let (_, table) = knn_setup(k);
+            let exact = knn_probabilities(&table, k);
+            let (lo, hi) = knn_verifier_bounds(&table, k);
+            for i in 0..exact.len() {
+                assert!(
+                    lo[i] <= exact[i] + 1e-9,
+                    "k = {k}, object {i}: lower {} > exact {}",
+                    lo[i],
+                    exact[i]
+                );
+                assert!(
+                    hi[i] >= exact[i] - 1e-9,
+                    "k = {k}, object {i}: upper {} < exact {}",
+                    hi[i],
+                    exact[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_verifier_bounds_match_naive_computation() {
+        // Naive reference: per (i, j), PB tails computed from scratch over
+        // the other objects' cdf values at the two end-points.
+        let (_, table) = knn_setup(2);
+        let k = 2;
+        let n = table.n_objects();
+        let l = table.left_regions();
+        let (lo, hi) = knn_verifier_bounds(&table, k);
+        for i in 0..n {
+            let mut want_lo = 0.0;
+            let mut want_hi = 0.0;
+            for j in 0..l {
+                let s = table.mass(i, j);
+                if s <= MASS_EPS {
+                    continue;
+                }
+                let tail_at = |endpoint: usize| {
+                    poisson_binomial_at_most(
+                        (0..n).filter(|&m| m != i).map(|m| table.cdf_at(m, endpoint)),
+                        k - 1,
+                    )
+                };
+                want_lo += s * tail_at(j + 1);
+                want_hi += s * tail_at(j);
+            }
+            assert!((lo[i] - want_lo).abs() < 1e-9, "object {i} lower");
+            assert!((hi[i] - want_hi).abs() < 1e-9, "object {i} upper");
+        }
+    }
+
+    #[test]
+    fn knn_verifiers_cut_refinement_work() {
+        // With the subregion bounds in place, clear-cut objects classify
+        // without any integration.
+        let (_, table) = knn_setup(2);
+        let verdicts = constrained_knn(&table, &Classifier::new(0.98, 0.0).unwrap(), 2);
+        // X1 and X2 are almost surely in the top 2 but not ≥ 0.98-certain…
+        // X3 fails outright from its upper bound.
+        assert_eq!(verdicts[2].label, Label::Fail);
+        assert_eq!(verdicts[2].integrations, 0);
+    }
+
+    #[test]
+    fn k_larger_than_candidate_count_gives_certainty() {
+        let objects = vec![
+            UncertainObject::uniform(ObjectId(0), 1.0, 2.0).unwrap(),
+            UncertainObject::uniform(ObjectId(1), 1.5, 3.0).unwrap(),
+        ];
+        let cands = CandidateSet::build_k(&objects, 0.0, 0, 5).unwrap();
+        let table = SubregionTable::build(&cands);
+        let probs = knn_probabilities(&table, 5);
+        for p in probs {
+            assert!((p - 1.0).abs() < 1e-9);
+        }
+    }
+}

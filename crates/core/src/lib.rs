@@ -1,0 +1,83 @@
+//! # cpnn-core — Constrained Probabilistic Nearest-Neighbor queries
+//!
+//! A from-scratch implementation of
+//! *"Probabilistic Verifiers: Evaluating Constrained Nearest-Neighbor
+//! Queries over Uncertain Data"* (Cheng, Chen, Mokbel, Chow — ICDE 2008).
+//!
+//! ## The problem
+//!
+//! Over uncertain data (each object a closed interval with a pdf), a
+//! **PNN** query returns each object's probability of being the nearest
+//! neighbor of a query point. Exact evaluation needs numerical integration
+//! over products of distance cdfs — expensive. The paper's **C-PNN** asks
+//! only for objects whose probability clears a threshold `P`, within a
+//! tolerance `Δ`, which lets most objects be accepted/rejected from cheap
+//! algebraic *bounds*.
+//!
+//! ## Pipeline (paper Fig. 3/5)
+//!
+//! 1. **Filter** — an R-tree prunes objects that provably have zero
+//!    probability ([`cpnn_rtree`]).
+//! 2. **Verify** — the [`verifiers`] (RS, L-SR, U-SR) tighten per-object
+//!    probability bounds over the [`subregion::SubregionTable`]; the
+//!    [`classify::Classifier`] labels objects `Satisfy`/`Fail`/`Unknown`.
+//! 3. **Refine** — leftovers get exact per-subregion integration,
+//!    incrementally ([`refine`]).
+//!
+//! ## Entry point
+//!
+//! ```
+//! use cpnn_core::{CpnnQuery, ObjectId, Strategy, UncertainDb, UncertainObject};
+//!
+//! let objects = vec![
+//!     UncertainObject::uniform(ObjectId(1), 1.0, 4.0).unwrap(),
+//!     UncertainObject::uniform(ObjectId(2), 2.0, 6.0).unwrap(),
+//! ];
+//! let db = UncertainDb::build(objects).unwrap();
+//! let result = db
+//!     .cpnn(&CpnnQuery::new(0.0, 0.3, 0.01), Strategy::Verified)
+//!     .unwrap();
+//! assert_eq!(result.answers, vec![ObjectId(1)]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod candidate;
+pub mod classify;
+pub mod distance;
+pub mod distance2d;
+pub mod engine;
+pub mod engine2d;
+pub mod error;
+pub mod geometry2d;
+pub mod exact;
+pub mod framework;
+pub mod knn;
+pub mod montecarlo;
+pub mod object;
+pub mod persist;
+pub mod range;
+pub mod refine;
+pub mod subregion;
+pub mod verifiers;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use bounds::ProbBound;
+pub use candidate::{CandidateMember, CandidateSet};
+pub use classify::{Classifier, Label};
+pub use distance::DistanceDistribution;
+pub use distance2d::{cpnn_2d, pnn_2d, CircleObject, Cpnn2dResult};
+pub use engine2d::{Engine2dConfig, Object2d, UncertainDb2d};
+pub use geometry2d::Rect2;
+pub use engine::{
+    CpnnQuery, CpnnResult, EngineConfig, ObjectReport, PnnResult, QueryStats, Strategy,
+    UncertainDb,
+};
+pub use error::{CoreError, Result};
+pub use object::{ObjectId, UncertainObject};
+pub use range::RangeAnswer;
+pub use refine::RefinementOrder;
+pub use subregion::SubregionTable;

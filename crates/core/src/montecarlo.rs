@@ -1,0 +1,87 @@
+//! Monte-Carlo baseline (Kriegel, Kunath & Renz, DASFAA 2007 \[9\]).
+//!
+//! Each "possible world" draws one concrete distance per candidate from its
+//! distance distribution (inverse-transform sampling); the candidate with
+//! the minimum sampled distance is the world's nearest neighbor. Tallying
+//! over many worlds estimates the qualification probabilities. The paper
+//! positions this as the sampling-based alternative whose accuracy depends
+//! on the number of samples — our property tests quantify exactly that.
+
+use rand::Rng;
+
+use crate::candidate::CandidateSet;
+use crate::error::{CoreError, Result};
+
+/// Estimate qualification probabilities from `worlds` sampled worlds.
+pub fn monte_carlo_probabilities<R: Rng + ?Sized>(
+    cands: &CandidateSet,
+    worlds: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>> {
+    if worlds == 0 {
+        return Err(CoreError::ZeroWorlds);
+    }
+    let members = cands.members();
+    let mut counts = vec![0usize; members.len()];
+    for _ in 0..worlds {
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (i, m) in members.iter().enumerate() {
+            let u: f64 = rng.gen();
+            let r = m.dist.quantile(u);
+            if r < best_dist {
+                best_dist = r;
+                best = i;
+            }
+        }
+        counts[best] += 1;
+    }
+    Ok(counts
+        .into_iter()
+        .map(|c| c as f64 / worlds as f64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig7_exact, fig7_scenario};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_worlds_is_an_error() {
+        let (cands, _) = fig7_scenario();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(monte_carlo_probabilities(&cands, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn estimates_converge_to_exact() {
+        let (cands, _) = fig7_scenario();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let probs = monte_carlo_probabilities(&cands, 200_000, &mut rng).unwrap();
+        for (got, want) in probs.iter().zip(fig7_exact()) {
+            // 200k worlds: standard error ≈ sqrt(p(1-p)/n) < 0.0012.
+            assert!((got - want).abs() < 0.006, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn estimates_form_a_distribution() {
+        let (cands, _) = fig7_scenario();
+        let mut rng = StdRng::seed_from_u64(7);
+        let probs = monte_carlo_probabilities(&cands, 10_000, &mut rng).unwrap();
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (cands, _) = fig7_scenario();
+        let a = monte_carlo_probabilities(&cands, 1000, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = monte_carlo_probabilities(&cands, 1000, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Uncertain objects: the paper's attribute-uncertainty data model.
+
+use cpnn_pdf::{discretize, HistogramPdf, Pdf, TruncatedGaussian, UniformPdf};
+
+use crate::error::Result;
+
+/// Opaque object identifier (the "ID" a C-PNN returns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// A one-dimensional uncertain object: an id plus an uncertainty region with
+/// a pdf, stored canonically as a histogram (the paper's representation for
+/// arbitrary pdfs, Sec. IV-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainObject {
+    id: ObjectId,
+    pdf: HistogramPdf,
+}
+
+impl UncertainObject {
+    /// Wrap an arbitrary histogram pdf.
+    pub fn from_histogram(id: ObjectId, pdf: HistogramPdf) -> Self {
+        Self { id, pdf }
+    }
+
+    /// Uniform uncertainty on `[lo, hi]` — the Long Beach configuration
+    /// (Sec. V-A). Represented exactly as a single-bar histogram.
+    pub fn uniform(id: ObjectId, lo: f64, hi: f64) -> Result<Self> {
+        let _ = UniformPdf::new(lo, hi)?; // validate the region
+        Ok(Self {
+            id,
+            pdf: HistogramPdf::uniform(lo, hi)?,
+        })
+    }
+
+    /// Gaussian uncertainty on `[lo, hi]` in the paper's configuration
+    /// (mean at the center, `σ = width/6`), discretized into `bars` bars
+    /// (the paper uses 300).
+    pub fn gaussian(id: ObjectId, lo: f64, hi: f64, bars: usize) -> Result<Self> {
+        let g = TruncatedGaussian::paper_default(lo, hi)?;
+        Ok(Self {
+            id,
+            pdf: discretize(&g, bars)?,
+        })
+    }
+
+    /// The object's identifier.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The uncertainty region `[lo, hi]`.
+    pub fn region(&self) -> (f64, f64) {
+        self.pdf.support()
+    }
+
+    /// The histogram pdf.
+    pub fn pdf(&self) -> &HistogramPdf {
+        &self.pdf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_object_has_flat_density() {
+        let o = UncertainObject::uniform(ObjectId(1), 2.0, 4.0).unwrap();
+        assert_eq!(o.id(), ObjectId(1));
+        assert_eq!(o.region(), (2.0, 4.0));
+        assert_eq!(o.pdf().bar_count(), 1);
+        assert!((o.pdf().density(3.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gaussian_object_uses_requested_bars() {
+        let o = UncertainObject::gaussian(ObjectId(2), 0.0, 6.0, 300).unwrap();
+        assert_eq!(o.pdf().bar_count(), 300);
+        // Mass concentrated at the center (σ = 1 here).
+        assert!(o.pdf().mass_between(2.0, 4.0) > 0.68);
+    }
+
+    #[test]
+    fn invalid_regions_rejected() {
+        assert!(UncertainObject::uniform(ObjectId(0), 1.0, 1.0).is_err());
+        assert!(UncertainObject::gaussian(ObjectId(0), 5.0, 1.0, 10).is_err());
+    }
+
+    #[test]
+    fn object_id_displays_like_the_paper() {
+        assert_eq!(ObjectId(3).to_string(), "X3");
+    }
+}

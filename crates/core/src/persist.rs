@@ -1,0 +1,312 @@
+//! Snapshot persistence for uncertain databases.
+//!
+//! A small self-contained binary format (no external serialization crates):
+//!
+//! ```text
+//! magic "CPNN" | version u32 | object count u64
+//! per object: id u64 | bar count u32 | edges [f64] | masses [f64]
+//! trailer: FNV-1a checksum u64 over everything before it
+//! ```
+//!
+//! All integers and floats are little-endian. Loading re-validates every
+//! histogram through the normal constructors, so a corrupted or hand-edited
+//! snapshot can produce a checksum error or a pdf validation error but
+//! never a malformed in-memory database.
+
+use std::io::{self, Read, Write};
+
+use cpnn_pdf::HistogramPdf;
+
+use crate::engine::{EngineConfig, UncertainDb};
+use crate::error::CoreError;
+use crate::object::{ObjectId, UncertainObject};
+
+const MAGIC: &[u8; 4] = b"CPNN";
+const VERSION: u32 = 1;
+
+/// Errors specific to snapshot encoding/decoding.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a snapshot, or an unsupported version.
+    BadHeader,
+    /// Trailer checksum mismatch (corruption).
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed from the payload.
+        computed: u64,
+    },
+    /// Payload decoded but failed semantic validation.
+    Invalid(CoreError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadHeader => write!(f, "not a cpnn snapshot (bad magic/version)"),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::Invalid(e) => write!(f, "snapshot payload invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Incremental FNV-1a (64-bit) — tiny, dependency-free integrity check.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+/// Writer that hashes everything it forwards.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: Fnv1a,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            hash: Fnv1a::new(),
+        }
+    }
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.hash.update(bytes);
+        self.inner.write_all(bytes)
+    }
+    fn put_u32(&mut self, v: u32) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn put_u64(&mut self, v: u64) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn put_f64(&mut self, v: f64) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+}
+
+/// Reader that hashes everything it yields.
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: Fnv1a,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            hash: Fnv1a::new(),
+        }
+    }
+    fn take<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        let mut buf = [0u8; N];
+        self.inner.read_exact(&mut buf)?;
+        self.hash.update(&buf);
+        Ok(buf)
+    }
+    fn take_u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+    fn take_u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+    fn take_f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take::<8>()?))
+    }
+}
+
+/// Serialize the database's objects into `w`.
+pub fn save_snapshot<W: Write>(db: &UncertainDb, w: W) -> std::result::Result<(), SnapshotError> {
+    let mut w = HashingWriter::new(w);
+    w.put(MAGIC)?;
+    w.put_u32(VERSION)?;
+    w.put_u64(db.objects().len() as u64)?;
+    for obj in db.objects() {
+        let pdf = obj.pdf();
+        w.put_u64(obj.id().0)?;
+        w.put_u32(pdf.bar_count() as u32)?;
+        for &e in pdf.edges() {
+            w.put_f64(e)?;
+        }
+        // Store masses (cdf differences): re-normalization on load is then
+        // exact by construction.
+        let cdf = pdf.cdf_at_edges();
+        for i in 0..pdf.bar_count() {
+            w.put_f64(cdf[i + 1] - cdf[i])?;
+        }
+    }
+    let digest = w.hash.0;
+    w.inner.write_all(&digest.to_le_bytes())?;
+    Ok(())
+}
+
+/// Deserialize a database from `r`, rebuilding the R-tree.
+pub fn load_snapshot<R: Read>(r: R) -> std::result::Result<UncertainDb, SnapshotError> {
+    load_snapshot_with(r, EngineConfig::default())
+}
+
+/// Deserialize with an explicit engine configuration.
+pub fn load_snapshot_with<R: Read>(
+    r: R,
+    config: EngineConfig,
+) -> std::result::Result<UncertainDb, SnapshotError> {
+    let mut r = HashingReader::new(r);
+    let magic = r.take::<4>()?;
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadHeader);
+    }
+    if r.take_u32()? != VERSION {
+        return Err(SnapshotError::BadHeader);
+    }
+    let count = r.take_u64()? as usize;
+    // Cap pre-allocation: a corrupt count must not OOM us.
+    let mut objects = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let id = r.take_u64()?;
+        let bars = r.take_u32()? as usize;
+        if bars == 0 || bars > 1 << 24 {
+            return Err(SnapshotError::BadHeader);
+        }
+        let mut edges = Vec::with_capacity(bars + 1);
+        for _ in 0..=bars {
+            edges.push(r.take_f64()?);
+        }
+        let mut masses = Vec::with_capacity(bars);
+        for _ in 0..bars {
+            masses.push(r.take_f64()?);
+        }
+        let pdf = HistogramPdf::from_masses(edges, masses)
+            .map_err(|e| SnapshotError::Invalid(e.into()))?;
+        objects.push(UncertainObject::from_histogram(ObjectId(id), pdf));
+    }
+    let computed = r.hash.0;
+    let mut trailer = [0u8; 8];
+    r.inner.read_exact(&mut trailer)?;
+    let stored = u64::from_le_bytes(trailer);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    UncertainDb::with_config(objects, config).map_err(SnapshotError::Invalid)
+}
+
+/// Convenience: result alias used by callers.
+pub type SnapshotResult<T> = std::result::Result<T, SnapshotError>;
+
+/// Round-trip helper used by the CLI: save to a file path.
+pub fn save_to_path(db: &UncertainDb, path: &std::path::Path) -> SnapshotResult<()> {
+    let file = std::fs::File::create(path)?;
+    save_snapshot(db, io::BufWriter::new(file))
+}
+
+/// Round-trip helper used by the CLI: load from a file path.
+pub fn load_from_path(path: &std::path::Path) -> SnapshotResult<UncertainDb> {
+    let file = std::fs::File::open(path)?;
+    load_snapshot(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CpnnQuery, Strategy};
+    use crate::testutil::fig7_scenario;
+
+    fn sample_db() -> UncertainDb {
+        let (_, objects) = fig7_scenario();
+        UncertainDb::build(objects).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_objects_and_answers() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_snapshot(&db, &mut buf).unwrap();
+        let loaded = load_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        for (a, b) in db.objects().iter().zip(loaded.objects()) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.region(), b.region());
+            assert_eq!(a.pdf().bar_count(), b.pdf().bar_count());
+        }
+        // Query results are identical.
+        let q = CpnnQuery::new(0.0, 0.45, 0.0);
+        let x = db.cpnn(&q, Strategy::Verified).unwrap();
+        let y = loaded.cpnn(&q, Strategy::Verified).unwrap();
+        assert_eq!(x.answers, y.answers);
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let db = UncertainDb::build(Vec::new()).unwrap();
+        let mut buf = Vec::new();
+        save_snapshot(&db, &mut buf).unwrap();
+        let loaded = load_snapshot(buf.as_slice()).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_snapshot(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_snapshot(&db, &mut buf).unwrap();
+        buf.truncate(buf.len() - 12);
+        assert!(load_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bit_flip_is_detected_by_checksum() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_snapshot(&db, &mut buf).unwrap();
+        // Flip one payload byte in a float (past the header).
+        let idx = buf.len() / 2;
+        buf[idx] ^= 0x01;
+        let err = load_snapshot(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::ChecksumMismatch { .. } | SnapshotError::Invalid(_)
+            ),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("cpnn_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.cpnn");
+        save_to_path(&db, &path).unwrap();
+        let loaded = load_from_path(&path).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

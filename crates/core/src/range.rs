@@ -1,0 +1,111 @@
+//! Probabilistic range queries over uncertain data.
+//!
+//! The companion query class from the paper's related work (Tao et al.,
+//! VLDB 2005 \[16\]): given a range `[lo, hi]` and threshold `P`, return the
+//! objects whose probability of lying inside the range is at least `P`.
+//! Unlike the PNN, range probabilities are independent across objects
+//! (`Pr[X_i ∈ [lo,hi]]` is just pdf mass), so evaluation is a pruned scan:
+//! the R-tree finds regions overlapping the range, and the pdf mass decides.
+
+use cpnn_pdf::Pdf as _;
+use cpnn_rtree::Rect;
+
+use crate::engine::UncertainDb;
+use crate::error::{CoreError, Result};
+use crate::object::ObjectId;
+
+/// One probabilistic range answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeAnswer {
+    /// The qualifying object.
+    pub id: ObjectId,
+    /// `Pr[X ∈ [lo, hi]]`.
+    pub probability: f64,
+}
+
+impl UncertainDb {
+    /// Probabilistic range query: objects whose probability of falling in
+    /// `[lo, hi]` is at least `threshold`. Answers are sorted by descending
+    /// probability (ties by id).
+    pub fn range_query(&self, lo: f64, hi: f64, threshold: f64) -> Result<Vec<RangeAnswer>> {
+        if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+            return Err(CoreError::InvalidQueryPoint(lo));
+        }
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(CoreError::InvalidThreshold(threshold));
+        }
+        // Filtering: only objects whose uncertainty region overlaps the
+        // range can have non-zero probability.
+        let mut out: Vec<RangeAnswer> = Vec::new();
+        let tree = self.tree();
+        for (_, &idx) in tree.search_intersecting(&Rect::interval(lo, hi)) {
+            let obj = &self.objects()[idx];
+            let p = obj.pdf().mass_between(lo, hi);
+            if p >= threshold {
+                out.push(RangeAnswer {
+                    id: obj.id(),
+                    probability: p,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            b.probability
+                .total_cmp(&a.probability)
+                .then(a.id.cmp(&b.id))
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::UncertainObject;
+
+    fn db() -> UncertainDb {
+        let objects = vec![
+            UncertainObject::uniform(ObjectId(0), 0.0, 10.0).unwrap(),
+            UncertainObject::uniform(ObjectId(1), 4.0, 6.0).unwrap(),
+            UncertainObject::uniform(ObjectId(2), 20.0, 30.0).unwrap(),
+        ];
+        UncertainDb::build(objects).unwrap()
+    }
+
+    #[test]
+    fn masses_are_exact() {
+        let res = db().range_query(4.0, 6.0, 0.05).unwrap();
+        // Object 1 entirely inside (p = 1); object 0 contributes 2/10.
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id, ObjectId(1));
+        assert!((res[0].probability - 1.0).abs() < 1e-12);
+        assert_eq!(res[1].id, ObjectId(0));
+        assert!((res[1].probability - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_prunes() {
+        let res = db().range_query(4.0, 6.0, 0.5).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].id, ObjectId(1));
+    }
+
+    #[test]
+    fn non_overlapping_range_is_empty() {
+        assert!(db().range_query(100.0, 200.0, 0.1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        assert!(db().range_query(6.0, 4.0, 0.5).is_err());
+        assert!(db().range_query(f64::NAN, 4.0, 0.5).is_err());
+        assert!(db().range_query(0.0, 1.0, 0.0).is_err());
+        assert!(db().range_query(0.0, 1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn point_range_works() {
+        // Zero-width range: mass is zero for continuous pdfs.
+        let res = db().range_query(5.0, 5.0, 0.01).unwrap();
+        assert!(res.is_empty());
+    }
+}

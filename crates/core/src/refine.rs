@@ -1,0 +1,173 @@
+//! Incremental refinement (paper Sec. IV-D).
+//!
+//! Objects still `Unknown` after verification get their exact probabilities
+//! computed — but *incrementally*: one subregion at a time. After computing
+//! the exact `q_ij` for one subregion, the bound `[q_ij.l, q_ij.u]`
+//! collapses to a point, the object-level bound is recomputed, and the
+//! classifier re-checks the object; often a verdict is reached after only a
+//! few subregions, skipping the rest. Each per-subregion integral is also
+//! cheaper than one over the whole uncertainty region (smaller domain,
+//! polynomial integrand).
+
+use crate::classify::{Classifier, Label};
+use crate::exact::subregion_qualification;
+use crate::subregion::{SubregionTable, MASS_EPS};
+use crate::verifiers::VerificationState;
+
+/// In which order refinement visits an object's subregions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefinementOrder {
+    /// Largest subregion probability first — collapses the most bound width
+    /// per integration (our default; the tech report's heuristic is not
+    /// public, so this choice is ablated in the benches).
+    #[default]
+    DescendingMass,
+    /// Left-to-right in distance order.
+    LeftToRight,
+}
+
+/// Statistics from a refinement pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineReport {
+    /// Objects that entered refinement.
+    pub refined_objects: usize,
+    /// Per-subregion integrations performed.
+    pub integrations: usize,
+}
+
+/// Refine every `Unknown` object in `state` until classified.
+pub fn incremental_refine(
+    table: &SubregionTable,
+    classifier: &Classifier,
+    state: &mut VerificationState,
+    order: RefinementOrder,
+) -> RefineReport {
+    let n = table.n_objects();
+    let l = table.left_regions();
+    let mut report = RefineReport::default();
+    for i in 0..n {
+        if state.labels[i] != Label::Unknown {
+            continue;
+        }
+        report.refined_objects += 1;
+        let mut regions: Vec<usize> =
+            (0..l).filter(|&j| table.mass(i, j) > MASS_EPS).collect();
+        if order == RefinementOrder::DescendingMass {
+            regions.sort_by(|&a, &b| table.mass(i, b).total_cmp(&table.mass(i, a)));
+        }
+        for j in regions {
+            let q = subregion_qualification(table, i, j);
+            report.integrations += 1;
+            state.qij_lo[i * l + j] = q;
+            state.qij_hi[i * l + j] = q;
+            state.recompute_lower(table, i);
+            state.recompute_upper(table, i);
+            let label = classifier.classify(&state.bounds[i]);
+            if label != Label::Unknown {
+                state.labels[i] = label;
+                break;
+            }
+        }
+        if state.labels[i] == Label::Unknown {
+            // All subregions refined: the bound has collapsed to the exact
+            // probability (width ≈ 0), so the verdict is now definite.
+            state.labels[i] = classifier.classify(&state.bounds[i]);
+            debug_assert_ne!(state.labels[i], Label::Unknown);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{default_verifiers, run_verification};
+    use crate::subregion::SubregionTable;
+    use crate::testutil::{fig7_exact, fig7_scenario};
+
+    fn run(threshold: f64, tolerance: f64, order: RefinementOrder) -> (VerificationState, RefineReport) {
+        let (cands, _) = fig7_scenario();
+        let table = SubregionTable::build(&cands);
+        let classifier = Classifier::new(threshold, tolerance).unwrap();
+        let outcome = run_verification(&table, &classifier, &default_verifiers());
+        let mut state = outcome.state;
+        let report = incremental_refine(&table, &classifier, &mut state, order);
+        (state, report)
+    }
+
+    #[test]
+    fn refinement_resolves_ambiguous_threshold() {
+        // P = 0.45: exact values are .464 (satisfy), .485 (satisfy), .051 (fail).
+        let (state, report) = run(0.45, 0.0, RefinementOrder::DescendingMass);
+        assert_eq!(state.labels[0], Label::Satisfy);
+        assert_eq!(state.labels[1], Label::Satisfy);
+        assert_eq!(state.labels[2], Label::Fail);
+        assert!(report.refined_objects == 2, "{report:?}");
+        assert!(report.integrations >= 2);
+    }
+
+    #[test]
+    fn refined_bounds_contain_exact_values() {
+        let (state, _) = run(0.45, 0.0, RefinementOrder::DescendingMass);
+        for (i, p) in fig7_exact().iter().enumerate() {
+            assert!(
+                state.bounds[i].contains(*p, 1e-6),
+                "object {i}: {} vs {p}",
+                state.bounds[i]
+            );
+        }
+    }
+
+    #[test]
+    fn both_orders_agree_on_labels() {
+        let (a, _) = run(0.47, 0.0, RefinementOrder::DescendingMass);
+        let (b, _) = run(0.47, 0.0, RefinementOrder::LeftToRight);
+        assert_eq!(a.labels, b.labels);
+        // Exact: p1 = .4635 < .47 → fail; p2 = .4854 ≥ .47 → satisfy.
+        assert_eq!(a.labels[0], Label::Fail);
+        assert_eq!(a.labels[1], Label::Satisfy);
+    }
+
+    #[test]
+    fn refinement_without_verification_works_standalone() {
+        // The Refine-only strategy: vacuous bounds straight into refinement.
+        let (cands, _) = fig7_scenario();
+        let table = SubregionTable::build(&cands);
+        let classifier = Classifier::new(0.45, 0.0).unwrap();
+        let mut state = VerificationState::new(&table);
+        let report =
+            incremental_refine(&table, &classifier, &mut state, RefinementOrder::default());
+        assert_eq!(report.refined_objects, 3);
+        assert_eq!(state.labels[0], Label::Satisfy);
+        assert_eq!(state.labels[1], Label::Satisfy);
+        assert_eq!(state.labels[2], Label::Fail);
+        for (i, p) in fig7_exact().iter().enumerate() {
+            assert!(state.bounds[i].contains(*p, 1e-6), "object {i}");
+        }
+    }
+
+    #[test]
+    fn tolerance_lets_refinement_stop_early() {
+        // Generous tolerance: the first refined subregion usually suffices.
+        let (_, tight) = run(0.45, 0.0, RefinementOrder::DescendingMass);
+        let (_, loose) = run(0.45, 0.2, RefinementOrder::DescendingMass);
+        assert!(loose.integrations <= tight.integrations);
+    }
+
+    #[test]
+    fn nothing_to_refine_when_verification_resolved() {
+        let (cands, _) = fig7_scenario();
+        let table = SubregionTable::build(&cands);
+        let classifier = Classifier::new(0.6, 0.0).unwrap();
+        let outcome = run_verification(&table, &classifier, &default_verifiers());
+        let mut state = outcome.state;
+        let report = incremental_refine(
+            &table,
+            &classifier,
+            &mut state,
+            RefinementOrder::DescendingMass,
+        );
+        assert_eq!(report.refined_objects, 0);
+        assert_eq!(report.integrations, 0);
+    }
+}

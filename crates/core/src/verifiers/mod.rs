@@ -1,0 +1,100 @@
+//! Probabilistic verifiers (paper Sec. IV).
+//!
+//! A verifier inspects the subregion table and tightens the probability
+//! bounds of still-`Unknown` objects using algebraic operations only — no
+//! numerical integration. The three verifiers from the paper, in ascending
+//! cost order (Table III):
+//!
+//! | verifier | tightens | cost |
+//! |----------|----------|------|
+//! | [`RightmostSubregion`] (RS)  | upper | `O(|C|)` |
+//! | [`LowerSubregion`] (L-SR)    | lower | `O(|C|·M)` |
+//! | [`UpperSubregion`] (U-SR)    | upper | `O(|C|·M)` |
+//!
+//! Besides the object-level bounds, L-SR and U-SR also record per-subregion
+//! qualification bounds `[q_ij.l, q_ij.u]`, which the incremental refinement
+//! stage (Sec. IV-D) reuses.
+
+mod flsr;
+mod lsr;
+mod products;
+mod rs;
+mod usr;
+
+pub use flsr::FarLowerSubregion;
+pub use lsr::LowerSubregion;
+pub use products::ExcludeOneProduct;
+pub use rs::RightmostSubregion;
+pub use usr::UpperSubregion;
+
+use crate::bounds::ProbBound;
+use crate::classify::Label;
+use crate::subregion::SubregionTable;
+
+/// Mutable state threaded through the verification pipeline: object-level
+/// probability bounds, labels, and per-subregion qualification bounds.
+#[derive(Debug, Clone)]
+pub struct VerificationState {
+    /// `[p_i.l, p_i.u]` per candidate.
+    pub bounds: Vec<ProbBound>,
+    /// Current verdict per candidate.
+    pub labels: Vec<Label>,
+    /// `q_ij.l` flattened as `i·L + j` (left subregions only).
+    pub qij_lo: Vec<f64>,
+    /// `q_ij.u` flattened as `i·L + j`.
+    pub qij_hi: Vec<f64>,
+}
+
+impl VerificationState {
+    /// Fresh state: vacuous bounds, every object `Unknown`,
+    /// `[q_ij.l, q_ij.u] = [0, 1]`.
+    pub fn new(table: &SubregionTable) -> Self {
+        let n = table.n_objects();
+        let l = table.left_regions();
+        Self {
+            bounds: vec![ProbBound::vacuous(); n],
+            labels: vec![Label::Unknown; n],
+            qij_lo: vec![0.0; n * l],
+            qij_hi: vec![1.0; n * l],
+        }
+    }
+
+    /// Recompute `p_i.l = Σ_j s_ij · q_ij.l` (paper Eq. 4) and raise the
+    /// object's lower bound if it improved.
+    pub fn recompute_lower(&mut self, table: &SubregionTable, i: usize) {
+        let l = table.left_regions();
+        let mut lo = 0.0;
+        for j in 0..l {
+            lo += table.mass(i, j) * self.qij_lo[i * l + j];
+        }
+        self.bounds[i].raise_lo(lo);
+    }
+
+    /// Recompute `p_i.u = Σ_j s_ij · q_ij.u` (rightmost subregion
+    /// contributes zero) and lower the object's upper bound if it improved.
+    pub fn recompute_upper(&mut self, table: &SubregionTable, i: usize) {
+        let l = table.left_regions();
+        let mut hi = 0.0;
+        for j in 0..l {
+            hi += table.mass(i, j) * self.qij_hi[i * l + j];
+        }
+        self.bounds[i].lower_hi(hi);
+    }
+
+    /// Number of objects still labelled `Unknown`.
+    pub fn unknown_count(&self) -> usize {
+        self.labels
+            .iter()
+            .filter(|&&l| l == Label::Unknown)
+            .count()
+    }
+}
+
+/// A probability-bound tightening pass.
+pub trait Verifier {
+    /// Short name for reports ("RS", "L-SR", "U-SR").
+    fn name(&self) -> &'static str;
+
+    /// Tighten bounds of `Unknown` objects in `state`.
+    fn apply(&self, table: &SubregionTable, state: &mut VerificationState);
+}

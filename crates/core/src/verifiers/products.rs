@@ -1,0 +1,117 @@
+//! Exclude-one products — the `Y_j` optimization of the paper (Eqs. 2/3/11)
+//! made numerically safe.
+//!
+//! The L-SR and U-SR verifiers need, for every object `i`, the product of
+//! `(1 − D_k(e_j))` over all `k ≠ i`. The paper computes the full product
+//! `Y_j` once and divides by object `i`'s own factor — which breaks when a
+//! factor is zero (an object certainly closer than `e_j`) and loses
+//! precision when a factor is tiny. We instead precompute prefix and suffix
+//! products, giving every exclude-one product in O(1) with no division at
+//! all: `Π_{k≠i} f_k = prefix[i] · suffix[i+1]`. Same O(|C|) cost per
+//! subregion as the paper's `Y_j` trick.
+
+/// Prefix/suffix product table over a factor vector.
+#[derive(Debug, Clone)]
+pub struct ExcludeOneProduct {
+    /// `prefix[i] = Π_{k < i} f_k` (so `prefix[0] = 1`), length `n + 1`.
+    prefix: Vec<f64>,
+    /// `suffix[i] = Π_{k ≥ i} f_k` (so `suffix[n] = 1`), length `n + 1`.
+    suffix: Vec<f64>,
+}
+
+impl ExcludeOneProduct {
+    /// Build from the factor sequence.
+    pub fn new(factors: &[f64]) -> Self {
+        let n = factors.len();
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(1.0);
+        for &f in factors {
+            let last = *prefix.last().expect("non-empty prefix");
+            prefix.push(last * f);
+        }
+        let mut suffix = vec![1.0; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = factors[i] * suffix[i + 1];
+        }
+        Self { prefix, suffix }
+    }
+
+    /// Product of all factors.
+    pub fn total(&self) -> f64 {
+        *self.prefix.last().expect("non-empty prefix")
+    }
+
+    /// Product of all factors except index `i`.
+    pub fn excluding(&self, i: usize) -> f64 {
+        self.prefix[i] * self.suffix[i + 1]
+    }
+
+    /// Number of factors.
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// Is the factor sequence empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn excluding_matches_naive() {
+        let factors = [0.5, 0.9, 0.1, 1.0, 0.3];
+        let p = ExcludeOneProduct::new(&factors);
+        for i in 0..factors.len() {
+            let naive: f64 = factors
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != i)
+                .map(|(_, &f)| f)
+                .product();
+            assert!(
+                (p.excluding(i) - naive).abs() < 1e-15,
+                "i = {i}: {} vs {naive}",
+                p.excluding(i)
+            );
+        }
+        assert!((p.total() - factors.iter().product::<f64>()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_factors_are_exact() {
+        // One zero: excluding it gives the nonzero product; excluding others gives 0.
+        let factors = [0.5, 0.0, 0.25];
+        let p = ExcludeOneProduct::new(&factors);
+        assert_eq!(p.total(), 0.0);
+        assert!((p.excluding(1) - 0.125).abs() < 1e-15);
+        assert_eq!(p.excluding(0), 0.0);
+        assert_eq!(p.excluding(2), 0.0);
+        // Two zeros: every exclude-one product is 0.
+        let p2 = ExcludeOneProduct::new(&[0.0, 0.5, 0.0]);
+        for i in 0..3 {
+            assert_eq!(p2.excluding(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let p = ExcludeOneProduct::new(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.total(), 1.0);
+        let p1 = ExcludeOneProduct::new(&[0.7]);
+        assert_eq!(p1.excluding(0), 1.0);
+        assert_eq!(p1.total(), 0.7);
+    }
+
+    #[test]
+    fn many_tiny_factors_keep_precision() {
+        let factors = vec![0.99999; 1000];
+        let p = ExcludeOneProduct::new(&factors);
+        let expect = 0.99999f64.powi(999);
+        assert!((p.excluding(500) / expect - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! # cpnn-datagen — workload generators for the C-PNN reproduction
+//!
+//! The paper evaluates on the Long Beach county TIGER dataset: "the 53,144
+//! intervals, distributed in the x-dimension of 10K units, are treated as
+//! uncertainty regions with uniform pdfs" (Sec. V-A), with query points
+//! generated at random and an average candidate-set size of 96 objects.
+//!
+//! The original file is not redistributable here, so [`longbeach`] builds a
+//! **synthetic analog** calibrated to the statistics the paper reports:
+//! same cardinality, same domain, clustered interval centers (geography is
+//! clumpy), and interval lengths tuned so the average candidate set lands
+//! near 96 objects. The algorithms only see the workload through distance
+//! distributions and candidate density, so this preserves the computational
+//! shape of every experiment (see DESIGN.md, "Substitutions").
+//!
+//! [`synthetic`] provides the size sweeps of Fig. 9 and the Gaussian-pdf
+//! variants of Fig. 14; [`queries`] generates query workloads.
+
+#![warn(missing_docs)]
+
+pub mod longbeach;
+pub mod queries;
+pub mod synthetic;
+
+pub use longbeach::{longbeach_analog, LongBeachConfig};
+pub use queries::{query_points, query_points_in};
+pub use synthetic::{gaussian_variant, uniform_intervals, SyntheticConfig};

@@ -1,0 +1,37 @@
+//! Query-point workloads ("The query points are randomly generated. Each
+//! point in the graph is an average of the results for 100 queries",
+//! Sec. V-A).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `count` query points uniform over `[0, 10_000)` (the paper's domain).
+pub fn query_points(seed: u64, count: usize) -> Vec<f64> {
+    query_points_in(seed, count, 0.0, 10_000.0)
+}
+
+/// `count` query points uniform over `[lo, hi)`.
+pub fn query_points_in(seed: u64, count: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_in_range_and_deterministic() {
+        let a = query_points(3, 100);
+        let b = query_points(3, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&q| (0.0..10_000.0).contains(&q)));
+    }
+
+    #[test]
+    fn custom_range() {
+        let pts = query_points_in(1, 50, -5.0, 5.0);
+        assert!(pts.iter().all(|&q| (-5.0..5.0).contains(&q)));
+    }
+}

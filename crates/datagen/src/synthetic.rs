@@ -1,0 +1,113 @@
+//! Synthetic datasets: size sweeps (Fig. 9) and Gaussian-pdf variants
+//! (Fig. 14).
+
+use cpnn_core::{ObjectId, UncertainObject};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for plain synthetic interval data.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Number of intervals.
+    pub count: usize,
+    /// Domain extent.
+    pub domain: f64,
+    /// Minimum interval length.
+    pub min_length: f64,
+    /// Maximum interval length.
+    pub max_length: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            count: 5_000,
+            domain: 10_000.0,
+            min_length: 2.0,
+            max_length: 40.0,
+        }
+    }
+}
+
+/// Uniformly scattered intervals with uniform pdfs — the synthetic datasets
+/// of Fig. 9 ("synthetic data sets with different data set sizes").
+pub fn uniform_intervals(seed: u64, cfg: SyntheticConfig) -> Vec<UncertainObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..cfg.count)
+        .map(|i| {
+            let len = rng.gen_range(cfg.min_length..cfg.max_length);
+            let lo = rng.gen_range(0.0..(cfg.domain - len));
+            UncertainObject::uniform(ObjectId(i as u64), lo, lo + len)
+                .expect("generated region is valid")
+        })
+        .collect()
+}
+
+/// Replace every object's pdf with the paper's Gaussian configuration
+/// (mean at the region center, σ = width/6, `bars`-bar histogram) while
+/// keeping the same geometry — exactly the Fig. 14 experiment, which reuses
+/// the Long Beach regions with Gaussian uncertainty pdfs.
+pub fn gaussian_variant(objects: &[UncertainObject], bars: usize) -> Vec<UncertainObject> {
+    objects
+        .iter()
+        .map(|o| {
+            let (lo, hi) = o.region();
+            UncertainObject::gaussian(o.id(), lo, hi, bars).expect("region already validated")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpnn_pdf::Pdf;
+
+    #[test]
+    fn uniform_intervals_respect_config() {
+        let cfg = SyntheticConfig {
+            count: 300,
+            domain: 1_000.0,
+            min_length: 1.0,
+            max_length: 10.0,
+        };
+        let data = uniform_intervals(5, cfg);
+        assert_eq!(data.len(), 300);
+        for o in &data {
+            let (lo, hi) = o.region();
+            let len = hi - lo;
+            assert!(len >= 1.0 && len <= 10.0);
+            assert!(lo >= 0.0 && hi <= 1_000.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_variant_keeps_geometry_changes_pdf() {
+        let data = uniform_intervals(5, SyntheticConfig::default());
+        let gauss = gaussian_variant(&data[..50], 300);
+        for (u, g) in data.iter().zip(&gauss) {
+            assert_eq!(u.id(), g.id());
+            let (ulo, uhi) = u.region();
+            let (glo, ghi) = g.region();
+            assert!((ulo - glo).abs() < 1e-9 && (uhi - ghi).abs() < 1e-9);
+            assert_eq!(g.pdf().bar_count(), 300);
+            // Mass is concentrated at the center for the Gaussian.
+            let mid = 0.5 * (glo + ghi);
+            let w = ghi - glo;
+            assert!(
+                g.pdf().mass_between(mid - w / 6.0, mid + w / 6.0) > 0.6,
+                "object {}",
+                g.id()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = uniform_intervals(9, SyntheticConfig::default());
+        let b = uniform_intervals(9, SyntheticConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.region(), y.region());
+        }
+    }
+}

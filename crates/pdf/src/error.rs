@@ -1,0 +1,68 @@
+//! Error type shared by the probability substrate.
+
+use std::fmt;
+
+/// Errors raised when constructing or evaluating probability distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdfError {
+    /// The uncertainty region `[lo, hi]` is empty or inverted.
+    EmptyRegion {
+        /// Lower end of the offending region.
+        lo: f64,
+        /// Upper end of the offending region.
+        hi: f64,
+    },
+    /// A parameter that must be strictly positive was not (e.g. `σ`, bar count).
+    NonPositiveParameter {
+        /// Human-readable parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A density or mass value was negative or not finite.
+    InvalidDensity {
+        /// Index of the offending histogram bar (if applicable).
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Histogram edges were not strictly increasing.
+    UnsortedEdges {
+        /// Index of the first offending edge.
+        index: usize,
+    },
+    /// The pdf integrates to (numerically) zero, so it cannot be normalized.
+    ZeroMass,
+    /// Mismatched array lengths (e.g. `edges.len() != densities.len() + 1`).
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for PdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdfError::EmptyRegion { lo, hi } => {
+                write!(f, "empty or inverted uncertainty region [{lo}, {hi}]")
+            }
+            PdfError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            PdfError::InvalidDensity { index, value } => {
+                write!(f, "invalid density {value} at index {index}")
+            }
+            PdfError::UnsortedEdges { index } => {
+                write!(f, "histogram edges not strictly increasing at index {index}")
+            }
+            PdfError::ZeroMass => write!(f, "pdf has zero total mass; cannot normalize"),
+            PdfError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PdfError {}

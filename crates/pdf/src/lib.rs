@@ -1,0 +1,51 @@
+//! # cpnn-pdf — probability substrate for the C-PNN reproduction
+//!
+//! This crate provides everything the paper assumes about probability
+//! distributions on closed intervals (the *attribute uncertainty* model):
+//!
+//! * [`Pdf`] — the trait describing a probability density function bounded
+//!   inside a closed *uncertainty region*, with density, cdf, quantile,
+//!   sampling and moments.
+//! * [`UniformPdf`] — the uniform distribution used for the Long Beach
+//!   experiments (Sec. V-A of the paper).
+//! * [`TruncatedGaussian`] — the Gaussian uncertainty pdf of Sec. V-B.5
+//!   (mean at the region center, `σ = width/6`), renormalized on the region.
+//! * [`HistogramPdf`] — the paper's canonical representation: an arbitrary
+//!   pdf stored as a piecewise-constant histogram ("We represent a distance
+//!   pdf of each object as a histogram", Sec. IV-A).
+//! * [`integrate`] — numerical integration (Simpson, adaptive Simpson,
+//!   Gauss–Legendre) used by the Basic method and refinement.
+//! * [`special`] — `erf`/`erfc` implemented from scratch (no external math
+//!   crates), accurate to ~1e-15.
+//! * [`discretize()`] — mass-preserving conversion of any [`Pdf`] into an
+//!   `N`-bar histogram (the paper approximates each Gaussian with a 300-bar
+//!   histogram).
+//!
+//! Everything in this crate is deterministic given a seeded RNG, which is
+//! what makes the experiment harness reproducible.
+
+#![warn(missing_docs)]
+
+pub mod discretize;
+pub mod error;
+pub mod histogram;
+pub mod integrate;
+pub mod piecewise;
+pub mod samples;
+pub mod special;
+pub mod traits;
+
+mod gaussian;
+mod uniform;
+
+pub use discretize::discretize;
+pub use error::PdfError;
+pub use gaussian::TruncatedGaussian;
+pub use histogram::HistogramPdf;
+pub use piecewise::PiecewiseLinear;
+pub use samples::{equi_depth_from_samples, histogram_from_samples};
+pub use traits::Pdf;
+pub use uniform::UniformPdf;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PdfError>;

@@ -1,0 +1,147 @@
+//! Monotone piecewise-linear functions.
+//!
+//! Distance cdfs in the paper are piecewise linear (Sec. IV-A); this utility
+//! provides evaluation, inversion and composition for such functions. It is
+//! also reused by the 2-D circular-region distance cdf, which is discretized
+//! onto a knot grid.
+
+use crate::error::PdfError;
+use crate::Result;
+
+/// A non-decreasing piecewise-linear function defined by knots
+/// `(xs[i], ys[i])`, extended by clamping outside `[xs[0], xs[n-1]]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Build from knot vectors. `xs` must be strictly increasing and `ys`
+    /// non-decreasing; both finite, with at least two knots.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(PdfError::LengthMismatch {
+                expected: xs.len(),
+                actual: ys.len(),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(PdfError::LengthMismatch {
+                expected: 2,
+                actual: xs.len(),
+            });
+        }
+        for (i, w) in xs.windows(2).enumerate() {
+            if !(w[0] < w[1]) || !w[0].is_finite() || !w[1].is_finite() {
+                return Err(PdfError::UnsortedEdges { index: i });
+            }
+        }
+        for (i, w) in ys.windows(2).enumerate() {
+            if !(w[1] >= w[0]) || !w[0].is_finite() || !w[1].is_finite() {
+                return Err(PdfError::InvalidDensity {
+                    index: i,
+                    value: w[1],
+                });
+            }
+        }
+        Ok(Self { xs, ys })
+    }
+
+    /// Knot abscissas.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Knot ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Evaluate at `x`, clamping outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let j = self.xs.partition_point(|&k| k <= x);
+        let i = j - 1;
+        let t = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
+        self.ys[i] + t * (self.ys[i + 1] - self.ys[i])
+    }
+
+    /// Smallest `x` with `eval(x) ≥ y` (generalized inverse). Values below
+    /// (above) the range map to the first (last) knot.
+    pub fn inverse(&self, y: f64) -> f64 {
+        let n = self.xs.len();
+        if y <= self.ys[0] {
+            return self.xs[0];
+        }
+        if y > self.ys[n - 1] {
+            return self.xs[n - 1];
+        }
+        let j = self.ys.partition_point(|&v| v < y);
+        let i = j.saturating_sub(1);
+        let dy = self.ys[i + 1] - self.ys[i];
+        if dy <= 0.0 {
+            return self.xs[i + 1];
+        }
+        let t = (y - self.ys[i]) / dy;
+        self.xs[i] + t * (self.xs[i + 1] - self.xs[i])
+    }
+
+    /// First knot abscissa.
+    pub fn x_min(&self) -> f64 {
+        self.xs[0]
+    }
+
+    /// Last knot abscissa.
+    pub fn x_max(&self) -> f64 {
+        *self.xs.last().expect("at least two knots")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0, 1.0]).is_ok());
+        assert!(PiecewiseLinear::new(vec![0.0], vec![0.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![1.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 1.0], vec![1.0, 0.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, f64::NAN], vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn eval_interpolates_and_clamps() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0, 3.0], vec![0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(f.eval(-1.0), 0.0);
+        assert_eq!(f.eval(0.0), 0.0);
+        assert!((f.eval(0.5) - 0.25).abs() < 1e-15);
+        assert!((f.eval(2.0) - 0.75).abs() < 1e-15);
+        assert_eq!(f.eval(3.0), 1.0);
+        assert_eq!(f.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0, 3.0], vec![0.0, 0.5, 1.0]).unwrap();
+        for y in [0.0, 0.1, 0.5, 0.75, 1.0] {
+            let x = f.inverse(y);
+            assert!((f.eval(x) - y).abs() < 1e-12, "y = {y}, x = {x}");
+        }
+    }
+
+    #[test]
+    fn inverse_on_flat_segment_takes_right_edge() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.5, 0.5, 1.0]).unwrap();
+        // y slightly above the plateau starts after the flat part.
+        assert!(f.inverse(0.5000001) >= 2.0 - 1e-5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Building histogram pdfs from raw observations.
+//!
+//! This is how uncertainty pdfs arise in practice in the paper's motivating
+//! applications: "Figure 1(b) shows the histogram of temperature values in
+//! a geographical area observed in a week. The pdf, represented as a
+//! histogram, is an arbitrary distribution between 10°C and 20°C." Sensor
+//! readings come in as samples; the database stores their histogram.
+//!
+//! Two binning rules are provided:
+//! * **equi-width** — fixed-width bins over the observed range (the paper's
+//!   figure);
+//! * **equi-depth** — bins chosen so each holds the same number of samples,
+//!   which adapts resolution to density and often yields tighter subregion
+//!   bounds for skewed data.
+
+use crate::error::PdfError;
+use crate::histogram::HistogramPdf;
+use crate::Result;
+
+/// Build an equi-width histogram pdf from raw samples.
+///
+/// The support is `[min, max]` of the samples (widened by a tiny epsilon
+/// when all samples coincide, since an uncertainty region must have
+/// positive width).
+pub fn histogram_from_samples(samples: &[f64], bins: usize) -> Result<HistogramPdf> {
+    if bins == 0 {
+        return Err(PdfError::NonPositiveParameter {
+            name: "bins",
+            value: 0.0,
+        });
+    }
+    if samples.is_empty() {
+        return Err(PdfError::ZeroMass);
+    }
+    if samples.iter().any(|x| !x.is_finite()) {
+        return Err(PdfError::InvalidDensity {
+            index: 0,
+            value: f64::NAN,
+        });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in samples {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if lo == hi {
+        // Degenerate: widen to a minimal region around the point.
+        let eps = lo.abs().max(1.0) * 1e-9;
+        lo -= eps;
+        hi += eps;
+    }
+    let w = (hi - lo) / bins as f64;
+    let edges: Vec<f64> = (0..=bins)
+        .map(|i| if i == bins { hi } else { lo + i as f64 * w })
+        .collect();
+    let mut masses = vec![0.0; bins];
+    for &x in samples {
+        let idx = (((x - lo) / w) as usize).min(bins - 1);
+        masses[idx] += 1.0;
+    }
+    HistogramPdf::from_masses(edges, masses)
+}
+
+/// Build an equi-depth histogram pdf from raw samples: `bins` bins, each
+/// holding (as nearly as possible) the same number of samples.
+pub fn equi_depth_from_samples(samples: &[f64], bins: usize) -> Result<HistogramPdf> {
+    if bins == 0 {
+        return Err(PdfError::NonPositiveParameter {
+            name: "bins",
+            value: 0.0,
+        });
+    }
+    if samples.len() < 2 {
+        return Err(PdfError::ZeroMass);
+    }
+    if samples.iter().any(|x| !x.is_finite()) {
+        return Err(PdfError::InvalidDensity {
+            index: 0,
+            value: f64::NAN,
+        });
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let bins = bins.min(n - 1).max(1);
+    // Quantile edges; duplicates collapse (massive ties merge bins).
+    let mut edges: Vec<f64> = Vec::with_capacity(bins + 1);
+    let mut masses: Vec<f64> = Vec::new();
+    edges.push(sorted[0]);
+    let mut prev_idx = 0usize;
+    for b in 1..=bins {
+        let idx = if b == bins {
+            n - 1
+        } else {
+            (b * (n - 1)) / bins
+        };
+        let edge = sorted[idx];
+        if edge > *edges.last().expect("non-empty") {
+            edges.push(edge);
+            masses.push((idx - prev_idx) as f64);
+            prev_idx = idx;
+        }
+    }
+    if edges.len() < 2 {
+        // All samples identical: fall back to the widened equi-width path.
+        return histogram_from_samples(samples, 1);
+    }
+    HistogramPdf::from_masses(edges, masses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Pdf;
+
+    #[test]
+    fn equi_width_counts_samples() {
+        // 10 samples in [0, 10): 6 in the left half, 4 in the right.
+        let samples = [0.5, 1.0, 2.0, 3.0, 4.0, 4.9, 6.0, 7.0, 8.0, 10.0];
+        let h = histogram_from_samples(&samples, 2).unwrap();
+        assert_eq!(h.bar_count(), 2);
+        assert!((h.mass_between(0.5, 5.25) - 0.6).abs() < 1e-12);
+        assert!((h.cdf(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_sample_lands_in_last_bin() {
+        let samples = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let h = histogram_from_samples(&samples, 4).unwrap();
+        // The sample at the exact max must not be dropped.
+        let total: f64 = h
+            .bars()
+            .map(|(lo, hi, d)| d * (hi - lo))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_get_minimal_width() {
+        let h = histogram_from_samples(&[5.0; 20], 4).unwrap();
+        let (lo, hi) = h.support();
+        assert!(lo < 5.0 && hi > 5.0);
+        assert!(hi - lo < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs_rejected() {
+        assert!(histogram_from_samples(&[], 4).is_err());
+        assert!(histogram_from_samples(&[1.0], 0).is_err());
+        assert!(histogram_from_samples(&[1.0, f64::NAN], 2).is_err());
+        assert!(equi_depth_from_samples(&[1.0], 4).is_err());
+        assert!(equi_depth_from_samples(&[1.0, f64::INFINITY], 2).is_err());
+    }
+
+    #[test]
+    fn equi_depth_balances_mass() {
+        // Strongly skewed data: most mass near 0.
+        let samples: Vec<f64> = (1..=1000).map(|i| (i as f64 / 1000.0).powi(4)).collect();
+        let h = equi_depth_from_samples(&samples, 10).unwrap();
+        // Each bin holds ≈ 10% of the mass.
+        for (lo, hi, d) in h.bars() {
+            let mass = d * (hi - lo);
+            assert!((mass - 0.1).abs() < 0.02, "bin [{lo}, {hi}] mass {mass}");
+        }
+        // Bins near zero are much narrower than bins near one.
+        let widths: Vec<f64> = h.bars().map(|(lo, hi, _)| hi - lo).collect();
+        assert!(widths[0] < widths[widths.len() - 1] / 10.0);
+    }
+
+    #[test]
+    fn equi_depth_handles_ties() {
+        let mut samples = vec![1.0; 50];
+        samples.extend(vec![2.0; 50]);
+        let h = equi_depth_from_samples(&samples, 10).unwrap();
+        // Duplicate quantile edges collapse; result is a valid pdf.
+        assert!((h.cdf(h.support().1) - 1.0).abs() < 1e-12);
+        assert!(h.bar_count() >= 1);
+    }
+
+    #[test]
+    fn large_sample_histogram_approximates_source() {
+        // Samples from a triangular-ish distribution via inverse cdf.
+        let source = crate::UniformPdf::new(0.0, 1.0).unwrap();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 20_000.0;
+                source.quantile(u).sqrt() // cdf x² → density 2x
+            })
+            .collect();
+        let h = histogram_from_samples(&samples, 50).unwrap();
+        // cdf(x) ≈ x² on [0, 1].
+        for x in [0.2, 0.5, 0.8] {
+            assert!((h.cdf(x) - x * x).abs() < 0.02, "x = {x}: {}", h.cdf(x));
+        }
+    }
+}

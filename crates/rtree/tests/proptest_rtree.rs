@@ -1,0 +1,161 @@
+//! Property tests: the R-tree must agree with brute force on every
+//! operation, for arbitrary inputs.
+
+use cpnn_rtree::{Params, RTree, Rect};
+use proptest::prelude::*;
+
+/// Strategy: a list of random 1-D intervals in [-100, 100].
+fn intervals(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-100.0f64..100.0, 0.01f64..20.0), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(lo, w)| (lo, lo + w)).collect())
+}
+
+fn build(ranges: &[(f64, f64)]) -> RTree<usize, 1> {
+    let mut t = RTree::new(Params::new(8, 3));
+    for (i, &(lo, hi)) in ranges.iter().enumerate() {
+        t.insert(Rect::interval(lo, hi), i);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_search_matches_brute_force(
+        ranges in intervals(200),
+        q_lo in -120.0f64..120.0,
+        q_w in 0.0f64..50.0,
+    ) {
+        let tree = build(&ranges);
+        prop_assert!(tree.check_invariants().is_ok());
+        let query = Rect::interval(q_lo, q_lo + q_w);
+        let mut got: Vec<usize> = tree
+            .search_intersecting(&query)
+            .into_iter()
+            .map(|(_, &i)| i)
+            .collect();
+        got.sort_unstable();
+        let want: Vec<usize> = ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, &(lo, hi))| lo <= q_lo + q_w && q_lo <= hi)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(ranges in intervals(150), q in -120.0f64..120.0) {
+        let incr = build(&ranges);
+        let packed = RTree::bulk_load(
+            ranges.iter().enumerate().map(|(i, &(lo, hi))| (Rect::interval(lo, hi), i)).collect(),
+        );
+        prop_assert_eq!(incr.len(), packed.len());
+        let query = Rect::interval(q, q + 10.0);
+        let norm = |mut v: Vec<usize>| { v.sort_unstable(); v };
+        let a = norm(incr.search_intersecting(&query).into_iter().map(|(_, &i)| i).collect());
+        let b = norm(packed.search_intersecting(&query).into_iter().map(|(_, &i)| i).collect());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_matches_brute_force(ranges in intervals(120), q in -120.0f64..120.0, k in 1usize..20) {
+        let tree = build(&ranges);
+        let got: Vec<f64> = tree
+            .k_nearest_neighbors(&[q], k)
+            .into_iter()
+            .map(|(_, d)| d)
+            .collect();
+        let mut want: Vec<f64> = ranges
+            .iter()
+            .map(|&(lo, hi)| if q >= lo && q <= hi { 0.0 } else { (lo - q).abs().min((q - hi).abs()) })
+            .collect();
+        want.sort_by(f64::total_cmp);
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn pnn_filter_matches_brute_force(ranges in intervals(150), q in -120.0f64..120.0) {
+        let tree = build(&ranges);
+        let (cands, stats) = tree.pnn_candidates(&[q]);
+        let mut got: Vec<usize> = cands.iter().map(|c| *c.item).collect();
+        got.sort_unstable();
+
+        let near = |&(lo, hi): &(f64, f64)| if q >= lo && q <= hi { 0.0 } else { (lo - q).abs().min((q - hi).abs()) };
+        let far = |&(lo, hi): &(f64, f64)| (q - lo).abs().max((q - hi).abs());
+        let fmin = ranges.iter().map(far).fold(f64::INFINITY, f64::min);
+        let want: Vec<usize> = ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| near(r) <= fmin)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert!((stats.fmin - fmin).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_then_remove_everything_leaves_empty_tree(ranges in intervals(80)) {
+        let mut tree = build(&ranges);
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            let removed = tree.remove_one(&Rect::interval(lo, hi), |&id| id == i);
+            prop_assert_eq!(removed, Some(i));
+            prop_assert!(tree.check_invariants().is_ok());
+        }
+        prop_assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn two_dimensional_search_matches_brute_force(
+        boxes in prop::collection::vec(
+            (-50.0f64..50.0, -50.0f64..50.0, 0.1f64..10.0, 0.1f64..10.0),
+            1..120,
+        ),
+        qx in -60.0f64..60.0,
+        qy in -60.0f64..60.0,
+        qw in 0.0f64..30.0,
+    ) {
+        let rects: Vec<Rect<2>> = boxes
+            .iter()
+            .map(|&(x, y, w, h)| Rect::new([x, y], [x + w, y + h]))
+            .collect();
+        let mut tree: RTree<usize, 2> = RTree::new(Params::new(8, 3));
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        prop_assert!(tree.check_invariants().is_ok());
+        let query = Rect::new([qx, qy], [qx + qw, qy + qw]);
+        let mut got: Vec<usize> = tree
+            .search_intersecting(&query)
+            .into_iter()
+            .map(|(_, &i)| i)
+            .collect();
+        got.sort_unstable();
+        let want: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+        // And the 2-D PNN filter agrees with brute force.
+        let q = [qx, qy];
+        let (cands, stats) = tree.pnn_candidates(&q);
+        let fmin = rects.iter().map(|r| r.max_dist(&q)).fold(f64::INFINITY, f64::min);
+        let mut got: Vec<usize> = cands.iter().map(|c| *c.item).collect();
+        got.sort_unstable();
+        let want: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.min_dist(&q) <= fmin)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert!((stats.fmin - fmin).abs() < 1e-9);
+    }
+}

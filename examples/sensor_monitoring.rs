@@ -1,0 +1,64 @@
+//! Sensor monitoring: the paper's motivating scientific application
+//! (Sec. I): sensors report noisy temperatures as histogram pdfs; analysts
+//! ask which district's temperature is closest to a centroid, and which
+//! sensor reads the minimum — a min-query being "a special case of PNN,
+//! since it can be characterized as a PNN by setting q to −∞".
+//!
+//! Run with: `cargo run --example sensor_monitoring`
+
+use cpnn::core::{CpnnQuery, ObjectId, Strategy, UncertainDb, UncertainObject};
+use cpnn::pdf::HistogramPdf;
+
+/// A sensor whose weekly temperature readings form a histogram (paper
+/// Fig. 1(b): arbitrary pdf between 10 °C and 20 °C).
+fn sensor(id: u64, lo: f64, masses: &[f64]) -> UncertainObject {
+    let n = masses.len();
+    let edges: Vec<f64> = (0..=n).map(|k| lo + k as f64).collect();
+    UncertainObject::from_histogram(
+        ObjectId(id),
+        HistogramPdf::from_masses(edges, masses.to_vec()).expect("valid histogram"),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Eight districts; each sensor's pdf is a per-degree histogram.
+    let sensors = vec![
+        sensor(0, 10.0, &[0.1, 0.3, 0.4, 0.2]),        // 10–14 °C
+        sensor(1, 12.0, &[0.2, 0.5, 0.2, 0.1]),        // 12–16 °C
+        sensor(2, 13.0, &[0.05, 0.15, 0.4, 0.3, 0.1]), // 13–18 °C
+        sensor(3, 15.0, &[0.3, 0.4, 0.3]),             // 15–18 °C
+        sensor(4, 16.0, &[0.25, 0.5, 0.25]),           // 16–19 °C
+        sensor(5, 11.0, &[0.6, 0.3, 0.1]),             // 11–14 °C
+        sensor(6, 17.5, &[0.2, 0.6, 0.2]),             // 17.5–20.5 °C
+        sensor(7, 14.0, &[0.1, 0.8, 0.1]),             // 14–17 °C
+    ];
+    let db = UncertainDb::build(sensors)?;
+
+    // --- Which district is closest to the 15 °C cluster centroid? --------
+    let centroid = 15.0;
+    let pnn = db.pnn(centroid)?;
+    println!("Districts closest to the {centroid} °C centroid:");
+    for (id, p) in pnn.probabilities.iter().take(4) {
+        println!("  sensor {id}: {:5.1}%", 100.0 * p);
+    }
+
+    // --- Confident answers only: P = 25%, Δ = 1%. ------------------------
+    let res = db.cpnn(&CpnnQuery::new(centroid, 0.25, 0.01), Strategy::Verified)?;
+    println!(
+        "\nC-PNN (P = 25%): {:?} — verification resolved it: {}",
+        res.answers, res.stats.resolved_by_verification
+    );
+
+    // --- Min-query: which sensor reads the minimum temperature? ----------
+    let min = db.pnn_min()?;
+    println!("\nPr[sensor yields the minimum temperature]:");
+    for (id, p) in min.probabilities.iter().filter(|(_, p)| *p > 1e-9) {
+        println!("  sensor {id}: {:5.1}%", 100.0 * p);
+    }
+
+    // --- Max-query, same machinery at the other end. ----------------------
+    let max = db.pnn_max()?;
+    let (top, p) = max.probabilities[0];
+    println!("\nMost likely maximum: sensor {top} ({:.1}%)", 100.0 * p);
+    Ok(())
+}

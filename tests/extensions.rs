@@ -1,0 +1,131 @@
+//! Integration tests for the beyond-the-paper features on generated
+//! workloads: extended verifier chain, persistence, batch execution, k-NN
+//! and range queries.
+
+use cpnn::core::persist::{load_snapshot, save_snapshot};
+use cpnn::core::{CpnnQuery, EngineConfig, Strategy, UncertainDb};
+use cpnn::datagen::{longbeach::longbeach_with, query_points, LongBeachConfig};
+
+fn dataset(seed: u64, count: usize) -> Vec<cpnn::core::UncertainObject> {
+    longbeach_with(
+        seed,
+        LongBeachConfig {
+            count,
+            ..LongBeachConfig::default()
+        },
+    )
+}
+
+#[test]
+fn extended_chain_answers_match_and_never_add_refinement() {
+    let data = dataset(41, 4_000);
+    let paper = UncertainDb::build(data.clone()).unwrap();
+    let extended = UncertainDb::with_config(
+        data,
+        EngineConfig {
+            extended_verifiers: true,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let mut paper_integrations = 0usize;
+    let mut extended_integrations = 0usize;
+    for q in query_points(42, 12) {
+        for p in [0.05, 0.1, 0.3] {
+            let query = CpnnQuery::new(q, p, 0.01);
+            let a = paper.cpnn(&query, Strategy::Verified).unwrap();
+            let b = extended.cpnn(&query, Strategy::Verified).unwrap();
+            assert_eq!(a.answers, b.answers, "q = {q}, P = {p}");
+            paper_integrations += a.stats.integrations;
+            extended_integrations += b.stats.integrations;
+        }
+    }
+    assert!(
+        extended_integrations <= paper_integrations,
+        "FL-SR must not add refinement work: {extended_integrations} vs {paper_integrations}"
+    );
+}
+
+#[test]
+fn snapshot_round_trip_on_generated_workload() {
+    let db = UncertainDb::build(dataset(43, 2_500)).unwrap();
+    let mut buf = Vec::new();
+    save_snapshot(&db, &mut buf).unwrap();
+    let loaded = load_snapshot(buf.as_slice()).unwrap();
+    assert_eq!(loaded.len(), db.len());
+    for q in query_points(44, 6) {
+        let query = CpnnQuery::new(q, 0.3, 0.01);
+        let a = db.cpnn(&query, Strategy::Verified).unwrap();
+        let b = loaded.cpnn(&query, Strategy::Verified).unwrap();
+        assert_eq!(a.answers, b.answers, "q = {q}");
+    }
+}
+
+#[test]
+fn parallel_batch_equals_sequential_on_workload() {
+    let db = UncertainDb::build(dataset(45, 3_000)).unwrap();
+    let queries: Vec<CpnnQuery> = query_points(46, 24)
+        .into_iter()
+        .map(|q| CpnnQuery::new(q, 0.3, 0.01))
+        .collect();
+    let seq = db.cpnn_batch(&queries, Strategy::Verified, 1);
+    let par = db.cpnn_batch(&queries, Strategy::Verified, 8);
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.as_ref().unwrap().answers, p.as_ref().unwrap().answers);
+    }
+}
+
+#[test]
+fn knn_on_workload_is_consistent_across_k() {
+    let db = UncertainDb::build(dataset(47, 2_000)).unwrap();
+    let q = 5_000.0;
+    let p1 = db.pknn(q, 1).unwrap();
+    let p3 = db.pknn(q, 3).unwrap();
+    // k = 3 probabilities sum to ~3 and dominate the k = 1 values of the
+    // same objects.
+    let total: f64 = p3.probabilities.iter().map(|(_, p)| p).sum();
+    assert!((total - 3.0).abs() < 1e-4, "sum = {total}");
+    for (id, p) in &p1.probabilities {
+        let p3v = p3
+            .probabilities
+            .iter()
+            .find(|(i, _)| i == id)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        assert!(p3v >= p - 1e-6, "object {id}: k3 {p3v} < k1 {p}");
+    }
+    // Constrained variant agrees with thresholding.
+    let res = db.cknn(q, 3, 0.5, 0.0).unwrap();
+    let want: Vec<_> = {
+        let mut v: Vec<_> = p3
+            .probabilities
+            .iter()
+            .filter(|(_, p)| *p >= 0.5)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(res.answers, want);
+}
+
+#[test]
+fn range_query_on_workload_matches_scan() {
+    let db = UncertainDb::build(dataset(48, 2_000)).unwrap();
+    let (lo, hi) = (4_000.0, 4_050.0);
+    let res = db.range_query(lo, hi, 0.4).unwrap();
+    // Brute-force reference.
+    use cpnn::pdf::Pdf as _;
+    let mut want: Vec<(cpnn::core::ObjectId, f64)> = db
+        .objects()
+        .iter()
+        .map(|o| (o.id(), o.pdf().mass_between(lo, hi)))
+        .filter(|(_, p)| *p >= 0.4)
+        .collect();
+    want.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    assert_eq!(res.len(), want.len());
+    for (got, want) in res.iter().zip(&want) {
+        assert_eq!(got.id, want.0);
+        assert!((got.probability - want.1).abs() < 1e-12);
+    }
+}
