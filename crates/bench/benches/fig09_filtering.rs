@@ -3,10 +3,10 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpnn_bench::experiments::DEFAULT_P;
 use cpnn_core::{CpnnQuery, Strategy, UncertainDb};
 use cpnn_datagen::{longbeach::longbeach_with, query_points, LongBeachConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09");

@@ -3,10 +3,10 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpnn_bench::experiments::longbeach_db;
 use cpnn_core::{CpnnQuery, Strategy};
 use cpnn_datagen::query_points;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let db = longbeach_db(true);
@@ -22,18 +22,14 @@ fn bench(c: &mut Criterion) {
             ("refine", Strategy::RefineOnly),
             ("vr", Strategy::Verified),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("P={p}")),
-                &db,
-                |b, db| {
-                    let mut i = 0;
-                    b.iter(|| {
-                        let q = queries[i % queries.len()];
-                        i += 1;
-                        db.cpnn(&CpnnQuery::new(q, p, 0.01), strategy).unwrap()
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, format!("P={p}")), &db, |b, db| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = queries[i % queries.len()];
+                    i += 1;
+                    db.cpnn(&CpnnQuery::new(q, p, 0.01), strategy).unwrap()
+                });
+            });
         }
     }
     group.finish();

@@ -3,11 +3,11 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpnn_core::verifiers::{
     LowerSubregion, RightmostSubregion, UpperSubregion, VerificationState, Verifier,
 };
 use cpnn_core::{CandidateSet, ObjectId, SubregionTable, UncertainObject};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn controlled_table(c: usize) -> SubregionTable {
     let objects: Vec<UncertainObject> = (0..c)

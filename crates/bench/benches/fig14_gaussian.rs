@@ -3,9 +3,9 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpnn_core::{CpnnQuery, Strategy, UncertainDb};
 use cpnn_datagen::{gaussian_variant, longbeach::longbeach_with, query_points, LongBeachConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let cfg = LongBeachConfig {

@@ -65,18 +65,33 @@ pub fn refinement_order(quick: bool) -> Table {
     let mut table = Table::new(
         "Ablation B",
         "refinement order: largest-mass-first vs left-to-right",
-        &["P", "desc-mass integ.", "left-right integ.", "desc (ms)", "ltr (ms)"],
+        &[
+            "P",
+            "desc-mass integ.",
+            "left-right integ.",
+            "desc (ms)",
+            "ltr (ms)",
+        ],
     );
     table.note("fewer integrations per refined object = earlier classification");
     for p in [0.2, 0.3, 0.4, 0.5] {
         let mut results = Vec::new();
-        for order in [RefinementOrder::DescendingMass, RefinementOrder::LeftToRight] {
+        for order in [
+            RefinementOrder::DescendingMass,
+            RefinementOrder::LeftToRight,
+        ] {
             let config = EngineConfig {
                 refinement_order: order,
                 ..EngineConfig::default()
             };
             let db = UncertainDb::with_config(data.clone(), config).expect("valid data");
-            results.push(run_queries(&db, &queries, p, DEFAULT_DELTA, Strategy::Verified));
+            results.push(run_queries(
+                &db,
+                &queries,
+                p,
+                DEFAULT_DELTA,
+                Strategy::Verified,
+            ));
         }
         table.push_row(vec![
             format!("{p:.1}"),
@@ -103,7 +118,13 @@ pub fn extended_chain(quick: bool) -> Table {
     let mut table = Table::new(
         "Ablation D",
         "paper chain (RS,L-SR,U-SR) vs extended (+FL-SR)",
-        &["P", "paper (ms)", "+FL-SR (ms)", "paper integ.", "+FL-SR integ."],
+        &[
+            "P",
+            "paper (ms)",
+            "+FL-SR (ms)",
+            "paper integ.",
+            "+FL-SR integ.",
+        ],
     );
     table.note("FL-SR adds one O(|C|·M) pass; it pays off when it saves refinement integrations");
     for p in [0.05, 0.1, 0.3] {
@@ -114,7 +135,13 @@ pub fn extended_chain(quick: bool) -> Table {
                 ..EngineConfig::default()
             };
             let db = UncertainDb::with_config(data.clone(), config).expect("valid data");
-            results.push(run_queries(&db, &queries, p, DEFAULT_DELTA, Strategy::Verified));
+            results.push(run_queries(
+                &db,
+                &queries,
+                p,
+                DEFAULT_DELTA,
+                Strategy::Verified,
+            ));
         }
         table.push_row(vec![
             format!("{p:.2}"),

@@ -1,0 +1,73 @@
+//! Batch scaling — beyond the paper: throughput of the batch executor on a
+//! 10k-query workload as worker threads grow. The per-query work is
+//! unchanged (identical answers at every thread count — the parity tests
+//! assert this); what this experiment measures is how close the executor
+//! gets to linear wall-clock scaling on the machine it runs on.
+
+use cpnn_core::Strategy;
+
+use crate::experiments::{longbeach_db, DEFAULT_DELTA, DEFAULT_P};
+use crate::harness::run_queries_batched;
+use crate::report::Table;
+use cpnn_datagen::query_points;
+
+/// Thread counts to sweep: powers of two up to the core count, and always
+/// at least `[1, 2, 4]` — on a single-core box the extra rows demonstrate
+/// that oversubscription costs (almost) nothing, on a multi-core box they
+/// show the actual speedup.
+pub fn thread_sweep() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4];
+    let mut t = 8;
+    while t < cores {
+        counts.push(t);
+        t *= 2;
+    }
+    if cores > 4 {
+        counts.push(cores);
+    }
+    counts
+}
+
+/// Run the experiment. Columns: threads, wall-clock ms for the whole batch,
+/// throughput (queries/s), and speedup over one thread.
+pub fn run(quick: bool) -> Table {
+    let db = longbeach_db(quick);
+    let n_queries = if quick { 2_000 } else { 10_000 };
+    let queries = query_points(0xBA7C4, n_queries);
+    let mut table = Table::new(
+        "Batch",
+        &format!("Batch-executor scaling on a {n_queries}-query VR workload"),
+        &["threads", "wall (ms)", "queries/s", "speedup"],
+    );
+    table.note(format!(
+        "{} queries, |T| = {}, P = {DEFAULT_P}, Δ = {DEFAULT_DELTA}, strategy VR, {} core(s)",
+        n_queries,
+        db.len(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    let mut base_wall = None;
+    for threads in thread_sweep() {
+        let s = run_queries_batched(
+            &db,
+            &queries,
+            DEFAULT_P,
+            DEFAULT_DELTA,
+            Strategy::Verified,
+            threads,
+        );
+        let wall = s.wall_time.as_secs_f64() * 1e3;
+        let base = *base_wall.get_or_insert(wall);
+        table.push_row(vec![
+            threads.to_string(),
+            format!("{wall:.1}"),
+            format!("{:.0}", s.throughput()),
+            format!("{:.2}x", base / wall.max(1e-9)),
+        ]);
+    }
+    table
+}

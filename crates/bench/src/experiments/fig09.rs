@@ -5,9 +5,9 @@
 use cpnn_core::Strategy;
 use cpnn_datagen::{longbeach::longbeach_with, LongBeachConfig};
 
+use crate::experiments::{workload_queries, DEFAULT_DELTA, DEFAULT_P};
 use crate::harness::run_queries;
 use crate::report::{frac, ms, Table};
-use crate::experiments::{workload_queries, DEFAULT_DELTA, DEFAULT_P};
 
 /// Run the experiment. Columns: dataset size, filtering ms, Basic ms, and
 /// the fraction of total time spent in Basic (the paper's y-axis).
@@ -21,7 +21,13 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "Fig. 9",
         "Basic vs. Filtering time as |T| grows",
-        &["|T|", "filter (ms)", "basic eval (ms)", "basic share", "avg |C|"],
+        &[
+            "|T|",
+            "filter (ms)",
+            "basic eval (ms)",
+            "basic share",
+            "avg |C|",
+        ],
     );
     table.note("paper: Basic starts to dominate filtering beyond |T| ≈ 5,000");
     for &size in &sizes {

@@ -32,10 +32,8 @@ pub fn run(quick: bool) -> Table {
         let basic = run_queries(&db, &queries, p, DEFAULT_DELTA, Strategy::Basic);
         let refine = run_queries(&db, &queries, p, DEFAULT_DELTA, Strategy::RefineOnly);
         let vr = run_queries(&db, &queries, p, DEFAULT_DELTA, Strategy::Verified);
-        let vr_over_basic =
-            vr.avg_total.as_secs_f64() / basic.avg_total.as_secs_f64().max(1e-12);
-        let refine_over_vr =
-            refine.avg_total.as_secs_f64() / vr.avg_total.as_secs_f64().max(1e-12);
+        let vr_over_basic = vr.avg_total.as_secs_f64() / basic.avg_total.as_secs_f64().max(1e-12);
+        let refine_over_vr = refine.avg_total.as_secs_f64() / vr.avg_total.as_secs_f64().max(1e-12);
         table.push_row(vec![
             format!("{p:.1}"),
             ms(basic.avg_total),

@@ -27,7 +27,12 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "Fig. 13",
         "queries finished after verification vs. tolerance Δ",
-        &["Δ", "finished fraction", "VR time (ms)", "avg refine integ."],
+        &[
+            "Δ",
+            "finished fraction",
+            "VR time (ms)",
+            "avg refine integ.",
+        ],
     );
     table.note("paper: ≈10% more queries complete at Δ = 0.16 than at Δ = 0");
     table.note(format!("run at P = {SWEEP_P} — see EXPERIMENTS.md"));

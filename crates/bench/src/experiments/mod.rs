@@ -3,6 +3,7 @@
 //! rows/series the paper plots.
 
 pub mod ablations;
+pub mod batch;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;

@@ -48,7 +48,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "Table III",
         "verifier cost scaling with |C| (and M)",
-        &["|C|", "M", "RS (ms)", "L-SR (ms)", "U-SR (ms)", "exact eval (ms)"],
+        &[
+            "|C|",
+            "M",
+            "RS (ms)",
+            "L-SR (ms)",
+            "U-SR (ms)",
+            "exact eval (ms)",
+        ],
     );
     table.note("paper: RS = O(|C|); L-SR, U-SR = O(|C|·M); exact = O(|C|²·M)");
     for &c in &sizes {

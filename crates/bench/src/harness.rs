@@ -1,9 +1,14 @@
 //! Query-set runner: executes a batch of queries under one strategy and
 //! aggregates the per-phase statistics the figures plot.
+//!
+//! Both entry points route through [`BatchExecutor`]: [`run_queries`] on a
+//! single worker (the paper's per-query measurements), and
+//! [`run_queries_batched`] across a chosen thread count (the batch-scaling
+//! experiment).
 
 use std::time::Duration;
 
-use cpnn_core::{CpnnQuery, Strategy, UncertainDb};
+use cpnn_core::{BatchExecutor, CpnnQuery, Strategy, UncertainDb};
 
 /// Aggregated statistics over a query set (each paper graph point "is an
 /// average of the results for 100 queries").
@@ -32,7 +37,31 @@ pub struct RunSummary {
     pub unknown_fraction_after: Vec<(&'static str, f64)>,
 }
 
-/// Run every query in `queries` with the given parameters and aggregate.
+/// Timing of a parallel batch run: the aggregated per-query statistics
+/// plus the end-to-end wall clock the thread count actually delivered.
+#[derive(Debug, Clone)]
+pub struct BatchRunSummary {
+    /// Per-query aggregation (identical in shape to a sequential run).
+    pub run: RunSummary,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time of the whole batch.
+    pub wall_time: Duration,
+}
+
+impl BatchRunSummary {
+    /// Queries per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.run.queries as f64 / secs
+    }
+}
+
+/// Run every query in `queries` with the given parameters and aggregate
+/// (single worker; per-query timings are undisturbed by contention).
 pub fn run_queries(
     db: &UncertainDb,
     queries: &[f64],
@@ -40,6 +69,26 @@ pub fn run_queries(
     tolerance: f64,
     strategy: Strategy,
 ) -> RunSummary {
+    run_queries_batched(db, queries, threshold, tolerance, strategy, 1).run
+}
+
+/// Run the query set across `threads` workers through the batch executor
+/// (`0` = one per core) and aggregate.
+pub fn run_queries_batched(
+    db: &UncertainDb,
+    queries: &[f64],
+    threshold: f64,
+    tolerance: f64,
+    strategy: Strategy,
+    threads: usize,
+) -> BatchRunSummary {
+    let batch: Vec<CpnnQuery> = queries
+        .iter()
+        .map(|&q| CpnnQuery::new(q, threshold, tolerance))
+        .collect();
+    let executor = BatchExecutor::new(threads);
+    let out = executor.run_cpnn(db, &batch, strategy, &db.config().pipeline());
+
     let mut sum = RunSummary {
         queries: queries.len(),
         ..Default::default()
@@ -55,10 +104,8 @@ pub fn run_queries(
     // stage name -> (sum of fractions, count)
     let mut stage_acc: Vec<(&'static str, f64, usize)> = Vec::new();
 
-    for &q in queries {
-        let res = db
-            .cpnn(&CpnnQuery::new(q, threshold, tolerance), strategy)
-            .expect("query evaluation succeeds");
+    for res in &out.results {
+        let res = res.as_ref().expect("query evaluation succeeds");
         let s = &res.stats;
         total += s.total_time();
         filter += s.filter_time;
@@ -101,7 +148,11 @@ pub fn run_queries(
         // to report, so normalize by the query count, not the stage count.
         .map(|(name, acc, _)| (name, acc / n as f64))
         .collect();
-    sum
+    BatchRunSummary {
+        run: sum,
+        threads: out.summary.threads,
+        wall_time: out.summary.wall_time,
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +166,21 @@ mod tests {
             ..LongBeachConfig::default()
         };
         UncertainDb::build(longbeach_with(3, cfg)).unwrap()
+    }
+
+    #[test]
+    fn batched_run_matches_sequential_aggregation() {
+        let db = db();
+        let queries = query_points(9, 12);
+        let seq = run_queries(&db, &queries, 0.3, 0.01, Strategy::Verified);
+        let par = run_queries_batched(&db, &queries, 0.3, 0.01, Strategy::Verified, 4);
+        assert_eq!(par.threads, 4);
+        assert_eq!(seq.queries, par.run.queries);
+        // Work counters are deterministic; timings are not.
+        assert_eq!(seq.avg_candidates, par.run.avg_candidates);
+        assert_eq!(seq.avg_integrations, par.run.avg_integrations);
+        assert_eq!(seq.resolved_fraction, par.run.resolved_fraction);
+        assert!(par.throughput() > 0.0);
     }
 
     #[test]

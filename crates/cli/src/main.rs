@@ -6,6 +6,8 @@
 //! cpnn pnn data.cpnn --q 4200                              # exact probabilities
 //! cpnn cpnn data.cpnn --q 4200 --p 0.3 --delta 0.01        # constrained query (VR)
 //! cpnn cpnn data.cpnn --q 4200 --p 0.3 --strategy basic    # baseline strategies
+//! cpnn cpnn data.cpnn --batch 10000 --threads 8 --p 0.3    # parallel batch over
+//!                                                          # random query points
 //! cpnn knn data.cpnn --q 4200 --k 3 --p 0.5                # constrained k-NN
 //! cpnn range data.cpnn --lo 100 --hi 200 --p 0.5           # probabilistic range
 //! ```
@@ -14,8 +16,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cpnn_core::persist::{load_from_path, save_to_path};
-use cpnn_core::{CpnnQuery, Strategy, UncertainDb};
-use cpnn_datagen::{longbeach::longbeach_with, LongBeachConfig};
+use cpnn_core::{BatchExecutor, CpnnQuery, Strategy, UncertainDb};
+use cpnn_datagen::{longbeach::longbeach_with, query_points_in, LongBeachConfig};
 
 mod args;
 
@@ -61,6 +63,9 @@ fn print_usage() {
          \x20 info FILE                                    dataset statistics\n\
          \x20 pnn FILE --q Q [--top N]                     exact qualification probabilities\n\
          \x20 cpnn FILE --q Q --p P [--delta D] [--strategy vr|basic|refine|mc]\n\
+         \x20 cpnn FILE --batch N --p P [--threads T] [--seed S] [--delta D] [--strategy S]\n\
+         \x20                                              batch over N random query points\n\
+         \x20                                              (T = 0 means one per core)\n\
          \x20 knn FILE --q Q --k K --p P [--delta D]       constrained probabilistic k-NN\n\
          \x20 range FILE --lo A --hi B --p P               probabilistic range query"
     );
@@ -150,10 +155,16 @@ fn parse_strategy(name: &str) -> Result<Strategy, UsageError> {
 
 fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let db = load(bag)?;
+    if let Some(count) = bag.optional::<usize>("batch")? {
+        return cpnn_batch(bag, &db, count);
+    }
     let q: f64 = bag.required("q")?;
     let p: f64 = bag.required("p")?;
     let delta: f64 = bag.optional("delta")?.unwrap_or(0.01);
-    let strategy = parse_strategy(&bag.optional::<String>("strategy")?.unwrap_or_else(|| "vr".into()))?;
+    let strategy = parse_strategy(
+        &bag.optional::<String>("strategy")?
+            .unwrap_or_else(|| "vr".into()),
+    )?;
     bag.finish()?;
     let res = db.cpnn(&CpnnQuery::new(q, p, delta), strategy)?;
     println!(
@@ -169,6 +180,63 @@ fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     );
     for r in res.reports.iter().filter(|r| r.bound.hi() > 0.01) {
         println!("  {}: {} -> {:?}", r.id, r.bound, r.label);
+    }
+    Ok(())
+}
+
+/// `cpnn FILE --batch N`: evaluate `N` random query points concurrently
+/// through the batch executor and report aggregate statistics.
+fn cpnn_batch(
+    bag: &mut ArgBag,
+    db: &UncertainDb,
+    count: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let p: f64 = bag.required("p")?;
+    let delta: f64 = bag.optional("delta")?.unwrap_or(0.01);
+    let threads: usize = bag.optional("threads")?.unwrap_or(0);
+    let seed: u64 = bag.optional("seed")?.unwrap_or(42);
+    let strategy = parse_strategy(
+        &bag.optional::<String>("strategy")?
+            .unwrap_or_else(|| "vr".into()),
+    )?;
+    bag.finish()?;
+    let (lo, hi) = db.domain().unwrap_or((0.0, 1.0));
+    let queries: Vec<CpnnQuery> = query_points_in(seed, count, lo, hi)
+        .into_iter()
+        .map(|q| CpnnQuery::new(q, p, delta))
+        .collect();
+    let executor = BatchExecutor::new(threads);
+    let out = executor.run_cpnn(db, &queries, strategy, &db.config().pipeline());
+    let s = &out.summary;
+    println!(
+        "{} queries on {} threads in {:?}  ({:.0} queries/s, parallel efficiency {:.2}x)",
+        s.queries,
+        s.threads,
+        s.wall_time,
+        s.throughput(),
+        s.parallel_efficiency()
+    );
+    println!(
+        "errors {} | answers {} | avg candidates {:.1} | resolved by verification {:.1}%",
+        s.errors,
+        s.answers,
+        s.candidates as f64 / s.queries.max(1) as f64,
+        100.0 * s.resolved_by_verification as f64 / s.queries.max(1) as f64
+    );
+    println!(
+        "per-query time: filter {:?} | init {:?} | verify {:?} | refine {:?}",
+        s.filter_time / s.queries.max(1) as u32,
+        s.init_time / s.queries.max(1) as u32,
+        s.verify_time / s.queries.max(1) as u32,
+        s.refine_time / s.queries.max(1) as u32
+    );
+    if let Some(err) = out.results.iter().filter_map(|r| r.as_ref().err()).next() {
+        if s.errors == s.queries {
+            // Every query failed (e.g. an invalid threshold): that is a
+            // usage error, not a result.
+            return Err(Box::new(err.clone()));
+        }
+        eprintln!("first of {} error(s): {err}", s.errors);
     }
     Ok(())
 }
@@ -197,7 +265,10 @@ fn range(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let p: f64 = bag.required("p")?;
     bag.finish()?;
     let res = db.range_query(lo, hi, p)?;
-    println!("{} object(s) in [{lo}, {hi}] with probability >= {p}:", res.len());
+    println!(
+        "{} object(s) in [{lo}, {hi}] with probability >= {p}:",
+        res.len()
+    );
     for a in res.iter().take(20) {
         println!("  {}: {:.4}", a.id, a.probability);
     }

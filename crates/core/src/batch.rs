@@ -1,0 +1,352 @@
+//! Parallel batch execution of constrained queries.
+//!
+//! A production deployment of the paper's engine does not answer one query
+//! at a time: location services and sensor dashboards issue thousands of
+//! C-PNN queries against the same immutable snapshot. [`BatchExecutor`]
+//! evaluates a batch concurrently with plain `std::thread` scoped workers
+//! (no external runtime):
+//!
+//! * the database ([`DistanceModel`]) is shared by reference — queries are
+//!   read-only, so no locking is needed on the data;
+//! * workers pull query indices from a shared atomic counter
+//!   (work-stealing by construction: short and long queries balance
+//!   automatically, unlike static chunking);
+//! * each worker owns a [`QueryScratch`], so the verification state and
+//!   stage buffers are reused across the queries it executes instead of
+//!   being reallocated per query;
+//! * results come back in input order and are bitwise identical to a
+//!   sequential run, whatever the thread count — each query's evaluation
+//!   (including Monte-Carlo seeding) is deterministic and independent.
+//!
+//! [`BatchSummary`] aggregates the per-phase [`QueryStats`] the paper's
+//! figures plot, plus wall-clock time and throughput for scaling studies
+//! (`repro`'s `batch` experiment sweeps the thread count over a 10k-query
+//! workload).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::error::Result;
+use crate::pipeline::{
+    cpnn_with, CpnnQuery, CpnnResult, DistanceModel, PipelineConfig, QueryScratch, QuerySpec,
+    QueryStats, Strategy,
+};
+
+/// Evaluates batches of constrained queries across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    threads: usize,
+}
+
+impl BatchExecutor {
+    /// Executor with an explicit thread count; `0` means "one per available
+    /// core".
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluate `(query point, spec)` pairs against `model`. Results are in
+    /// input order; per-query errors surface in their slot.
+    pub fn run<M>(
+        &self,
+        model: &M,
+        queries: &[(M::Query, QuerySpec)],
+        cfg: &PipelineConfig,
+    ) -> BatchOutcome
+    where
+        M: DistanceModel + Sync,
+        M::Query: Sync,
+    {
+        self.run_indexed(model, queries.len(), cfg, |i| queries[i])
+    }
+
+    /// Evaluate many query points under one shared spec.
+    pub fn run_uniform<M>(
+        &self,
+        model: &M,
+        points: &[M::Query],
+        spec: &QuerySpec,
+        cfg: &PipelineConfig,
+    ) -> BatchOutcome
+    where
+        M: DistanceModel + Sync,
+        M::Query: Sync,
+    {
+        self.run_indexed(model, points.len(), cfg, |i| (points[i], *spec))
+    }
+
+    /// 1-D convenience: evaluate [`CpnnQuery`]s (point + threshold +
+    /// tolerance) under one strategy against any `f64`-queried model.
+    pub fn run_cpnn<M>(
+        &self,
+        model: &M,
+        queries: &[CpnnQuery],
+        strategy: Strategy,
+        cfg: &PipelineConfig,
+    ) -> BatchOutcome
+    where
+        M: DistanceModel<Query = f64> + Sync,
+    {
+        self.run_indexed(model, queries.len(), cfg, |i| {
+            let q = queries[i];
+            (q.q, QuerySpec::nn(q.threshold, q.tolerance, strategy))
+        })
+    }
+
+    fn run_indexed<M, F>(&self, model: &M, n: usize, cfg: &PipelineConfig, job: F) -> BatchOutcome
+    where
+        M: DistanceModel + Sync,
+        F: Fn(usize) -> (M::Query, QuerySpec) + Sync,
+    {
+        let threads = self.threads.min(n.max(1));
+        let wall_start = Instant::now();
+        let results: Vec<Result<CpnnResult>> = if threads <= 1 {
+            let mut scratch = QueryScratch::new();
+            (0..n)
+                .map(|i| {
+                    let (q, spec) = job(i);
+                    cpnn_with(model, &q, &spec, cfg, &mut scratch)
+                })
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, Result<CpnnResult>)>> =
+                Mutex::new(Vec::with_capacity(n));
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let mut scratch = QueryScratch::new();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let (q, spec) = job(i);
+                            local.push((i, cpnn_with(model, &q, &spec, cfg, &mut scratch)));
+                        }
+                        collected.lock().expect("no worker panics").extend(local);
+                    });
+                }
+            });
+            let mut slots: Vec<Option<Result<CpnnResult>>> = Vec::new();
+            slots.resize_with(n, || None);
+            for (i, r) in collected.into_inner().expect("no worker panics") {
+                slots[i] = Some(r);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every index was claimed by exactly one worker"))
+                .collect()
+        };
+        let wall_time = wall_start.elapsed();
+        let summary = BatchSummary::aggregate(&results, threads, wall_time);
+        BatchOutcome { results, summary }
+    }
+}
+
+impl Default for BatchExecutor {
+    /// One worker per available core.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Results plus aggregate statistics for one batch run.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-query results, in input order.
+    pub results: Vec<Result<CpnnResult>>,
+    /// Aggregated statistics.
+    pub summary: BatchSummary,
+}
+
+/// Aggregated statistics over a batch (sums of the per-query
+/// [`QueryStats`], wall-clock time, and derived throughput).
+#[derive(Debug, Clone, Default)]
+pub struct BatchSummary {
+    /// Queries submitted.
+    pub queries: usize,
+    /// Queries that returned an error.
+    pub errors: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time of the batch.
+    pub wall_time: Duration,
+    /// Summed per-query time across all phases (CPU-time proxy; exceeds
+    /// `wall_time` when scaling across cores).
+    pub query_time: Duration,
+    /// Summed filtering time.
+    pub filter_time: Duration,
+    /// Summed initialization time.
+    pub init_time: Duration,
+    /// Summed verification time.
+    pub verify_time: Duration,
+    /// Summed refinement time.
+    pub refine_time: Duration,
+    /// Summed candidate-set sizes.
+    pub candidates: usize,
+    /// Summed work counters (integrations / integrand evals / worlds).
+    pub integrations: usize,
+    /// Summed refined-object counts.
+    pub refined_objects: usize,
+    /// Queries fully resolved by verification alone.
+    pub resolved_by_verification: usize,
+    /// Total answers returned.
+    pub answers: usize,
+}
+
+impl BatchSummary {
+    fn aggregate(results: &[Result<CpnnResult>], threads: usize, wall_time: Duration) -> Self {
+        let mut s = BatchSummary {
+            queries: results.len(),
+            threads,
+            wall_time,
+            ..Default::default()
+        };
+        for r in results {
+            match r {
+                Err(_) => s.errors += 1,
+                Ok(res) => {
+                    let st: &QueryStats = &res.stats;
+                    s.query_time += st.total_time();
+                    s.filter_time += st.filter_time;
+                    s.init_time += st.init_time;
+                    s.verify_time += st.verify_time;
+                    s.refine_time += st.refine_time;
+                    s.candidates += st.candidates;
+                    s.integrations += st.integrations;
+                    s.refined_objects += st.refined_objects;
+                    if st.resolved_by_verification {
+                        s.resolved_by_verification += 1;
+                    }
+                    s.answers += res.answers.len();
+                }
+            }
+        }
+        s
+    }
+
+    /// Queries per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.queries as f64 / secs
+    }
+
+    /// Ratio of summed per-query time to wall time — approaches the thread
+    /// count under perfect scaling.
+    pub fn parallel_efficiency(&self) -> f64 {
+        let wall = self.wall_time.as_secs_f64();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.query_time.as_secs_f64() / wall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, UncertainDb};
+    use crate::object::{ObjectId, UncertainObject};
+    use crate::pipeline::Strategy;
+
+    fn db(n: u64) -> UncertainDb {
+        let objects: Vec<UncertainObject> = (0..n)
+            .map(|i| {
+                let lo = (i as f64 * 7.3) % 100.0;
+                UncertainObject::uniform(ObjectId(i), lo, lo + 3.0 + (i % 5) as f64).unwrap()
+            })
+            .collect();
+        UncertainDb::build(objects).unwrap()
+    }
+
+    fn queries(n: usize) -> Vec<CpnnQuery> {
+        (0..n)
+            .map(|i| CpnnQuery::new((i as f64 * 13.7) % 110.0 - 5.0, 0.3, 0.01))
+            .collect()
+    }
+
+    #[test]
+    fn batch_equals_sequential_for_any_thread_count() {
+        let db = db(60);
+        let qs = queries(40);
+        let cfg = EngineConfig::default().pipeline();
+        let seq = BatchExecutor::new(1).run_cpnn(&db, &qs, Strategy::Verified, &cfg);
+        for threads in [2, 3, 8] {
+            let par = BatchExecutor::new(threads).run_cpnn(&db, &qs, Strategy::Verified, &cfg);
+            assert_eq!(seq.results.len(), par.results.len());
+            for (i, (a, b)) in seq.results.iter().zip(&par.results).enumerate() {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.answers, b.answers, "query {i}, {threads} threads");
+                assert_eq!(a.reports.len(), b.reports.len());
+                for (ra, rb) in a.reports.iter().zip(&b.reports) {
+                    assert_eq!(ra.id, rb.id);
+                    assert_eq!(ra.label, rb.label);
+                    assert_eq!(ra.bound.lo(), rb.bound.lo());
+                    assert_eq!(ra.bound.hi(), rb.bound.hi());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_and_counts_errors() {
+        let db = db(30);
+        let mut qs = queries(10);
+        qs.push(CpnnQuery::new(f64::NAN, 0.3, 0.01));
+        let cfg = EngineConfig::default().pipeline();
+        let out = BatchExecutor::new(4).run_cpnn(&db, &qs, Strategy::Verified, &cfg);
+        assert_eq!(out.summary.queries, 11);
+        assert_eq!(out.summary.errors, 1);
+        assert!(out.results[10].is_err());
+        assert!(out.summary.candidates > 0);
+        assert!(out.summary.wall_time > Duration::ZERO);
+        assert!(out.summary.throughput() > 0.0);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let ex = BatchExecutor::new(0);
+        assert!(ex.threads() >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let db = db(5);
+        let cfg = EngineConfig::default().pipeline();
+        let out = BatchExecutor::new(4).run_cpnn(&db, &[], Strategy::Verified, &cfg);
+        assert!(out.results.is_empty());
+        assert_eq!(out.summary.queries, 0);
+    }
+
+    #[test]
+    fn mixed_specs_run_through_the_generic_entry_point() {
+        let db = db(30);
+        let cfg = EngineConfig::default().pipeline();
+        let jobs: Vec<(f64, QuerySpec)> = vec![
+            (10.0, QuerySpec::nn(0.3, 0.0, Strategy::Basic)),
+            (20.0, QuerySpec::nn(0.3, 0.0, Strategy::Verified)),
+            (30.0, QuerySpec::knn(2, 0.5, 0.0, Strategy::Verified)),
+        ];
+        let out = BatchExecutor::new(2).run(&db, &jobs, &cfg);
+        assert_eq!(out.results.len(), 3);
+        assert!(out.results.iter().all(|r| r.is_ok()));
+    }
+}

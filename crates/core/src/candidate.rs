@@ -6,6 +6,18 @@ use crate::distance::DistanceDistribution;
 use crate::error::Result;
 use crate::object::{ObjectId, UncertainObject};
 
+/// The k-NN pruning horizon: the `k`-th smallest far point (`fmin` for
+/// `k = 1`) — objects whose near point exceeds it cannot be among the `k`
+/// nearest. Sorts `fars` in place; `INFINITY` when empty. Shared by the
+/// candidate set and every [`crate::pipeline::DistanceModel`] filter that
+/// pre-prunes with exact region distances.
+pub fn k_horizon(fars: &mut [f64], k: usize) -> f64 {
+    fars.sort_by(f64::total_cmp);
+    fars.get(k.max(1).min(fars.len().max(1)) - 1)
+        .copied()
+        .unwrap_or(f64::INFINITY)
+}
+
 /// One candidate: an object id plus its distance distribution w.r.t. the
 /// query point.
 #[derive(Debug, Clone)]
@@ -55,10 +67,7 @@ impl CandidateSet {
         for obj in objects {
             let dist =
                 DistanceDistribution::from_pdf(obj.pdf(), q)?.with_max_bins(max_distance_bins)?;
-            members.push(CandidateMember {
-                id: obj.id(),
-                dist,
-            });
+            members.push(CandidateMember { id: obj.id(), dist });
         }
         Ok(Self::assemble(q, members, k))
     }
@@ -76,14 +85,9 @@ impl CandidateSet {
     }
 
     fn assemble(q: f64, mut members: Vec<CandidateMember>, k: usize) -> Self {
-        let k = k.max(1);
         let mut fars: Vec<f64> = members.iter().map(|m| m.dist.far()).collect();
-        fars.sort_by(f64::total_cmp);
+        let horizon = k_horizon(&mut fars, k);
         let fmin = fars.first().copied().unwrap_or(f64::INFINITY);
-        let horizon = fars
-            .get(k.min(fars.len().max(1)) - 1)
-            .copied()
-            .unwrap_or(f64::INFINITY);
         members.retain(|m| m.dist.near() <= horizon);
         let fmax = members
             .iter()

@@ -158,8 +158,7 @@ mod tests {
     #[test]
     fn fold_multibar_histogram_is_exact() {
         // Two bars: [0,2] mass 0.25, [2,6] mass 0.75; q = 4 (inside bar 2).
-        let pdf =
-            HistogramPdf::from_masses(vec![0.0, 2.0, 6.0], vec![0.25, 0.75]).unwrap();
+        let pdf = HistogramPdf::from_masses(vec![0.0, 2.0, 6.0], vec![0.25, 0.75]).unwrap();
         let d = DistanceDistribution::from_pdf(&pdf, 4.0).unwrap();
         assert_eq!(d.near(), 0.0);
         assert_eq!(d.far(), 4.0);
@@ -176,11 +175,8 @@ mod tests {
 
     #[test]
     fn rebinning_preserves_mass_and_support() {
-        let pdf = HistogramPdf::from_masses(
-            (0..=100).map(|i| i as f64).collect(),
-            vec![0.01; 100],
-        )
-        .unwrap();
+        let pdf = HistogramPdf::from_masses((0..=100).map(|i| i as f64).collect(), vec![0.01; 100])
+            .unwrap();
         let d = DistanceDistribution::from_pdf(&pdf, 17.3).unwrap();
         let (near, far) = (d.near(), d.far());
         let coarse = d.clone().with_max_bins(16).unwrap();

@@ -17,17 +17,15 @@
 //! subregions, RS/L-SR/U-SR, refinement — applies unchanged through
 //! [`CandidateSet::from_distances`].
 
+use std::time::Instant;
+
 use cpnn_pdf::HistogramPdf;
 
-use crate::candidate::CandidateSet;
-use crate::classify::{Classifier, Label};
 use crate::distance::DistanceDistribution;
-use crate::engine::ObjectReport;
+use crate::engine::{ObjectReport, Strategy};
 use crate::error::{CoreError, Result};
-use crate::framework::{default_verifiers, run_verification};
 use crate::object::ObjectId;
-use crate::refine::{incremental_refine, RefinementOrder};
-use crate::subregion::SubregionTable;
+use crate::pipeline::{self, DistanceModel, Filtered, PipelineConfig, QuerySpec};
 
 /// A 2-D uncertain object: uniform pdf over a disk.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +41,8 @@ pub struct CircleObject {
 impl CircleObject {
     /// Validated constructor.
     pub fn new(id: ObjectId, center: [f64; 2], radius: f64) -> Result<Self> {
+        // `!(radius > 0.0)` rather than `radius <= 0.0`: also rejects NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(radius > 0.0) || !radius.is_finite() {
             return Err(CoreError::Pdf(cpnn_pdf::PdfError::NonPositiveParameter {
                 name: "radius",
@@ -139,6 +139,55 @@ pub struct Cpnn2dResult {
     pub resolved_by_verification: bool,
 }
 
+/// A [`DistanceModel`] over a plain slice of circular objects — no index,
+/// exact near/far scan filtering. The smallest possible instantiation of
+/// the unified pipeline, useful for one-shot queries without building an
+/// [`crate::engine2d::UncertainDb2d`].
+#[derive(Debug, Clone, Copy)]
+pub struct CircleSliceModel<'a> {
+    objects: &'a [CircleObject],
+    bins: usize,
+}
+
+impl<'a> CircleSliceModel<'a> {
+    /// Model over `objects`, discretizing distance cdfs onto `bins` bars.
+    pub fn new(objects: &'a [CircleObject], bins: usize) -> Self {
+        Self { objects, bins }
+    }
+}
+
+impl DistanceModel for CircleSliceModel<'_> {
+    type Query = [f64; 2];
+
+    fn total_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn check_query(&self, q: &[f64; 2]) -> Result<()> {
+        if !(q[0].is_finite() && q[1].is_finite()) {
+            return Err(CoreError::InvalidQueryPoint(q[0]));
+        }
+        Ok(())
+    }
+
+    fn filter(&self, q: &[f64; 2], k: usize) -> Result<Filtered> {
+        let start = Instant::now();
+        let mut fars: Vec<f64> = self.objects.iter().map(|o| o.far(*q)).collect();
+        let horizon = crate::candidate::k_horizon(&mut fars, k);
+        let survivors: Vec<&CircleObject> = self
+            .objects
+            .iter()
+            .filter(|o| o.near(*q) <= horizon)
+            .collect();
+        let filter_time = start.elapsed();
+        let mut items = Vec::with_capacity(survivors.len());
+        for o in survivors {
+            items.push((o.id, circle_distance_distribution(o, *q, self.bins)?));
+        }
+        Ok(Filtered { items, filter_time })
+    }
+}
+
 /// Evaluate a C-PNN over 2-D circular objects: exact near/far filtering,
 /// lens-area distance cdfs, then the standard verify → refine pipeline.
 pub fn cpnn_2d(
@@ -148,76 +197,26 @@ pub fn cpnn_2d(
     tolerance: f64,
     bins: usize,
 ) -> Result<Cpnn2dResult> {
-    let classifier = Classifier::new(threshold, tolerance)?;
-    // Filtering with exact circle distances.
-    let fmin = objects
-        .iter()
-        .map(|o| o.far(q))
-        .fold(f64::INFINITY, f64::min);
-    let mut items = Vec::new();
-    for o in objects {
-        if o.near(q) <= fmin {
-            items.push((o.id, circle_distance_distribution(o, q, bins)?));
-        }
-    }
-    let cands = CandidateSet::from_distances(items, 1);
-    let table = SubregionTable::build(&cands);
-    let outcome = run_verification(&table, &classifier, &default_verifiers());
-    let resolved = outcome.resolved();
-    let mut state = outcome.state;
-    incremental_refine(&table, &classifier, &mut state, RefinementOrder::DescendingMass);
-    let reports: Vec<ObjectReport> = cands
-        .members()
-        .iter()
-        .zip(state.bounds.iter().zip(&state.labels))
-        .map(|(m, (&bound, &label))| ObjectReport {
-            id: m.id,
-            bound,
-            label,
-        })
-        .collect();
-    let mut answers: Vec<ObjectId> = reports
-        .iter()
-        .filter(|r| r.label == Label::Satisfy)
-        .map(|r| r.id)
-        .collect();
-    answers.sort_unstable();
+    let model = CircleSliceModel::new(objects, bins);
+    let res = pipeline::cpnn(
+        &model,
+        &q,
+        &QuerySpec::nn(threshold, tolerance, Strategy::Verified),
+        &PipelineConfig::default(),
+    )?;
     Ok(Cpnn2dResult {
-        answers,
-        candidates: cands.len(),
-        resolved_by_verification: resolved,
-        reports,
+        answers: res.answers,
+        candidates: res.stats.candidates,
+        resolved_by_verification: res.stats.resolved_by_verification,
+        reports: res.reports,
     })
 }
 
 /// Exact 2-D PNN probabilities (subregion decomposition over lens-area
 /// cdfs), descending.
-pub fn pnn_2d(
-    objects: &[CircleObject],
-    q: [f64; 2],
-    bins: usize,
-) -> Result<Vec<(ObjectId, f64)>> {
-    let fmin = objects
-        .iter()
-        .map(|o| o.far(q))
-        .fold(f64::INFINITY, f64::min);
-    let mut items = Vec::new();
-    for o in objects {
-        if o.near(q) <= fmin {
-            items.push((o.id, circle_distance_distribution(o, q, bins)?));
-        }
-    }
-    let cands = CandidateSet::from_distances(items, 1);
-    let table = SubregionTable::build(&cands);
-    let (probs, _) = crate::exact::exact_probabilities(&table);
-    let mut out: Vec<(ObjectId, f64)> = cands
-        .members()
-        .iter()
-        .zip(probs)
-        .map(|(m, p)| (m.id, p))
-        .collect();
-    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    Ok(out)
+pub fn pnn_2d(objects: &[CircleObject], q: [f64; 2], bins: usize) -> Result<Vec<(ObjectId, f64)>> {
+    let model = CircleSliceModel::new(objects, bins);
+    Ok(pipeline::pnn(&model, &q, 1)?.probabilities)
 }
 
 #[cfg(test)]
@@ -329,8 +328,12 @@ mod tests {
     fn probabilities_sum_to_one_2d() {
         let objects: Vec<CircleObject> = (0..6)
             .map(|i| {
-                CircleObject::new(ObjectId(i), [i as f64, (i % 3) as f64], 1.0 + 0.2 * i as f64)
-                    .unwrap()
+                CircleObject::new(
+                    ObjectId(i),
+                    [i as f64, (i % 3) as f64],
+                    1.0 + 0.2 * i as f64,
+                )
+                .unwrap()
             })
             .collect();
         let probs = pnn_2d(&objects, [1.5, 1.0], 64).unwrap();

@@ -1,133 +1,24 @@
-//! The query engine: the full three-phase C-PNN pipeline of paper Fig. 3
-//! (filter → verify → refine), plus the baselines it is benchmarked against.
+//! The 1-D uncertain-object database: R-tree filtering over interval
+//! uncertainty regions, queried through the unified pipeline of
+//! [`crate::pipeline`] (paper Fig. 3: filter → verify → refine).
+//!
+//! This module owns the *storage* — objects, the index, dynamic
+//! insert/remove, tuning knobs — and instantiates the generic pipeline as
+//! its [`DistanceModel`]. The control flow itself (strategy dispatch,
+//! verification, refinement, statistics) lives in [`crate::pipeline`] and
+//! is shared with the 2-D database and the k-NN extension.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use cpnn_rtree::{Params, RTree, Rect};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::bounds::ProbBound;
-use crate::candidate::CandidateSet;
-use crate::classify::{Classifier, Label};
+use crate::distance::DistanceDistribution;
 use crate::error::{CoreError, Result};
-use crate::exact::{basic_probabilities, exact_probabilities};
-use crate::framework::{default_verifiers, run_verification, StageReport};
-use crate::montecarlo::monte_carlo_probabilities;
 use crate::object::{ObjectId, UncertainObject};
-use crate::refine::{incremental_refine, RefinementOrder};
-use crate::subregion::SubregionTable;
-use crate::verifiers::VerificationState;
+use crate::pipeline::{self, DistanceModel, Filtered, PipelineConfig, QuerySpec};
+use crate::refine::RefinementOrder;
 
-/// Evaluation strategy — the three methods compared throughout Sec. V, plus
-/// the sampling baseline of \[9\].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Strategy {
-    /// Exact probabilities for every candidate by direct numerical
-    /// integration (\[5\]); answers thresholded afterwards.
-    Basic,
-    /// Skip verification; incremental refinement directly ("Refine").
-    RefineOnly,
-    /// Verifiers first, refinement only for leftovers ("VR" — the paper's
-    /// proposed method).
-    Verified,
-    /// Monte-Carlo sampling over possible worlds (\[9\]).
-    MonteCarlo {
-        /// Number of sampled worlds.
-        worlds: usize,
-        /// RNG seed (queries are deterministic given the seed).
-        seed: u64,
-    },
-}
-
-/// A C-PNN query: point, threshold `P`, tolerance `Δ` (Definition 1).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CpnnQuery {
-    /// The query point `q`.
-    pub q: f64,
-    /// Threshold `P ∈ (0, 1]`.
-    pub threshold: f64,
-    /// Tolerance `Δ ∈ [0, 1]`.
-    pub tolerance: f64,
-}
-
-impl CpnnQuery {
-    /// Convenience constructor.
-    pub fn new(q: f64, threshold: f64, tolerance: f64) -> Self {
-        Self {
-            q,
-            threshold,
-            tolerance,
-        }
-    }
-}
-
-/// Per-candidate verdict in a query result.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ObjectReport {
-    /// The object.
-    pub id: ObjectId,
-    /// Final probability bound (collapsed to a point for exact strategies).
-    pub bound: ProbBound,
-    /// Final classification.
-    pub label: Label,
-}
-
-/// Wall-clock and work statistics for one query (feeds Figs. 9–13).
-#[derive(Debug, Clone, Default)]
-pub struct QueryStats {
-    /// Objects in the database.
-    pub total_objects: usize,
-    /// Candidate set size `|C|` after filtering.
-    pub candidates: usize,
-    /// Subregion count `M` (0 when no table was built).
-    pub subregions: usize,
-    /// Filtering (R-tree) time.
-    pub filter_time: Duration,
-    /// Initialization time (distance distributions + subregion table).
-    pub init_time: Duration,
-    /// Verification time (all verifier stages).
-    pub verify_time: Duration,
-    /// Refinement / exact-evaluation time.
-    pub refine_time: Duration,
-    /// Per-verifier-stage reports (empty for non-verified strategies).
-    pub stages: Vec<StageReport>,
-    /// Objects that entered refinement.
-    pub refined_objects: usize,
-    /// Work counter: subregion integrations (VR/Refine) or integrand
-    /// evaluations (Basic) or sampled worlds (Monte-Carlo).
-    pub integrations: usize,
-    /// Did verification alone resolve the query (Fig. 13's metric)?
-    pub resolved_by_verification: bool,
-}
-
-impl QueryStats {
-    /// Total time across all phases.
-    pub fn total_time(&self) -> Duration {
-        self.filter_time + self.init_time + self.verify_time + self.refine_time
-    }
-}
-
-/// Result of a C-PNN query.
-#[derive(Debug, Clone)]
-pub struct CpnnResult {
-    /// IDs of objects satisfying the query, ascending.
-    pub answers: Vec<ObjectId>,
-    /// Verdict for every candidate (in candidate order).
-    pub reports: Vec<ObjectReport>,
-    /// Execution statistics.
-    pub stats: QueryStats,
-}
-
-/// Result of a plain PNN query: every candidate with its qualification
-/// probability, descending.
-#[derive(Debug, Clone)]
-pub struct PnnResult {
-    /// `(id, probability)` pairs, descending by probability.
-    pub probabilities: Vec<(ObjectId, f64)>,
-    /// Execution statistics.
-    pub stats: QueryStats,
-}
+pub use crate::pipeline::{CpnnQuery, CpnnResult, ObjectReport, PnnResult, QueryStats, Strategy};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +49,17 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// The pipeline-level slice of this configuration.
+    pub fn pipeline(&self) -> PipelineConfig {
+        PipelineConfig {
+            refinement_order: self.refinement_order,
+            basic_tolerance: self.basic_tolerance,
+            extended_verifiers: self.extended_verifiers,
+        }
+    }
+}
+
 /// An in-memory database of 1-D uncertain objects with an R-tree over their
 /// uncertainty regions.
 #[derive(Debug)]
@@ -165,6 +67,39 @@ pub struct UncertainDb {
     objects: Vec<UncertainObject>,
     tree: RTree<usize, 1>,
     config: EngineConfig,
+}
+
+impl DistanceModel for UncertainDb {
+    type Query = f64;
+
+    fn total_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn check_query(&self, q: &f64) -> Result<()> {
+        if !q.is_finite() {
+            return Err(CoreError::InvalidQueryPoint(*q));
+        }
+        Ok(())
+    }
+
+    fn filter(&self, q: &f64, k: usize) -> Result<Filtered> {
+        let start = Instant::now();
+        let (cands, _) = if k <= 1 {
+            self.tree.pnn_candidates(&[*q])
+        } else {
+            self.tree.pnn_candidates_k(&[*q], k)
+        };
+        let filter_time = start.elapsed();
+        let mut items = Vec::with_capacity(cands.len());
+        for c in cands {
+            let o = &self.objects[*c.item];
+            let dist = DistanceDistribution::from_pdf(o.pdf(), *q)?
+                .with_max_bins(self.config.max_distance_bins)?;
+            items.push((o.id(), dist));
+        }
+        Ok(Filtered { items, filter_time })
+    }
 }
 
 impl UncertainDb {
@@ -266,261 +201,57 @@ impl UncertainDb {
         self.tree.mbr().map(|r| (r.min()[0], r.max()[0]))
     }
 
-    /// Filtering phase: prune objects that cannot be the NN of `q`.
-    fn filter(&self, q: f64) -> (Vec<&UncertainObject>, Duration) {
-        let start = Instant::now();
-        let (cands, _) = self.tree.pnn_candidates(&[q]);
-        let out: Vec<&UncertainObject> =
-            cands.into_iter().map(|c| &self.objects[*c.item]).collect();
-        (out, start.elapsed())
-    }
-
-    /// Execute a C-PNN query with the given strategy.
+    /// Execute a C-PNN query with the given strategy (one trip through the
+    /// unified pipeline).
     pub fn cpnn(&self, query: &CpnnQuery, strategy: Strategy) -> Result<CpnnResult> {
-        if !query.q.is_finite() {
-            return Err(CoreError::InvalidQueryPoint(query.q));
-        }
-        let classifier = Classifier::new(query.threshold, query.tolerance)?;
-
-        let mut stats = QueryStats {
-            total_objects: self.objects.len(),
-            ..Default::default()
-        };
-        let (filtered, filter_time) = self.filter(query.q);
-        stats.filter_time = filter_time;
-
-        let init_start = Instant::now();
-        let cands = CandidateSet::build(
-            filtered.iter().copied(),
-            query.q,
-            self.config.max_distance_bins,
-        )?;
-        stats.candidates = cands.len();
-
-        match strategy {
-            Strategy::Basic => {
-                stats.init_time = init_start.elapsed();
-                let start = Instant::now();
-                let (probs, evals) = basic_probabilities(&cands, self.config.basic_tolerance);
-                stats.refine_time = start.elapsed();
-                stats.integrations = evals;
-                Ok(self.finish_exact(&cands, &classifier, probs, stats))
-            }
-            Strategy::MonteCarlo { worlds, seed } => {
-                stats.init_time = init_start.elapsed();
-                let start = Instant::now();
-                let mut rng = StdRng::seed_from_u64(seed);
-                let probs = monte_carlo_probabilities(&cands, worlds, &mut rng)?;
-                stats.refine_time = start.elapsed();
-                stats.integrations = worlds;
-                Ok(self.finish_exact(&cands, &classifier, probs, stats))
-            }
-            Strategy::RefineOnly => {
-                let table = SubregionTable::build(&cands);
-                stats.init_time = init_start.elapsed();
-                stats.subregions = table.subregion_count();
-                let mut state = VerificationState::new(&table);
-                let start = Instant::now();
-                let report = incremental_refine(
-                    &table,
-                    &classifier,
-                    &mut state,
-                    self.config.refinement_order,
-                );
-                stats.refine_time = start.elapsed();
-                stats.refined_objects = report.refined_objects;
-                stats.integrations = report.integrations;
-                Ok(Self::finish_state(&cands, state, stats))
-            }
-            Strategy::Verified => {
-                let table = SubregionTable::build(&cands);
-                stats.init_time = init_start.elapsed();
-                stats.subregions = table.subregion_count();
-                let verify_start = Instant::now();
-                let chain = if self.config.extended_verifiers {
-                    crate::framework::extended_verifiers()
-                } else {
-                    default_verifiers()
-                };
-                let outcome = run_verification(&table, &classifier, &chain);
-                stats.verify_time = verify_start.elapsed();
-                stats.resolved_by_verification = outcome.resolved();
-                stats.stages = outcome.stages.clone();
-                let mut state = outcome.state;
-                let refine_start = Instant::now();
-                let report = incremental_refine(
-                    &table,
-                    &classifier,
-                    &mut state,
-                    self.config.refinement_order,
-                );
-                stats.refine_time = refine_start.elapsed();
-                stats.refined_objects = report.refined_objects;
-                stats.integrations = report.integrations;
-                Ok(Self::finish_state(&cands, state, stats))
-            }
-        }
+        pipeline::cpnn(
+            self,
+            &query.q,
+            &QuerySpec::nn(query.threshold, query.tolerance, strategy),
+            &self.config.pipeline(),
+        )
     }
 
     /// Plain PNN: exact qualification probabilities for every candidate
     /// (via the subregion decomposition).
     pub fn pnn(&self, q: f64) -> Result<PnnResult> {
-        if !q.is_finite() {
-            return Err(CoreError::InvalidQueryPoint(q));
-        }
-        let mut stats = QueryStats {
-            total_objects: self.objects.len(),
-            ..Default::default()
-        };
-        let (filtered, filter_time) = self.filter(q);
-        stats.filter_time = filter_time;
-        let init_start = Instant::now();
-        let cands =
-            CandidateSet::build(filtered.iter().copied(), q, self.config.max_distance_bins)?;
-        let table = SubregionTable::build(&cands);
-        stats.candidates = cands.len();
-        stats.subregions = table.subregion_count();
-        stats.init_time = init_start.elapsed();
-        let start = Instant::now();
-        let (probs, integrations) = exact_probabilities(&table);
-        stats.refine_time = start.elapsed();
-        stats.integrations = integrations;
-        let mut probabilities: Vec<(ObjectId, f64)> = cands
-            .members()
-            .iter()
-            .zip(&probs)
-            .map(|(m, &p)| (m.id, p))
-            .collect();
-        probabilities.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        Ok(PnnResult {
-            probabilities,
-            stats,
-        })
+        pipeline::pnn(self, &q, 1)
     }
 
     /// Exact probabilistic k-NN: for every candidate, the probability of
     /// being among the `k` nearest neighbors of `q` (the paper's future-work
     /// query; see [`crate::knn`]). Probabilities sum to `min(k, |C|)`.
     pub fn pknn(&self, q: f64, k: usize) -> Result<PnnResult> {
-        if !q.is_finite() {
-            return Err(CoreError::InvalidQueryPoint(q));
-        }
-        let k = k.max(1);
-        let mut stats = QueryStats {
-            total_objects: self.objects.len(),
-            ..Default::default()
-        };
-        let filter_start = Instant::now();
-        let (raw, _) = self.tree.pnn_candidates_k(&[q], k);
-        let filtered: Vec<&UncertainObject> =
-            raw.into_iter().map(|c| &self.objects[*c.item]).collect();
-        stats.filter_time = filter_start.elapsed();
-        let init_start = Instant::now();
-        let cands = CandidateSet::build_k(
-            filtered.iter().copied(),
-            q,
-            self.config.max_distance_bins,
-            k,
-        )?;
-        let table = SubregionTable::build(&cands);
-        stats.candidates = cands.len();
-        stats.subregions = table.subregion_count();
-        stats.init_time = init_start.elapsed();
-        let start = Instant::now();
-        let probs = crate::knn::knn_probabilities(&table, k);
-        stats.refine_time = start.elapsed();
-        let mut probabilities: Vec<(ObjectId, f64)> = cands
-            .members()
-            .iter()
-            .zip(&probs)
-            .map(|(m, &p)| (m.id, p))
-            .collect();
-        probabilities.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        Ok(PnnResult {
-            probabilities,
-            stats,
-        })
+        pipeline::pnn(self, &q, k)
     }
 
     /// Constrained probabilistic k-NN (C-PkNN): objects whose probability
     /// of being among the `k` nearest clears the threshold, evaluated with
-    /// the RS-k bound plus incremental exact refinement.
+    /// the RS-k / SR-k verifiers plus incremental exact refinement.
     pub fn cknn(&self, q: f64, k: usize, threshold: f64, tolerance: f64) -> Result<CpnnResult> {
-        if !q.is_finite() {
-            return Err(CoreError::InvalidQueryPoint(q));
-        }
-        let k = k.max(1);
-        let classifier = Classifier::new(threshold, tolerance)?;
-        let mut stats = QueryStats {
-            total_objects: self.objects.len(),
-            ..Default::default()
-        };
-        let filter_start = Instant::now();
-        let (raw, _) = self.tree.pnn_candidates_k(&[q], k);
-        let filtered: Vec<&UncertainObject> =
-            raw.into_iter().map(|c| &self.objects[*c.item]).collect();
-        stats.filter_time = filter_start.elapsed();
-        let init_start = Instant::now();
-        let cands = CandidateSet::build_k(
-            filtered.iter().copied(),
-            q,
-            self.config.max_distance_bins,
-            k,
-        )?;
-        let table = SubregionTable::build(&cands);
-        stats.candidates = cands.len();
-        stats.subregions = table.subregion_count();
-        stats.init_time = init_start.elapsed();
-        let start = Instant::now();
-        let verdicts = crate::knn::constrained_knn(&table, &classifier, k);
-        stats.refine_time = start.elapsed();
-        stats.integrations = verdicts.iter().map(|v| v.integrations).sum();
-        stats.refined_objects = verdicts.iter().filter(|v| v.integrations > 0).count();
-        let reports: Vec<ObjectReport> = cands
-            .members()
-            .iter()
-            .zip(&verdicts)
-            .map(|(m, v)| ObjectReport {
-                id: m.id,
-                bound: v.bound,
-                label: v.label,
-            })
-            .collect();
-        Ok(Self::collect(reports, stats))
+        pipeline::cpnn(
+            self,
+            &q,
+            &QuerySpec::knn(k, threshold, tolerance, Strategy::Verified),
+            &self.config.pipeline(),
+        )
     }
 
     /// Evaluate a batch of C-PNN queries, optionally in parallel.
     ///
     /// The database is immutable and shared by reference across
-    /// `threads` scoped worker threads; results come back in input order.
-    /// `threads = 0` or `1` runs sequentially. Errors surface per query
-    /// position.
+    /// `threads` worker threads (see [`crate::batch::BatchExecutor`]);
+    /// results come back in input order. `threads = 0` or `1` runs
+    /// sequentially. Errors surface per query position.
     pub fn cpnn_batch(
         &self,
         queries: &[CpnnQuery],
         strategy: Strategy,
         threads: usize,
     ) -> Vec<Result<CpnnResult>> {
-        let threads = threads.max(1).min(queries.len().max(1));
-        if threads == 1 {
-            return queries.iter().map(|q| self.cpnn(q, strategy)).collect();
-        }
-        let mut results: Vec<Option<Result<CpnnResult>>> = Vec::new();
-        results.resize_with(queries.len(), || None);
-        let chunk = queries.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (q, slot) in qs.iter().zip(rs.iter_mut()) {
-                        *slot = Some(self.cpnn(q, strategy));
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every slot is filled by its worker"))
-            .collect()
+        crate::batch::BatchExecutor::new(threads.max(1))
+            .run_cpnn(self, queries, strategy, &self.config.pipeline())
+            .results
     }
 
     /// Minimum query (paper Sec. I): which object has the minimum value? A
@@ -536,63 +267,7 @@ impl UncertainDb {
         let (_, hi) = self.domain().unwrap_or((0.0, 0.0));
         self.pnn(hi + 1.0)
     }
-
-    fn finish_exact(
-        &self,
-        cands: &CandidateSet,
-        classifier: &Classifier,
-        probs: Vec<f64>,
-        stats: QueryStats,
-    ) -> CpnnResult {
-        let reports: Vec<ObjectReport> = cands
-            .members()
-            .iter()
-            .zip(&probs)
-            .map(|(m, &p)| {
-                let bound = ProbBound::exact(p);
-                ObjectReport {
-                    id: m.id,
-                    bound,
-                    label: classifier.classify(&bound),
-                }
-            })
-            .collect();
-        Self::collect(reports, stats)
-    }
-
-    fn finish_state(
-        cands: &CandidateSet,
-        state: VerificationState,
-        stats: QueryStats,
-    ) -> CpnnResult {
-        let reports: Vec<ObjectReport> = cands
-            .members()
-            .iter()
-            .zip(state.bounds.iter().zip(&state.labels))
-            .map(|(m, (&bound, &label))| ObjectReport {
-                id: m.id,
-                bound,
-                label,
-            })
-            .collect();
-        Self::collect(reports, stats)
-    }
-
-    fn collect(reports: Vec<ObjectReport>, stats: QueryStats) -> CpnnResult {
-        let mut answers: Vec<ObjectId> = reports
-            .iter()
-            .filter(|r| r.label == Label::Satisfy)
-            .map(|r| r.id)
-            .collect();
-        answers.sort_unstable();
-        CpnnResult {
-            answers,
-            reports,
-            stats,
-        }
-    }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -852,10 +527,7 @@ mod tests {
         let par = db.cpnn_batch(&queries, Strategy::Verified, 4);
         assert_eq!(seq.len(), par.len());
         for (s, p) in seq.iter().zip(&par) {
-            assert_eq!(
-                s.as_ref().unwrap().answers,
-                p.as_ref().unwrap().answers
-            );
+            assert_eq!(s.as_ref().unwrap().answers, p.as_ref().unwrap().answers);
         }
     }
 

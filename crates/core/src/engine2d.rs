@@ -7,23 +7,23 @@
 //! integration — [`crate::geometry2d`]). The R-tree indexes conservative
 //! bounding boxes; candidate pruning is finished with exact region
 //! near/far distances, mirroring \[8\]'s 2-D treatment.
+//!
+//! Like the 1-D database, this module only owns storage and filtering: it
+//! instantiates [`crate::pipeline`]'s [`DistanceModel`] and the shared
+//! verify → refine control flow does the rest.
 
 use std::time::Instant;
 
 use cpnn_pdf::HistogramPdf;
 use cpnn_rtree::{RTree, Rect};
 
-use crate::candidate::CandidateSet;
-use crate::classify::{Classifier, Label};
 use crate::distance::DistanceDistribution;
 use crate::distance2d::{circle_distance_distribution, CircleObject};
-use crate::engine::{CpnnResult, ObjectReport, PnnResult, QueryStats};
+use crate::engine::{CpnnResult, PnnResult, Strategy};
 use crate::error::{CoreError, Result};
-use crate::framework::{default_verifiers, run_verification};
 use crate::geometry2d::{rect_distance_cdf, Rect2};
 use crate::object::ObjectId;
-use crate::refine::{incremental_refine, RefinementOrder};
-use crate::subregion::SubregionTable;
+use crate::pipeline::{self, DistanceModel, Filtered, PipelineConfig, QuerySpec};
 
 /// A 2-D uncertain object: an id plus a uniform uncertainty region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,9 +47,7 @@ impl Object2d {
 
     /// Uniform rectangle constructor.
     pub fn rectangle(id: ObjectId, min: [f64; 2], max: [f64; 2]) -> Result<Self> {
-        if !(min[0] < max[0] && min[1] < max[1])
-            || !min.iter().chain(&max).all(|v| v.is_finite())
-        {
+        if !(min[0] < max[0] && min[1] < max[1] && min.iter().chain(&max).all(|v| v.is_finite())) {
             return Err(CoreError::Pdf(cpnn_pdf::PdfError::EmptyRegion {
                 lo: min[0],
                 hi: max[0],
@@ -97,11 +95,7 @@ impl Object2d {
     }
 
     /// Distance distribution from `q`, discretized onto `bins` bars.
-    pub fn distance_distribution(
-        &self,
-        q: [f64; 2],
-        bins: usize,
-    ) -> Result<DistanceDistribution> {
+    pub fn distance_distribution(&self, q: [f64; 2], bins: usize) -> Result<DistanceDistribution> {
         match self {
             Object2d::Circle(c) => circle_distance_distribution(c, q, bins),
             Object2d::Rectangle { rect, .. } => {
@@ -189,107 +183,62 @@ impl UncertainDb2d {
         &self.objects
     }
 
-    /// Filter + initialize: bounding-box R-tree pass, exact near/far
-    /// refinement, distance distributions, subregion table.
-    fn prepare(&self, q: [f64; 2]) -> Result<(CandidateSet, SubregionTable, QueryStats)> {
-        let mut stats = QueryStats {
-            total_objects: self.objects.len(),
-            ..Default::default()
-        };
-        let filter_start = Instant::now();
-        // Conservative bbox pruning (bbox near ≤ region near; bbox far ≥
-        // region far, so the bbox fmin over-estimates and never wrongly
-        // prunes), then exact pruning with true region distances.
-        let (coarse, _) = self.tree.pnn_candidates(&q);
-        let mut survivors: Vec<&Object2d> =
-            coarse.iter().map(|c| &self.objects[*c.item]).collect();
-        let fmin = survivors
-            .iter()
-            .map(|o| o.far(q))
-            .fold(f64::INFINITY, f64::min);
-        survivors.retain(|o| o.near(q) <= fmin);
-        stats.filter_time = filter_start.elapsed();
-
-        let init_start = Instant::now();
-        let mut items = Vec::with_capacity(survivors.len());
-        for o in survivors {
-            items.push((o.id(), o.distance_distribution(q, self.config.distance_bins)?));
-        }
-        let cands = CandidateSet::from_distances(items, 1);
-        let table = SubregionTable::build(&cands);
-        stats.candidates = cands.len();
-        stats.subregions = table.subregion_count();
-        stats.init_time = init_start.elapsed();
-        Ok((cands, table, stats))
-    }
-
-    /// C-PNN over 2-D objects: verify → refine, as in the 1-D engine.
+    /// C-PNN over 2-D objects: the unified verify → refine pipeline, as in
+    /// the 1-D engine.
     pub fn cpnn(&self, q: [f64; 2], threshold: f64, tolerance: f64) -> Result<CpnnResult> {
-        if !(q[0].is_finite() && q[1].is_finite()) {
-            return Err(CoreError::InvalidQueryPoint(q[0]));
-        }
-        let classifier = Classifier::new(threshold, tolerance)?;
-        let (cands, table, mut stats) = self.prepare(q)?;
-        let verify_start = Instant::now();
-        let outcome = run_verification(&table, &classifier, &default_verifiers());
-        stats.verify_time = verify_start.elapsed();
-        stats.resolved_by_verification = outcome.resolved();
-        stats.stages = outcome.stages.clone();
-        let mut state = outcome.state;
-        let refine_start = Instant::now();
-        let report = incremental_refine(
-            &table,
-            &classifier,
-            &mut state,
-            RefinementOrder::DescendingMass,
-        );
-        stats.refine_time = refine_start.elapsed();
-        stats.refined_objects = report.refined_objects;
-        stats.integrations = report.integrations;
-        let reports: Vec<ObjectReport> = cands
-            .members()
-            .iter()
-            .zip(state.bounds.iter().zip(&state.labels))
-            .map(|(m, (&bound, &label))| ObjectReport {
-                id: m.id,
-                bound,
-                label,
-            })
-            .collect();
-        let mut answers: Vec<ObjectId> = reports
-            .iter()
-            .filter(|r| r.label == Label::Satisfy)
-            .map(|r| r.id)
-            .collect();
-        answers.sort_unstable();
-        Ok(CpnnResult {
-            answers,
-            reports,
-            stats,
-        })
+        pipeline::cpnn(
+            self,
+            &q,
+            &QuerySpec::nn(threshold, tolerance, Strategy::Verified),
+            &PipelineConfig::default(),
+        )
     }
 
     /// Exact 2-D PNN probabilities, descending.
     pub fn pnn(&self, q: [f64; 2]) -> Result<PnnResult> {
+        pipeline::pnn(self, &q, 1)
+    }
+}
+
+impl DistanceModel for UncertainDb2d {
+    type Query = [f64; 2];
+
+    fn total_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn check_query(&self, q: &[f64; 2]) -> Result<()> {
         if !(q[0].is_finite() && q[1].is_finite()) {
             return Err(CoreError::InvalidQueryPoint(q[0]));
         }
-        let (cands, table, mut stats) = self.prepare(q)?;
-        let start = Instant::now();
-        let (probs, integrations) = crate::exact::exact_probabilities(&table);
-        stats.refine_time = start.elapsed();
-        stats.integrations = integrations;
-        let mut probabilities: Vec<(ObjectId, f64)> = cands
-            .members()
-            .iter()
-            .zip(probs)
-            .map(|(m, p)| (m.id, p))
-            .collect();
-        probabilities.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        Ok(PnnResult {
-            probabilities,
-            stats,
-        })
+        Ok(())
+    }
+
+    fn filter(&self, q: &[f64; 2], k: usize) -> Result<Filtered> {
+        let filter_start = Instant::now();
+        // Conservative bbox pruning (bbox near ≤ region near; bbox far ≥
+        // region far, so the bbox horizon over-estimates and never wrongly
+        // prunes), then exact pruning with true region distances against
+        // the k-th smallest far point.
+        let (coarse, _) = if k <= 1 {
+            self.tree.pnn_candidates(q)
+        } else {
+            self.tree.pnn_candidates_k(q, k)
+        };
+        let mut survivors: Vec<&Object2d> = coarse.iter().map(|c| &self.objects[*c.item]).collect();
+        let mut fars: Vec<f64> = survivors.iter().map(|o| o.far(*q)).collect();
+        let horizon = crate::candidate::k_horizon(&mut fars, k);
+        survivors.retain(|o| o.near(*q) <= horizon);
+        let filter_time = filter_start.elapsed();
+
+        let mut items: Vec<(ObjectId, DistanceDistribution)> = Vec::with_capacity(survivors.len());
+        for o in survivors {
+            items.push((
+                o.id(),
+                o.distance_distribution(*q, self.config.distance_bins)?,
+            ));
+        }
+        Ok(Filtered { items, filter_time })
     }
 }
 

@@ -67,7 +67,7 @@ pub fn exact_probabilities(table: &SubregionTable) -> (Vec<f64>, usize) {
     let l = table.left_regions();
     let mut probs = vec![0.0; n];
     let mut integrations = 0;
-    for i in 0..n {
+    for (i, slot) in probs.iter_mut().enumerate() {
         let mut p = 0.0;
         for j in 0..l {
             let s = table.mass(i, j);
@@ -76,7 +76,7 @@ pub fn exact_probabilities(table: &SubregionTable) -> (Vec<f64>, usize) {
                 integrations += 1;
             }
         }
-        probs[i] = p.clamp(0.0, 1.0);
+        *slot = p.clamp(0.0, 1.0);
     }
     (probs, integrations)
 }
@@ -174,8 +174,7 @@ mod tests {
 
     #[test]
     fn single_candidate_has_probability_one() {
-        let objects =
-            vec![UncertainObject::uniform(ObjectId(0), 2.0, 5.0).unwrap()];
+        let objects = vec![UncertainObject::uniform(ObjectId(0), 2.0, 5.0).unwrap()];
         let cands = CandidateSet::build(&objects, 0.0, 0).unwrap();
         let table = SubregionTable::build(&cands);
         let (probs, _) = exact_probabilities(&table);

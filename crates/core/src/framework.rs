@@ -59,6 +59,16 @@ pub fn extended_verifiers() -> Vec<Box<dyn Verifier>> {
     ]
 }
 
+/// The k-NN verifier chain: RS (unchanged — mass beyond the `k`-horizon
+/// never qualifies) followed by the Poisson-binomial subregion verifier
+/// ([`crate::knn::KnnSubregion`], the L-SR/U-SR analogue for `k > 1`).
+pub fn knn_verifiers(k: usize) -> Vec<Box<dyn Verifier>> {
+    vec![
+        Box::new(RightmostSubregion),
+        Box::new(crate::knn::KnnSubregion::new(k)),
+    ]
+}
+
 /// Classify every `Unknown` object against its current bound.
 pub fn classify_all(classifier: &Classifier, state: &mut VerificationState) {
     for i in 0..state.labels.len() {
@@ -77,10 +87,25 @@ pub fn run_verification(
 ) -> VerificationOutcome {
     let mut state = VerificationState::new(table);
     let mut stages = Vec::with_capacity(verifiers.len());
+    run_verification_into(table, classifier, verifiers, &mut state, &mut stages);
+    VerificationOutcome { state, stages }
+}
+
+/// [`run_verification`] writing into caller-owned state and stage buffers —
+/// the allocation-free form the batch executor drives with per-thread
+/// scratch. `state` must already be [`VerificationState::reset`] for
+/// `table`; `stages` is appended to.
+pub fn run_verification_into(
+    table: &SubregionTable,
+    classifier: &Classifier,
+    verifiers: &[Box<dyn Verifier>],
+    state: &mut VerificationState,
+    stages: &mut Vec<StageReport>,
+) {
     for v in verifiers {
         let start = Instant::now();
-        v.apply(table, &mut state);
-        classify_all(classifier, &mut state);
+        v.apply(table, state);
+        classify_all(classifier, state);
         stages.push(StageReport {
             name: v.name(),
             unknown_after: state.unknown_count(),
@@ -90,7 +115,6 @@ pub fn run_verification(
             break;
         }
     }
-    VerificationOutcome { state, stages }
 }
 
 #[cfg(test)]
@@ -122,11 +146,7 @@ mod tests {
         let classifier = Classifier::new(0.6, 0.0).unwrap();
         let outcome = run_verification(&table, &classifier, &default_verifiers());
         assert!(outcome.resolved());
-        assert!(outcome
-            .state
-            .labels
-            .iter()
-            .all(|&l| l == Label::Fail));
+        assert!(outcome.state.labels.iter().all(|&l| l == Label::Fail));
     }
 
     #[test]

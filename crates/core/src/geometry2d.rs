@@ -44,11 +44,11 @@ impl Rect2 {
     /// Minimum distance from `q` to the rectangle (0 inside).
     pub fn near(&self, q: [f64; 2]) -> f64 {
         let mut s = 0.0;
-        for d in 0..2 {
-            let diff = if q[d] < self.min[d] {
-                self.min[d] - q[d]
-            } else if q[d] > self.max[d] {
-                q[d] - self.max[d]
+        for (d, &x) in q.iter().enumerate() {
+            let diff = if x < self.min[d] {
+                self.min[d] - x
+            } else if x > self.max[d] {
+                x - self.max[d]
             } else {
                 0.0
             };
@@ -60,8 +60,8 @@ impl Rect2 {
     /// Maximum distance from `q` to the rectangle (farthest corner).
     pub fn far(&self, q: [f64; 2]) -> f64 {
         let mut s = 0.0;
-        for d in 0..2 {
-            let diff = (q[d] - self.min[d]).abs().max((q[d] - self.max[d]).abs());
+        for (d, &x) in q.iter().enumerate() {
+            let diff = (x - self.min[d]).abs().max((x - self.max[d]).abs());
             s += diff * diff;
         }
         s.sqrt()

@@ -33,7 +33,10 @@ use crate::bounds::ProbBound;
 use crate::candidate::CandidateSet;
 use crate::classify::{Classifier, Label};
 use crate::error::{CoreError, Result};
+use crate::framework::{knn_verifiers, run_verification_into};
+use crate::refine::{incremental_refine_with, RefinementOrder};
 use crate::subregion::{SubregionTable, MASS_EPS};
+use crate::verifiers::{VerificationState, Verifier};
 
 use cpnn_pdf::integrate::{gauss_legendre, GlOrder};
 
@@ -72,12 +75,7 @@ pub fn knn_subregion_qualification(table: &SubregionTable, i: usize, j: usize, k
     for p in 0..panels {
         let a = p as f64 * w;
         total += gauss_legendre(
-            |t| {
-                poisson_binomial_at_most(
-                    active.iter().map(|&(a_k, m_k)| a_k + t * m_k),
-                    k - 1,
-                )
-            },
+            |t| poisson_binomial_at_most(active.iter().map(|&(a_k, m_k)| a_k + t * m_k), k - 1),
             a,
             a + w,
             GlOrder::Sixteen,
@@ -93,7 +91,7 @@ pub fn knn_probabilities(table: &SubregionTable, k: usize) -> Vec<f64> {
     let n = table.n_objects();
     let l = table.left_regions();
     let mut out = vec![0.0; n];
-    for i in 0..n {
+    for (i, slot) in out.iter_mut().enumerate() {
         let mut p = 0.0;
         for j in 0..l {
             let s = table.mass(i, j);
@@ -101,7 +99,7 @@ pub fn knn_probabilities(table: &SubregionTable, k: usize) -> Vec<f64> {
                 p += s * knn_subregion_qualification(table, i, j, k);
             }
         }
-        out[i] = p.clamp(0.0, 1.0);
+        *slot = p.clamp(0.0, 1.0);
     }
     out
 }
@@ -151,7 +149,10 @@ impl PbState {
                 .filter(|&(j, _)| j != i)
                 .map(|(_, &q)| q)
                 .collect();
-            return PbState::new(&rest, self.dp.len() - 1).dp.iter().sum::<f64>();
+            return PbState::new(&rest, self.dp.len() - 1)
+                .dp
+                .iter()
+                .sum::<f64>();
         }
         let q = 1.0 - p;
         let mut prev = 0.0;
@@ -165,8 +166,10 @@ impl PbState {
     }
 }
 
-/// Subregion verifier bounds for k-NN — the L-SR/U-SR generalization the
-/// paper leaves to future work:
+/// The subregion verifier for k-NN — the L-SR/U-SR generalization the
+/// paper leaves to future work, packaged as a [`Verifier`] so the unified
+/// pipeline ([`crate::pipeline`]) runs it through the same Fig. 5 framework
+/// as the 1-NN chain. For each object `i` and left subregion `S_j`:
 ///
 /// * **lower** (`L-SR-k`): given `R_i ∈ S_j`, if at most `k−1` others lie
 ///   below `e_{j+1}` then certainly at most `k−1` lie below `R_i`, so
@@ -177,50 +180,95 @@ impl PbState {
 /// Both are pure tail evaluations at end-points — no integration. Using a
 /// shared truncated Poisson-binomial state per end-point plus exclude-one
 /// deconvolution the cost is `O(|C|·M·k)`, the natural k-ary analogue of
-/// Table III's `O(|C|·M)`.
-///
-/// Returns `(p.l, p.u)` per candidate (Eq. 4 aggregation).
+/// Table III's `O(|C|·M)`. The per-subregion `q_ij` bounds land in the
+/// [`VerificationState`], where incremental refinement reuses them.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnSubregion {
+    k: usize,
+}
+
+impl KnnSubregion {
+    /// Verifier for the `k`-nearest-neighbor qualification (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1) }
+    }
+}
+
+impl Verifier for KnnSubregion {
+    fn name(&self) -> &'static str {
+        "SR-k"
+    }
+
+    fn apply(&self, table: &SubregionTable, state: &mut VerificationState) {
+        let n = table.n_objects();
+        let l = table.left_regions();
+        if n == 0 || l == 0 {
+            return;
+        }
+        let k = self.k;
+        if k >= n {
+            // Fewer competitors than slots: membership is certain wherever
+            // the object has mass below the horizon.
+            for i in 0..n {
+                if state.labels[i] != Label::Unknown {
+                    continue;
+                }
+                for j in 0..l {
+                    state.qij_lo[i * l + j] = 1.0;
+                    state.qij_hi[i * l + j] = 1.0;
+                }
+                state.recompute_lower(table, i);
+                state.recompute_upper(table, i);
+            }
+            return;
+        }
+        let limit = k - 1;
+        let probs_at = |j: usize| -> Vec<f64> { (0..n).map(|m| table.cdf_at(m, j)).collect() };
+        let mut probs_cur = probs_at(0);
+        let mut state_cur = PbState::new(&probs_cur, limit);
+        for j in 0..l {
+            let probs_next = probs_at(j + 1);
+            let state_next = PbState::new(&probs_next, limit);
+            for i in 0..n {
+                if state.labels[i] != Label::Unknown {
+                    continue;
+                }
+                let lo = state_next.tail_excluding(&probs_next, i);
+                let cell = &mut state.qij_lo[i * l + j];
+                if lo > *cell {
+                    *cell = lo;
+                }
+                let hi = state_cur.tail_excluding(&probs_cur, i);
+                let cell = &mut state.qij_hi[i * l + j];
+                if hi < *cell {
+                    *cell = hi;
+                }
+            }
+            probs_cur = probs_next;
+            state_cur = state_next;
+        }
+        for i in 0..n {
+            if state.labels[i] == Label::Unknown {
+                state.recompute_lower(table, i);
+                state.recompute_upper(table, i);
+            }
+        }
+    }
+}
+
+/// Aggregated L-SR-k/U-SR-k bounds `(p.l, p.u)` per candidate (Eq. 4
+/// aggregation of [`KnnSubregion`]'s per-subregion bounds).
 pub fn knn_verifier_bounds(table: &SubregionTable, k: usize) -> (Vec<f64>, Vec<f64>) {
     let n = table.n_objects();
-    let l = table.left_regions();
-    let limit = k.saturating_sub(1);
-    let mut lower = vec![0.0; n];
-    let mut upper = vec![0.0; n];
-    if n == 0 || l == 0 {
-        return (lower, upper);
+    if n == 0 || table.left_regions() == 0 {
+        return (vec![0.0; n], vec![0.0; n]);
     }
-    if k >= n {
-        // Fewer competitors than slots: membership is certain wherever the
-        // object has mass below the horizon.
-        for i in 0..n {
-            let mass: f64 = (0..l).map(|j| table.mass(i, j)).sum();
-            lower[i] = mass.clamp(0.0, 1.0);
-            upper[i] = mass.clamp(0.0, 1.0);
-        }
-        return (lower, upper);
-    }
-    let probs_at = |j: usize| -> Vec<f64> { (0..n).map(|m| table.cdf_at(m, j)).collect() };
-    let mut probs_cur = probs_at(0);
-    let mut state_cur = PbState::new(&probs_cur, limit);
-    for j in 0..l {
-        let probs_next = probs_at(j + 1);
-        let state_next = PbState::new(&probs_next, limit);
-        for i in 0..n {
-            let s = table.mass(i, j);
-            if s <= MASS_EPS {
-                continue;
-            }
-            lower[i] += s * state_next.tail_excluding(&probs_next, i);
-            upper[i] += s * state_cur.tail_excluding(&probs_cur, i);
-        }
-        probs_cur = probs_next;
-        state_cur = state_next;
-    }
-    for i in 0..n {
-        lower[i] = lower[i].clamp(0.0, 1.0);
-        upper[i] = upper[i].clamp(0.0, 1.0);
-    }
-    (lower, upper)
+    let mut state = VerificationState::new(table);
+    KnnSubregion::new(k).apply(table, &mut state);
+    (
+        state.bounds.iter().map(|b| b.lo()).collect(),
+        state.bounds.iter().map(|b| b.hi()).collect(),
+    )
 }
 
 /// Monte-Carlo estimate of k-NN qualification probabilities.
@@ -266,55 +314,45 @@ pub struct KnnVerdict {
     pub integrations: usize,
 }
 
-/// Evaluate a constrained k-NN query over a k-horizon table: the RS-k and
-/// L-SR-k/U-SR-k verifier bounds first, then per-subregion exact refinement
-/// (largest mass first) until each object classifies.
+/// Evaluate a constrained k-NN query over a k-horizon table through the
+/// shared verification framework and refinement loop: the RS-k and
+/// [`KnnSubregion`] verifiers first (Fig. 5), then per-subregion exact
+/// refinement until each object classifies (Sec. IV-D). This is the same
+/// verify → refine machinery the 1-NN pipeline runs — only the verifier
+/// chain and the qualification integrand differ.
 pub fn constrained_knn(
     table: &SubregionTable,
     classifier: &Classifier,
     k: usize,
 ) -> Vec<KnnVerdict> {
-    let n = table.n_objects();
-    let l = table.left_regions();
-    let (v_lower, v_upper) = knn_verifier_bounds(table, k);
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut bound = ProbBound::vacuous();
-        bound.lower_hi(1.0 - table.rightmost(i));
-        bound.raise_lo(v_lower[i]);
-        bound.lower_hi(v_upper[i]);
-        let mut label = classifier.classify(&bound);
-        let mut integrations = 0usize;
-        if label == Label::Unknown {
-            let mut regions: Vec<usize> =
-                (0..l).filter(|&j| table.mass(i, j) > MASS_EPS).collect();
-            regions.sort_by(|&a, &b| table.mass(i, b).total_cmp(&table.mass(i, a)));
-            // Refined mass accumulates into [lo, lo + unrefined].
-            let mut exact_part = 0.0;
-            let mut unrefined: f64 = regions.iter().map(|&j| table.mass(i, j)).sum();
-            for j in regions {
-                let q = knn_subregion_qualification(table, i, j, k);
-                integrations += 1;
-                exact_part += table.mass(i, j) * q;
-                unrefined -= table.mass(i, j);
-                bound.raise_lo(exact_part);
-                bound.lower_hi(exact_part + unrefined);
-                label = classifier.classify(&bound);
-                if label != Label::Unknown {
-                    break;
-                }
-            }
-            if label == Label::Unknown {
-                label = classifier.classify(&bound);
-            }
-        }
-        out.push(KnnVerdict {
+    let k = k.max(1);
+    let mut state = VerificationState::new(table);
+    let mut stages = Vec::new();
+    run_verification_into(
+        table,
+        classifier,
+        &knn_verifiers(k),
+        &mut state,
+        &mut stages,
+    );
+    let report = incremental_refine_with(
+        table,
+        classifier,
+        &mut state,
+        RefinementOrder::DescendingMass,
+        |i, j| knn_subregion_qualification(table, i, j, k),
+    );
+    state
+        .bounds
+        .iter()
+        .zip(&state.labels)
+        .enumerate()
+        .map(|(i, (&bound, &label))| KnnVerdict {
             bound,
             label,
-            integrations,
-        });
-    }
-    out
+            integrations: report.per_object.get(i).copied().unwrap_or(0),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -363,10 +401,7 @@ mod tests {
             let (_, table) = knn_setup(k);
             let probs = knn_probabilities(&table, k);
             let total: f64 = probs.iter().sum();
-            assert!(
-                (total - k as f64).abs() < 1e-6,
-                "k = {k}: sum = {total}"
-            );
+            assert!((total - k as f64).abs() < 1e-6, "k = {k}: sum = {total}");
         }
     }
 
@@ -477,7 +512,9 @@ mod tests {
                 }
                 let tail_at = |endpoint: usize| {
                     poisson_binomial_at_most(
-                        (0..n).filter(|&m| m != i).map(|m| table.cdf_at(m, endpoint)),
+                        (0..n)
+                            .filter(|&m| m != i)
+                            .map(|m| table.cdf_at(m, endpoint)),
                         k - 1,
                     )
                 };

@@ -24,6 +24,12 @@
 //! 3. **Refine** — leftovers get exact per-subregion integration,
 //!    incrementally ([`refine`]).
 //!
+//! All query flavors — 1-D ([`UncertainDb`]), 2-D ([`UncertainDb2d`]),
+//! and k-NN — share one generic implementation of this flow in
+//! [`pipeline`], parameterized by a [`pipeline::DistanceModel`]; the
+//! [`batch::BatchExecutor`] evaluates many queries concurrently across
+//! worker threads.
+//!
 //! ## Entry point
 //!
 //! ```
@@ -42,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bounds;
 pub mod candidate;
 pub mod classify;
@@ -50,13 +57,14 @@ pub mod distance2d;
 pub mod engine;
 pub mod engine2d;
 pub mod error;
-pub mod geometry2d;
 pub mod exact;
 pub mod framework;
+pub mod geometry2d;
 pub mod knn;
 pub mod montecarlo;
 pub mod object;
 pub mod persist;
+pub mod pipeline;
 pub mod range;
 pub mod refine;
 pub mod subregion;
@@ -65,19 +73,20 @@ pub mod verifiers;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use batch::{BatchExecutor, BatchOutcome, BatchSummary};
 pub use bounds::ProbBound;
 pub use candidate::{CandidateMember, CandidateSet};
 pub use classify::{Classifier, Label};
 pub use distance::DistanceDistribution;
 pub use distance2d::{cpnn_2d, pnn_2d, CircleObject, Cpnn2dResult};
-pub use engine2d::{Engine2dConfig, Object2d, UncertainDb2d};
-pub use geometry2d::Rect2;
 pub use engine::{
-    CpnnQuery, CpnnResult, EngineConfig, ObjectReport, PnnResult, QueryStats, Strategy,
-    UncertainDb,
+    CpnnQuery, CpnnResult, EngineConfig, ObjectReport, PnnResult, QueryStats, Strategy, UncertainDb,
 };
+pub use engine2d::{Engine2dConfig, Object2d, UncertainDb2d};
 pub use error::{CoreError, Result};
+pub use geometry2d::Rect2;
 pub use object::{ObjectId, UncertainObject};
+pub use pipeline::{DistanceModel, PipelineConfig, QueryScratch, QuerySpec};
 pub use range::RangeAnswer;
 pub use refine::RefinementOrder;
 pub use subregion::SubregionTable;

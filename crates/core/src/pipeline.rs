@@ -1,0 +1,638 @@
+//! The unified C-PNN query pipeline (paper Fig. 3 / Fig. 5).
+//!
+//! Every query flavor this crate evaluates — 1-D intervals
+//! ([`crate::engine::UncertainDb`]), 2-D disks and rectangles
+//! ([`crate::engine2d::UncertainDb2d`], [`crate::distance2d`]), and the
+//! k-NN extension ([`crate::knn`]) — runs the *same* four phases:
+//!
+//! 1. **filter** — prune objects that provably cannot qualify (R-tree or
+//!    near/far scan; Sec. III of the paper);
+//! 2. **init** — build each survivor's distance distribution and the
+//!    [`SubregionTable`] (Sec. IV-A, Fig. 7);
+//! 3. **verify** — tighten probability bounds with algebraic verifiers
+//!    (RS / L-SR / U-SR for 1-NN, Sec. IV-B/C; their k-ary analogues for
+//!    k-NN) and classify against the threshold;
+//! 4. **refine** — exact per-subregion integration for leftovers,
+//!    incrementally (Sec. IV-D).
+//!
+//! The paper's observation that makes this factoring sound is Sec. IV-A:
+//! *"our solution only needs distance pdfs and cdfs"* — once a
+//! [`DistanceModel`] has turned its geometry into
+//! [`DistanceDistribution`]s, phases 2–4 are dimension-agnostic. The
+//! concrete databases are thin instantiations of this module; none of them
+//! carries its own copy of the control flow.
+//!
+//! [`QueryScratch`] holds the allocations the verify/refine phases reuse
+//! across queries; the batch executor ([`crate::batch`]) keeps one per
+//! worker thread.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bounds::ProbBound;
+use crate::candidate::CandidateSet;
+use crate::classify::{Classifier, Label};
+use crate::distance::DistanceDistribution;
+use crate::error::Result;
+use crate::exact::{basic_probabilities, exact_probabilities, subregion_qualification};
+use crate::framework::{
+    default_verifiers, extended_verifiers, knn_verifiers, run_verification_into, StageReport,
+};
+use crate::knn::{knn_probabilities, knn_subregion_qualification, monte_carlo_knn};
+use crate::montecarlo::monte_carlo_probabilities;
+use crate::object::ObjectId;
+use crate::refine::{incremental_refine_with, RefinementOrder};
+use crate::subregion::{SubregionTable, MASS_EPS};
+use crate::verifiers::VerificationState;
+
+/// Evaluation strategy — the three methods compared throughout Sec. V, plus
+/// the sampling baseline of \[9\].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Exact probabilities for every candidate by direct numerical
+    /// integration (\[5\]); answers thresholded afterwards.
+    Basic,
+    /// Skip verification; incremental refinement directly ("Refine").
+    RefineOnly,
+    /// Verifiers first, refinement only for leftovers ("VR" — the paper's
+    /// proposed method).
+    Verified,
+    /// Monte-Carlo sampling over possible worlds (\[9\]).
+    MonteCarlo {
+        /// Number of sampled worlds.
+        worlds: usize,
+        /// RNG seed (queries are deterministic given the seed).
+        seed: u64,
+    },
+}
+
+/// A C-PNN query: point, threshold `P`, tolerance `Δ` (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpnnQuery {
+    /// The query point `q`.
+    pub q: f64,
+    /// Threshold `P ∈ (0, 1]`.
+    pub threshold: f64,
+    /// Tolerance `Δ ∈ [0, 1]`.
+    pub tolerance: f64,
+}
+
+impl CpnnQuery {
+    /// Convenience constructor.
+    pub fn new(q: f64, threshold: f64, tolerance: f64) -> Self {
+        Self {
+            q,
+            threshold,
+            tolerance,
+        }
+    }
+}
+
+/// Per-candidate verdict in a query result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectReport {
+    /// The object.
+    pub id: ObjectId,
+    /// Final probability bound (collapsed to a point for exact strategies).
+    pub bound: ProbBound,
+    /// Final classification.
+    pub label: Label,
+}
+
+/// Wall-clock and work statistics for one query (feeds Figs. 9–13).
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Objects in the database.
+    pub total_objects: usize,
+    /// Candidate set size `|C|` after filtering.
+    pub candidates: usize,
+    /// Subregion count `M` (0 when no table was built).
+    pub subregions: usize,
+    /// Filtering (R-tree / near-far scan) time.
+    pub filter_time: Duration,
+    /// Initialization time (distance distributions + subregion table).
+    pub init_time: Duration,
+    /// Verification time (all verifier stages).
+    pub verify_time: Duration,
+    /// Refinement / exact-evaluation time.
+    pub refine_time: Duration,
+    /// Per-verifier-stage reports (empty for non-verified strategies).
+    pub stages: Vec<StageReport>,
+    /// Objects that entered refinement.
+    pub refined_objects: usize,
+    /// Work counter: subregion integrations (VR/Refine) or integrand
+    /// evaluations (Basic) or sampled worlds (Monte-Carlo).
+    pub integrations: usize,
+    /// Did verification alone resolve the query (Fig. 13's metric)?
+    pub resolved_by_verification: bool,
+}
+
+impl QueryStats {
+    /// Total time across all phases.
+    pub fn total_time(&self) -> Duration {
+        self.filter_time + self.init_time + self.verify_time + self.refine_time
+    }
+}
+
+/// Result of a C-PNN query.
+#[derive(Debug, Clone)]
+pub struct CpnnResult {
+    /// IDs of objects satisfying the query, ascending.
+    pub answers: Vec<ObjectId>,
+    /// Verdict for every candidate (in candidate order).
+    pub reports: Vec<ObjectReport>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+/// Result of a plain PNN query: every candidate with its qualification
+/// probability, descending.
+#[derive(Debug, Clone)]
+pub struct PnnResult {
+    /// `(id, probability)` pairs, descending by probability.
+    pub probabilities: Vec<(ObjectId, f64)>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+/// Everything about a constrained query except the query *point* (whose
+/// type belongs to the [`DistanceModel`]): threshold, tolerance, horizon
+/// `k`, and the evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    /// Threshold `P ∈ (0, 1]`.
+    pub threshold: f64,
+    /// Tolerance `Δ ∈ [0, 1]`.
+    pub tolerance: f64,
+    /// Neighbor count: `1` is the paper's C-PNN, larger values the C-PkNN
+    /// extension.
+    pub k: usize,
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+}
+
+impl QuerySpec {
+    /// A 1-NN spec.
+    pub fn nn(threshold: f64, tolerance: f64, strategy: Strategy) -> Self {
+        Self {
+            threshold,
+            tolerance,
+            k: 1,
+            strategy,
+        }
+    }
+
+    /// A k-NN spec.
+    pub fn knn(k: usize, threshold: f64, tolerance: f64, strategy: Strategy) -> Self {
+        Self {
+            threshold,
+            tolerance,
+            k,
+            strategy,
+        }
+    }
+}
+
+/// Pipeline tuning knobs shared by every model (the model-specific knobs —
+/// histogram resolution, R-tree fan-out — live with the model).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Subregion visiting order during incremental refinement.
+    pub refinement_order: RefinementOrder,
+    /// Adaptive-Simpson tolerance for the Basic baseline.
+    pub basic_tolerance: f64,
+    /// Add the FL-SR verifier to the 1-NN chain (see
+    /// [`crate::verifiers::FarLowerSubregion`]).
+    pub extended_verifiers: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            refinement_order: RefinementOrder::DescendingMass,
+            basic_tolerance: 1e-6,
+            extended_verifiers: false,
+        }
+    }
+}
+
+/// Output of a model's filtering phase: the surviving objects' distance
+/// distributions, plus how much of the call was *pruning* (R-tree probe,
+/// near/far scan) as opposed to distribution construction — the pipeline
+/// attributes the former to `filter_time` and the latter to `init_time`,
+/// matching the paper's phase accounting.
+#[derive(Debug)]
+pub struct Filtered {
+    /// `(id, distance distribution)` per surviving object. Order is
+    /// irrelevant; the candidate set re-sorts by near point.
+    pub items: Vec<(ObjectId, DistanceDistribution)>,
+    /// Time spent pruning (not building distributions).
+    pub filter_time: Duration,
+}
+
+/// A source of uncertain objects that can answer "which objects might be
+/// among the `k` nearest of `q`, and what are their distance
+/// distributions?" — the only geometry-specific piece of the pipeline.
+///
+/// Implementations: 1-D interval databases, 2-D disk/rectangle databases,
+/// and plain object slices (see [`crate::distance2d`]). Everything after
+/// filtering is shared.
+pub trait DistanceModel {
+    /// The query-point type (`f64` for 1-D, `[f64; 2]` for 2-D, …).
+    type Query: Copy;
+
+    /// Total number of stored objects (for [`QueryStats::total_objects`]).
+    fn total_objects(&self) -> usize;
+
+    /// Validate a query point before any work happens.
+    fn check_query(&self, q: &Self::Query) -> Result<()>;
+
+    /// The filtering phase: prune and return distance distributions for the
+    /// survivors. Over-approximation is sound (the candidate set re-prunes
+    /// against the exact `k`-th smallest far point); under-approximation is
+    /// not.
+    fn filter(&self, q: &Self::Query, k: usize) -> Result<Filtered>;
+}
+
+/// Reusable per-query allocations: the verification state and stage
+/// reports. One scratch per worker thread lets a batch run recycle these
+/// buffers instead of reallocating them for every query.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    state: VerificationState,
+    stages: Vec<StageReport>,
+}
+
+impl QueryScratch {
+    /// Fresh scratch (allocates lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Evaluate a constrained query (C-PNN for `spec.k == 1`, C-PkNN above)
+/// through the unified pipeline.
+pub fn cpnn<M: DistanceModel + ?Sized>(
+    model: &M,
+    q: &M::Query,
+    spec: &QuerySpec,
+    cfg: &PipelineConfig,
+) -> Result<CpnnResult> {
+    cpnn_with(model, q, spec, cfg, &mut QueryScratch::new())
+}
+
+/// [`cpnn`] with caller-provided scratch buffers.
+pub fn cpnn_with<M: DistanceModel + ?Sized>(
+    model: &M,
+    q: &M::Query,
+    spec: &QuerySpec,
+    cfg: &PipelineConfig,
+    scratch: &mut QueryScratch,
+) -> Result<CpnnResult> {
+    model.check_query(q)?;
+    let classifier = Classifier::new(spec.threshold, spec.tolerance)?;
+    let k = spec.k.max(1);
+
+    let mut stats = QueryStats {
+        total_objects: model.total_objects(),
+        ..Default::default()
+    };
+    let (cands, init_time) = prepare(model, q, k, &mut stats)?;
+    let init_start = Instant::now();
+
+    match (spec.strategy, k) {
+        (Strategy::Basic, 1) => {
+            stats.init_time = init_time + init_start.elapsed();
+            let start = Instant::now();
+            let (probs, evals) = basic_probabilities(&cands, cfg.basic_tolerance);
+            stats.refine_time = start.elapsed();
+            stats.integrations = evals;
+            Ok(finish_exact(&cands, &classifier, &probs, stats))
+        }
+        (Strategy::MonteCarlo { worlds, seed }, 1) => {
+            stats.init_time = init_time + init_start.elapsed();
+            let start = Instant::now();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let probs = monte_carlo_probabilities(&cands, worlds, &mut rng)?;
+            stats.refine_time = start.elapsed();
+            stats.integrations = worlds;
+            Ok(finish_exact(&cands, &classifier, &probs, stats))
+        }
+        (Strategy::MonteCarlo { worlds, seed }, k) => {
+            stats.init_time = init_time + init_start.elapsed();
+            let start = Instant::now();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let probs = monte_carlo_knn(&cands, k, worlds, &mut rng)?;
+            stats.refine_time = start.elapsed();
+            stats.integrations = worlds;
+            Ok(finish_exact(&cands, &classifier, &probs, stats))
+        }
+        (Strategy::Basic, k) => {
+            let table = SubregionTable::build(&cands);
+            stats.subregions = table.subregion_count();
+            stats.init_time = init_time + init_start.elapsed();
+            let start = Instant::now();
+            let probs = knn_probabilities(&table, k);
+            stats.refine_time = start.elapsed();
+            stats.integrations = active_subregions(&table);
+            Ok(finish_exact(&cands, &classifier, &probs, stats))
+        }
+        (strategy, k) => {
+            // Verify → refine (or refine alone), over the subregion table.
+            let table = SubregionTable::build(&cands);
+            stats.subregions = table.subregion_count();
+            stats.init_time = init_time + init_start.elapsed();
+            scratch.state.reset(&table);
+            scratch.stages.clear();
+            if strategy == Strategy::Verified {
+                let verify_start = Instant::now();
+                let chain = match (k, cfg.extended_verifiers) {
+                    (1, false) => default_verifiers(),
+                    (1, true) => extended_verifiers(),
+                    (k, _) => knn_verifiers(k),
+                };
+                run_verification_into(
+                    &table,
+                    &classifier,
+                    &chain,
+                    &mut scratch.state,
+                    &mut scratch.stages,
+                );
+                stats.verify_time = verify_start.elapsed();
+                stats.resolved_by_verification = scratch.state.unknown_count() == 0;
+                stats.stages = scratch.stages.clone();
+            }
+            let refine_start = Instant::now();
+            let report = if k == 1 {
+                incremental_refine_with(
+                    &table,
+                    &classifier,
+                    &mut scratch.state,
+                    cfg.refinement_order,
+                    |i, j| subregion_qualification(&table, i, j),
+                )
+            } else {
+                incremental_refine_with(
+                    &table,
+                    &classifier,
+                    &mut scratch.state,
+                    cfg.refinement_order,
+                    |i, j| knn_subregion_qualification(&table, i, j, k),
+                )
+            };
+            stats.refine_time = refine_start.elapsed();
+            stats.refined_objects = report.refined_objects;
+            stats.integrations = report.integrations;
+            Ok(finish_state(&cands, &scratch.state, stats))
+        }
+    }
+}
+
+/// Exact qualification probabilities for every candidate (PNN for `k == 1`,
+/// PkNN above), descending.
+pub fn pnn<M: DistanceModel + ?Sized>(model: &M, q: &M::Query, k: usize) -> Result<PnnResult> {
+    model.check_query(q)?;
+    let k = k.max(1);
+    let mut stats = QueryStats {
+        total_objects: model.total_objects(),
+        ..Default::default()
+    };
+    let (cands, init_time) = prepare(model, q, k, &mut stats)?;
+    let init_start = Instant::now();
+    let table = SubregionTable::build(&cands);
+    stats.subregions = table.subregion_count();
+    stats.init_time = init_time + init_start.elapsed();
+    let start = Instant::now();
+    let probs = if k == 1 {
+        let (probs, integrations) = exact_probabilities(&table);
+        stats.integrations = integrations;
+        probs
+    } else {
+        knn_probabilities(&table, k)
+    };
+    stats.refine_time = start.elapsed();
+    let mut probabilities: Vec<(ObjectId, f64)> = cands
+        .members()
+        .iter()
+        .zip(&probs)
+        .map(|(m, &p)| (m.id, p))
+        .collect();
+    probabilities.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    Ok(PnnResult {
+        probabilities,
+        stats,
+    })
+}
+
+/// Filter + candidate-set assembly. Returns the candidates and the slice of
+/// the model call that belongs to `init_time` (distribution construction).
+fn prepare<M: DistanceModel + ?Sized>(
+    model: &M,
+    q: &M::Query,
+    k: usize,
+    stats: &mut QueryStats,
+) -> Result<(CandidateSet, Duration)> {
+    let start = Instant::now();
+    let filtered = model.filter(q, k)?;
+    let elapsed = start.elapsed();
+    stats.filter_time = filtered.filter_time.min(elapsed);
+    let init_from_filter = elapsed.saturating_sub(stats.filter_time);
+    let assemble_start = Instant::now();
+    let cands = CandidateSet::from_distances(filtered.items, k);
+    stats.candidates = cands.len();
+    Ok((cands, init_from_filter + assemble_start.elapsed()))
+}
+
+/// Number of `(object, left subregion)` cells with non-negligible mass —
+/// the integration count of a full exact k-NN evaluation.
+fn active_subregions(table: &SubregionTable) -> usize {
+    let l = table.left_regions();
+    (0..table.n_objects())
+        .map(|i| (0..l).filter(|&j| table.mass(i, j) > MASS_EPS).count())
+        .sum()
+}
+
+fn finish_exact(
+    cands: &CandidateSet,
+    classifier: &Classifier,
+    probs: &[f64],
+    stats: QueryStats,
+) -> CpnnResult {
+    let reports: Vec<ObjectReport> = cands
+        .members()
+        .iter()
+        .zip(probs)
+        .map(|(m, &p)| {
+            let bound = ProbBound::exact(p);
+            ObjectReport {
+                id: m.id,
+                bound,
+                label: classifier.classify(&bound),
+            }
+        })
+        .collect();
+    collect(reports, stats)
+}
+
+fn finish_state(cands: &CandidateSet, state: &VerificationState, stats: QueryStats) -> CpnnResult {
+    let reports: Vec<ObjectReport> = cands
+        .members()
+        .iter()
+        .zip(state.bounds.iter().zip(&state.labels))
+        .map(|(m, (&bound, &label))| ObjectReport {
+            id: m.id,
+            bound,
+            label,
+        })
+        .collect();
+    collect(reports, stats)
+}
+
+fn collect(reports: Vec<ObjectReport>, stats: QueryStats) -> CpnnResult {
+    let mut answers: Vec<ObjectId> = reports
+        .iter()
+        .filter(|r| r.label == Label::Satisfy)
+        .map(|r| r.id)
+        .collect();
+    answers.sort_unstable();
+    CpnnResult {
+        answers,
+        reports,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use crate::testutil::fig7_scenario;
+
+    /// A model over a plain slice of 1-D objects: near/far scan filtering,
+    /// no index. Used to test the pipeline in isolation from `UncertainDb`.
+    struct SliceModel(Vec<crate::object::UncertainObject>);
+
+    impl DistanceModel for SliceModel {
+        type Query = f64;
+
+        fn total_objects(&self) -> usize {
+            self.0.len()
+        }
+
+        fn check_query(&self, q: &f64) -> Result<()> {
+            if !q.is_finite() {
+                return Err(CoreError::InvalidQueryPoint(*q));
+            }
+            Ok(())
+        }
+
+        fn filter(&self, q: &f64, _k: usize) -> Result<Filtered> {
+            let start = Instant::now();
+            let mut items = Vec::with_capacity(self.0.len());
+            for o in &self.0 {
+                items.push((o.id(), DistanceDistribution::from_pdf(o.pdf(), *q)?));
+            }
+            Ok(Filtered {
+                items,
+                filter_time: start.elapsed(),
+            })
+        }
+    }
+
+    fn fig7_model() -> SliceModel {
+        let (_, objects) = fig7_scenario();
+        SliceModel(objects)
+    }
+
+    #[test]
+    fn all_strategies_agree_through_the_generic_pipeline() {
+        let model = fig7_model();
+        let cfg = PipelineConfig::default();
+        for p in [0.05, 0.3, 0.45, 0.7] {
+            let mut answers = Vec::new();
+            for strategy in [Strategy::Basic, Strategy::RefineOnly, Strategy::Verified] {
+                let res = cpnn(&model, &0.0, &QuerySpec::nn(p, 0.0, strategy), &cfg).unwrap();
+                answers.push(res.answers);
+            }
+            assert_eq!(answers[0], answers[1], "P = {p}");
+            assert_eq!(answers[0], answers[2], "P = {p}");
+        }
+    }
+
+    #[test]
+    fn knn_strategies_agree_through_the_generic_pipeline() {
+        let model = fig7_model();
+        let cfg = PipelineConfig::default();
+        for p in [0.3, 0.6, 0.9] {
+            let exact = cpnn(
+                &model,
+                &0.0,
+                &QuerySpec::knn(2, p, 0.0, Strategy::Basic),
+                &cfg,
+            )
+            .unwrap();
+            let vr = cpnn(
+                &model,
+                &0.0,
+                &QuerySpec::knn(2, p, 0.0, Strategy::Verified),
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(exact.answers, vr.answers, "P = {p}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let model = fig7_model();
+        let cfg = PipelineConfig::default();
+        let mut scratch = QueryScratch::new();
+        for q in [-1.0, 0.0, 2.0, 5.0] {
+            let spec = QuerySpec::nn(0.3, 0.01, Strategy::Verified);
+            let reused = cpnn_with(&model, &q, &spec, &cfg, &mut scratch).unwrap();
+            let fresh = cpnn(&model, &q, &spec, &cfg).unwrap();
+            assert_eq!(reused.answers, fresh.answers, "q = {q}");
+            assert_eq!(reused.reports.len(), fresh.reports.len());
+            for (a, b) in reused.reports.iter().zip(&fresh.reports) {
+                assert_eq!(a.label, b.label, "q = {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn pnn_and_pknn_share_the_same_entry_point() {
+        let model = fig7_model();
+        let p1 = pnn(&model, &0.0, 1).unwrap();
+        let total: f64 = p1.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let p2 = pnn(&model, &0.0, 2).unwrap();
+        let total2: f64 = p2.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total2 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected_before_any_work() {
+        let model = fig7_model();
+        let cfg = PipelineConfig::default();
+        assert!(matches!(
+            cpnn(
+                &model,
+                &f64::NAN,
+                &QuerySpec::nn(0.3, 0.0, Strategy::Verified),
+                &cfg
+            ),
+            Err(CoreError::InvalidQueryPoint(_))
+        ));
+        assert!(matches!(
+            cpnn(
+                &model,
+                &0.0,
+                &QuerySpec::nn(0.0, 0.0, Strategy::Verified),
+                &cfg
+            ),
+            Err(CoreError::InvalidThreshold(_))
+        ));
+    }
+}

@@ -27,37 +27,60 @@ pub enum RefinementOrder {
 }
 
 /// Statistics from a refinement pass.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RefineReport {
     /// Objects that entered refinement.
     pub refined_objects: usize,
     /// Per-subregion integrations performed.
     pub integrations: usize,
+    /// Integrations per candidate (index-aligned with the table).
+    pub per_object: Vec<usize>,
 }
 
-/// Refine every `Unknown` object in `state` until classified.
+/// Refine every `Unknown` object in `state` until classified, using the
+/// 1-NN exact subregion qualification.
 pub fn incremental_refine(
     table: &SubregionTable,
     classifier: &Classifier,
     state: &mut VerificationState,
     order: RefinementOrder,
 ) -> RefineReport {
+    incremental_refine_with(table, classifier, state, order, |i, j| {
+        subregion_qualification(table, i, j)
+    })
+}
+
+/// Refine every `Unknown` object in `state` until classified, with a
+/// caller-supplied exact qualification `qual(i, j)` — the 1-NN product
+/// integral or the k-NN Poisson-binomial integral
+/// ([`crate::knn::knn_subregion_qualification`]). This is the single
+/// refinement loop every query path shares (paper Sec. IV-D).
+pub fn incremental_refine_with(
+    table: &SubregionTable,
+    classifier: &Classifier,
+    state: &mut VerificationState,
+    order: RefinementOrder,
+    qual: impl Fn(usize, usize) -> f64,
+) -> RefineReport {
     let n = table.n_objects();
     let l = table.left_regions();
-    let mut report = RefineReport::default();
+    let mut report = RefineReport {
+        per_object: vec![0; n],
+        ..Default::default()
+    };
     for i in 0..n {
         if state.labels[i] != Label::Unknown {
             continue;
         }
         report.refined_objects += 1;
-        let mut regions: Vec<usize> =
-            (0..l).filter(|&j| table.mass(i, j) > MASS_EPS).collect();
+        let mut regions: Vec<usize> = (0..l).filter(|&j| table.mass(i, j) > MASS_EPS).collect();
         if order == RefinementOrder::DescendingMass {
             regions.sort_by(|&a, &b| table.mass(i, b).total_cmp(&table.mass(i, a)));
         }
         for j in regions {
-            let q = subregion_qualification(table, i, j);
+            let q = qual(i, j);
             report.integrations += 1;
+            report.per_object[i] += 1;
             state.qij_lo[i * l + j] = q;
             state.qij_hi[i * l + j] = q;
             state.recompute_lower(table, i);
@@ -85,7 +108,11 @@ mod tests {
     use crate::subregion::SubregionTable;
     use crate::testutil::{fig7_exact, fig7_scenario};
 
-    fn run(threshold: f64, tolerance: f64, order: RefinementOrder) -> (VerificationState, RefineReport) {
+    fn run(
+        threshold: f64,
+        tolerance: f64,
+        order: RefinementOrder,
+    ) -> (VerificationState, RefineReport) {
         let (cands, _) = fig7_scenario();
         let table = SubregionTable::build(&cands);
         let classifier = Classifier::new(threshold, tolerance).unwrap();

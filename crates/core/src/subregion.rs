@@ -294,10 +294,11 @@ mod tests {
 
     #[test]
     fn single_candidate_has_one_left_region_and_no_rightmost_mass() {
-        let objects = vec![
-            crate::object::UncertainObject::uniform(crate::object::ObjectId(9), 3.0, 5.0)
-                .unwrap(),
-        ];
+        let objects =
+            vec![
+                crate::object::UncertainObject::uniform(crate::object::ObjectId(9), 3.0, 5.0)
+                    .unwrap(),
+            ];
         let cands = crate::candidate::CandidateSet::build(&objects, 0.0, 0).unwrap();
         let t = SubregionTable::build(&cands);
         assert_eq!(t.left_regions(), 1);

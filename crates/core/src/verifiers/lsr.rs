@@ -122,10 +122,11 @@ mod tests {
 
     #[test]
     fn lsr_single_candidate_proves_certainty() {
-        let objects = vec![
-            crate::object::UncertainObject::uniform(crate::object::ObjectId(0), 1.0, 2.0)
-                .unwrap(),
-        ];
+        let objects =
+            vec![
+                crate::object::UncertainObject::uniform(crate::object::ObjectId(0), 1.0, 2.0)
+                    .unwrap(),
+            ];
         let cands = crate::candidate::CandidateSet::build(&objects, 0.0, 0).unwrap();
         let table = SubregionTable::build(&cands);
         let mut state = VerificationState::new(&table);

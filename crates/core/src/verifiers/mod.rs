@@ -33,7 +33,11 @@ use crate::subregion::SubregionTable;
 
 /// Mutable state threaded through the verification pipeline: object-level
 /// probability bounds, labels, and per-subregion qualification bounds.
-#[derive(Debug, Clone)]
+///
+/// The backing vectors are reusable: [`VerificationState::reset`] re-sizes
+/// them for a new table without discarding capacity, which is what lets the
+/// batch executor keep one state per worker thread.
+#[derive(Debug, Clone, Default)]
 pub struct VerificationState {
     /// `[p_i.l, p_i.u]` per candidate.
     pub bounds: Vec<ProbBound>,
@@ -49,14 +53,23 @@ impl VerificationState {
     /// Fresh state: vacuous bounds, every object `Unknown`,
     /// `[q_ij.l, q_ij.u] = [0, 1]`.
     pub fn new(table: &SubregionTable) -> Self {
+        let mut state = Self::default();
+        state.reset(table);
+        state
+    }
+
+    /// Re-initialize for `table`, reusing the existing allocations.
+    pub fn reset(&mut self, table: &SubregionTable) {
         let n = table.n_objects();
         let l = table.left_regions();
-        Self {
-            bounds: vec![ProbBound::vacuous(); n],
-            labels: vec![Label::Unknown; n],
-            qij_lo: vec![0.0; n * l],
-            qij_hi: vec![1.0; n * l],
-        }
+        self.bounds.clear();
+        self.bounds.resize(n, ProbBound::vacuous());
+        self.labels.clear();
+        self.labels.resize(n, Label::Unknown);
+        self.qij_lo.clear();
+        self.qij_lo.resize(n * l, 0.0);
+        self.qij_hi.clear();
+        self.qij_hi.resize(n * l, 1.0);
     }
 
     /// Recompute `p_i.l = Σ_j s_ij · q_ij.l` (paper Eq. 4) and raise the
@@ -83,10 +96,7 @@ impl VerificationState {
 
     /// Number of objects still labelled `Unknown`.
     pub fn unknown_count(&self) -> usize {
-        self.labels
-            .iter()
-            .filter(|&&l| l == Label::Unknown)
-            .count()
+        self.labels.iter().filter(|&&l| l == Label::Unknown).count()
     }
 }
 

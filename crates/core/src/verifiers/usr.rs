@@ -129,10 +129,8 @@ mod tests {
         // Two identical uniforms: exact probability ½ each; U-SR should hit
         // it exactly (Pr[F] = 0 at the far end, Pr[E] = 1 at the near end).
         let objects = vec![
-            crate::object::UncertainObject::uniform(crate::object::ObjectId(0), 1.0, 3.0)
-                .unwrap(),
-            crate::object::UncertainObject::uniform(crate::object::ObjectId(1), 1.0, 3.0)
-                .unwrap(),
+            crate::object::UncertainObject::uniform(crate::object::ObjectId(0), 1.0, 3.0).unwrap(),
+            crate::object::UncertainObject::uniform(crate::object::ObjectId(1), 1.0, 3.0).unwrap(),
         ];
         let cands = crate::candidate::CandidateSet::build(&objects, 0.0, 0).unwrap();
         let table = SubregionTable::build(&cands);

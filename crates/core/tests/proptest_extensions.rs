@@ -16,15 +16,13 @@ fn objects_strategy(max: usize) -> impl Strategy<Value = Vec<UncertainObject>> {
 }
 
 fn circles_strategy(max: usize) -> impl Strategy<Value = Vec<CircleObject>> {
-    prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0, 0.3f64..5.0), 2..max).prop_map(
-        |specs| {
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (x, y, r))| CircleObject::new(ObjectId(i as u64), [x, y], r).unwrap())
-                .collect()
-        },
-    )
+    prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0, 0.3f64..5.0), 2..max).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, r))| CircleObject::new(ObjectId(i as u64), [x, y], r).unwrap())
+            .collect()
+    })
 }
 
 proptest! {

@@ -13,7 +13,7 @@
 use cpnn_core::classify::Label;
 use cpnn_core::exact::{basic_probabilities, exact_probabilities};
 use cpnn_core::framework::{classify_all, default_verifiers};
-use cpnn_core::verifiers::{VerificationState, Verifier};
+use cpnn_core::verifiers::VerificationState;
 use cpnn_core::Strategy as EvalStrategy;
 use cpnn_core::{
     CandidateSet, Classifier, CpnnQuery, ObjectId, SubregionTable, UncertainDb, UncertainObject,
@@ -36,9 +36,8 @@ fn objects_strategy(max: usize) -> impl Strategy<Value = Vec<UncertainObject>> {
                     UncertainObject::uniform(ObjectId(i as u64), lo, lo + width).unwrap()
                 } else {
                     let n = bars.len();
-                    let edges: Vec<f64> = (0..=n)
-                        .map(|k| lo + width * k as f64 / n as f64)
-                        .collect();
+                    let edges: Vec<f64> =
+                        (0..=n).map(|k| lo + width * k as f64 / n as f64).collect();
                     let pdf = cpnn_pdf::HistogramPdf::from_masses(edges, bars).unwrap();
                     UncertainObject::from_histogram(ObjectId(i as u64), pdf)
                 }

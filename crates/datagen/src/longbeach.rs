@@ -104,8 +104,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let mut cfg = LongBeachConfig::default();
-        cfg.count = 500;
+        let cfg = LongBeachConfig {
+            count: 500,
+            ..LongBeachConfig::default()
+        };
         let a = longbeach_with(7, cfg);
         let b = longbeach_with(7, cfg);
         assert_eq!(a.len(), b.len());

@@ -75,7 +75,7 @@ mod tests {
         for o in &data {
             let (lo, hi) = o.region();
             let len = hi - lo;
-            assert!(len >= 1.0 && len <= 10.0);
+            assert!((1.0..=10.0).contains(&len));
             assert!(lo >= 0.0 && hi <= 1_000.0);
         }
     }

@@ -55,7 +55,10 @@ impl fmt::Display for PdfError {
                 write!(f, "invalid density {value} at index {index}")
             }
             PdfError::UnsortedEdges { index } => {
-                write!(f, "histogram edges not strictly increasing at index {index}")
+                write!(
+                    f,
+                    "histogram edges not strictly increasing at index {index}"
+                )
             }
             PdfError::ZeroMass => write!(f, "pdf has zero total mass; cannot normalize"),
             PdfError::LengthMismatch { expected, actual } => {

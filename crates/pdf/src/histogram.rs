@@ -99,13 +99,7 @@ impl HistogramPdf {
         }
         let w = (hi - lo) / bars as f64;
         let edges: Vec<f64> = (0..=bars)
-            .map(|i| {
-                if i == bars {
-                    hi
-                } else {
-                    lo + i as f64 * w
-                }
-            })
+            .map(|i| if i == bars { hi } else { lo + i as f64 * w })
             .collect();
         let masses: Vec<f64> = (0..bars)
             .map(|i| gauss_legendre(&mut f, edges[i], edges[i + 1], GlOrder::Eight).max(0.0))
@@ -251,11 +245,8 @@ mod tests {
 
     fn example() -> HistogramPdf {
         // Matches the spirit of paper Fig. 1(b): arbitrary histogram on [10, 20].
-        HistogramPdf::from_masses(
-            vec![10.0, 12.0, 15.0, 18.0, 20.0],
-            vec![0.1, 0.4, 0.3, 0.2],
-        )
-        .unwrap()
+        HistogramPdf::from_masses(vec![10.0, 12.0, 15.0, 18.0, 20.0], vec![0.1, 0.4, 0.3, 0.2])
+            .unwrap()
     }
 
     #[test]
@@ -315,8 +306,7 @@ mod tests {
 
     #[test]
     fn quantile_skips_zero_density_bins() {
-        let h =
-            HistogramPdf::from_masses(vec![0.0, 1.0, 2.0, 3.0], vec![0.5, 0.0, 0.5]).unwrap();
+        let h = HistogramPdf::from_masses(vec![0.0, 1.0, 2.0, 3.0], vec![0.5, 0.0, 0.5]).unwrap();
         // Exactly p = 0.5 must not land inside the dead bin (1,2).
         let x = h.quantile(0.5000001);
         assert!(x >= 2.0, "x = {x}");
@@ -335,8 +325,7 @@ mod tests {
     #[test]
     fn equi_width_from_fn_recovers_triangle() {
         // Triangle density on [0,2] peaking at 1: f(x) = 1-|x-1|
-        let h = HistogramPdf::equi_width_from_fn(0.0, 2.0, 400, |x| 1.0 - (x - 1.0).abs())
-            .unwrap();
+        let h = HistogramPdf::equi_width_from_fn(0.0, 2.0, 400, |x| 1.0 - (x - 1.0).abs()).unwrap();
         assert!((h.cdf(1.0) - 0.5).abs() < 1e-6);
         assert!((h.cdf(0.5) - 0.125).abs() < 1e-4);
         assert!((h.mean() - 1.0).abs() < 1e-9);

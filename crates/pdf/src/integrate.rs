@@ -81,12 +81,12 @@ mod gl {
     pub const N8: (&[f64], &[f64]) = (
         &[
             0.183_434_642_495_649_8,
-            0.525_532_409_916_329_0,
+            0.525_532_409_916_329,
             0.796_666_477_413_626_7,
             0.960_289_856_497_536_3,
         ],
         &[
-            0.362_683_783_378_362_0,
+            0.362_683_783_378_362,
             0.313_706_645_877_887_3,
             0.222_381_034_453_374_5,
             0.101_228_536_290_376_3,
@@ -98,7 +98,7 @@ mod gl {
             0.281_603_550_779_258_9,
             0.458_016_777_657_227_4,
             0.617_876_244_402_643_8,
-            0.755_404_408_355_003_0,
+            0.755_404_408_355_003,
             0.865_631_202_387_831_8,
             0.944_575_023_073_232_6,
             0.989_400_934_991_649_9,

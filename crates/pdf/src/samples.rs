@@ -129,10 +129,7 @@ mod tests {
         let samples = [0.0, 1.0, 2.0, 3.0, 4.0];
         let h = histogram_from_samples(&samples, 4).unwrap();
         // The sample at the exact max must not be dropped.
-        let total: f64 = h
-            .bars()
-            .map(|(lo, hi, d)| d * (hi - lo))
-            .sum();
+        let total: f64 = h.bars().map(|(lo, hi, d)| d * (hi - lo)).sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

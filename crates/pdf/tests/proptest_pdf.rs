@@ -11,21 +11,24 @@ fn histogram_strategy() -> impl Strategy<Value = HistogramPdf> {
         prop::collection::vec(0.01f64..10.0, 1..12),
         prop::collection::vec(0.0f64..5.0, 1..12),
     )
-        .prop_filter_map("need matching lens and nonzero mass", |(lo, widths, dens)| {
-            let n = widths.len().min(dens.len());
-            if n == 0 {
-                return None;
-            }
-            let mut edges = vec![lo];
-            for w in widths.iter().take(n) {
-                edges.push(edges.last().unwrap() + w);
-            }
-            let density: Vec<f64> = dens.iter().take(n).copied().collect();
-            if density.iter().sum::<f64>() <= 0.0 {
-                return None;
-            }
-            HistogramPdf::from_densities(edges, density).ok()
-        })
+        .prop_filter_map(
+            "need matching lens and nonzero mass",
+            |(lo, widths, dens)| {
+                let n = widths.len().min(dens.len());
+                if n == 0 {
+                    return None;
+                }
+                let mut edges = vec![lo];
+                for w in widths.iter().take(n) {
+                    edges.push(edges.last().unwrap() + w);
+                }
+                let density: Vec<f64> = dens.iter().take(n).copied().collect();
+                if density.iter().sum::<f64>() <= 0.0 {
+                    return None;
+                }
+                HistogramPdf::from_densities(edges, density).ok()
+            },
+        )
 }
 
 proptest! {

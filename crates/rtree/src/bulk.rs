@@ -68,10 +68,7 @@ fn str_partition<E: Bounded<D>, const D: usize>(
 }
 
 fn sort_by_center<E: Bounded<D>, const D: usize>(items: &mut [E], dim: usize) {
-    items.sort_by(|a, b| {
-        a.bounds().center()[dim]
-            .total_cmp(&b.bounds().center()[dim])
-    });
+    items.sort_by(|a, b| a.bounds().center()[dim].total_cmp(&b.bounds().center()[dim]));
 }
 
 fn chunk<E>(items: Vec<E>, size: usize) -> Vec<Vec<E>> {

@@ -51,8 +51,8 @@ impl<const D: usize> Rect<D> {
     /// Center point.
     pub fn center(&self) -> [f64; D] {
         let mut c = [0.0; D];
-        for d in 0..D {
-            c[d] = 0.5 * (self.min[d] + self.max[d]);
+        for (d, v) in c.iter_mut().enumerate() {
+            *v = 0.5 * (self.min[d] + self.max[d]);
         }
         c
     }
@@ -110,11 +110,11 @@ impl<const D: usize> Rect<D> {
     /// region.
     pub fn min_dist(&self, p: &[f64; D]) -> f64 {
         let mut s = 0.0;
-        for d in 0..D {
-            let diff = if p[d] < self.min[d] {
-                self.min[d] - p[d]
-            } else if p[d] > self.max[d] {
-                p[d] - self.max[d]
+        for (d, &x) in p.iter().enumerate() {
+            let diff = if x < self.min[d] {
+                self.min[d] - x
+            } else if x > self.max[d] {
+                x - self.max[d]
             } else {
                 0.0
             };
@@ -127,8 +127,8 @@ impl<const D: usize> Rect<D> {
     /// the paper's *far point* `fi` when applied to an uncertainty region.
     pub fn max_dist(&self, p: &[f64; D]) -> f64 {
         let mut s = 0.0;
-        for d in 0..D {
-            let diff = (p[d] - self.min[d]).abs().max((p[d] - self.max[d]).abs());
+        for (d, &x) in p.iter().enumerate() {
+            let diff = (x - self.min[d]).abs().max((x - self.max[d]).abs());
             s += diff * diff;
         }
         s.sqrt()

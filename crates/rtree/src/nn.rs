@@ -163,7 +163,9 @@ mod tests {
 
     #[test]
     fn distances_are_nondecreasing() {
-        let pts: Vec<[f64; 2]> = (0..64).map(|i| [(i * 7 % 31) as f64, (i * 13 % 29) as f64]).collect();
+        let pts: Vec<[f64; 2]> = (0..64)
+            .map(|i| [(i * 7 % 31) as f64, (i * 13 % 29) as f64])
+            .collect();
         let t = tree_of_points(&pts);
         let res = t.k_nearest_neighbors(&[10.0, 10.0], 64);
         for w in res.windows(2) {

@@ -99,14 +99,8 @@ impl<T, const D: usize> Node<T, D> {
     /// Minimum bounding rectangle over this node's slots, or `None` if empty.
     pub fn mbr(&self) -> Option<Rect<D>> {
         match self {
-            Node::Leaf(v) => v
-                .iter()
-                .map(|e| e.rect)
-                .reduce(|a, b| a.union(&b)),
-            Node::Internal(v) => v
-                .iter()
-                .map(|c| c.rect)
-                .reduce(|a, b| a.union(&b)),
+            Node::Leaf(v) => v.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
+            Node::Internal(v) => v.iter().map(|c| c.rect).reduce(|a, b| a.union(&b)),
         }
     }
 

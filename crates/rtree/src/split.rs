@@ -78,10 +78,10 @@ pub fn quadratic_split<E: Bounded<D>, const D: usize>(
 fn pick_seeds<E: Bounded<D>, const D: usize>(entries: &[E]) -> (usize, usize) {
     let mut best = (0, 1);
     let mut best_waste = f64::NEG_INFINITY;
-    for i in 0..entries.len() {
-        let ri = entries[i].bounds();
-        for j in (i + 1)..entries.len() {
-            let rj = entries[j].bounds();
+    for (i, ei) in entries.iter().enumerate() {
+        let ri = ei.bounds();
+        for (j, ej) in entries.iter().enumerate().skip(i + 1) {
+            let rj = ej.bounds();
             let waste = ri.union(&rj).area() - ri.area() - rj.area();
             if waste > best_waste {
                 best_waste = waste;

@@ -247,10 +247,7 @@ fn insert_rec<T, const D: usize>(
             children[idx].rect = children[idx].rect.union(&entry.rect);
             if let Some(sibling) = insert_rec(&mut children[idx].node, entry, params) {
                 // The split shrank the original child's extent: recompute.
-                children[idx].rect = children[idx]
-                    .node
-                    .mbr()
-                    .expect("split child is non-empty");
+                children[idx].rect = children[idx].node.mbr().expect("split child is non-empty");
                 let rect = sibling.mbr().expect("split sibling is non-empty");
                 children.push(Child {
                     rect,
@@ -329,8 +326,7 @@ fn remove_rec<T, const D: usize, F: FnMut(&T) -> bool>(
                 if !children[i].rect.contains_rect(rect) && !children[i].rect.intersects(rect) {
                     continue;
                 }
-                if let Some(item) = remove_rec(&mut children[i].node, rect, pred, params, orphans)
-                {
+                if let Some(item) = remove_rec(&mut children[i].node, rect, pred, params, orphans) {
                     if children[i].node.slot_count() < params.min_entries {
                         // Dissolve the underfull child; reinsert its records.
                         let child = children.swap_remove(i);
@@ -388,10 +384,7 @@ mod tests {
         // Every inserted item must be findable via its own rect.
         for (i, &(lo, hi)) in ranges.iter().enumerate() {
             let hits = t.search_intersecting(&Rect::interval(lo, hi));
-            assert!(
-                hits.iter().any(|(_, &id)| id == i),
-                "item {i} not found"
-            );
+            assert!(hits.iter().any(|(_, &id)| id == i), "item {i} not found");
         }
     }
 
@@ -432,9 +425,7 @@ mod tests {
 
     #[test]
     fn remove_deletes_exactly_one_and_keeps_invariants() {
-        let ranges: Vec<(f64, f64)> = (0..200)
-            .map(|i| (i as f64, i as f64 + 1.5))
-            .collect();
+        let ranges: Vec<(f64, f64)> = (0..200).map(|i| (i as f64, i as f64 + 1.5)).collect();
         let mut t = interval_tree(&ranges);
         for i in (0..200).step_by(3) {
             let rect = Rect::interval(i as f64, i as f64 + 1.5);
@@ -446,10 +437,7 @@ mod tests {
         // Removed items are gone; survivors remain.
         for i in 0..200 {
             let rect = Rect::interval(i as f64, i as f64 + 1.5);
-            let found = t
-                .search_intersecting(&rect)
-                .iter()
-                .any(|(_, &id)| id == i);
+            let found = t.search_intersecting(&rect).iter().any(|(_, &id)| id == i);
             assert_eq!(found, i % 3 != 0, "item {i}");
         }
     }

@@ -1,0 +1,413 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use — range/tuple/`vec` strategies, `prop_map` /
+//! `prop_filter_map`, the `proptest!` macro, `prop_assert*!` and
+//! `prop_assume!`, and `ProptestConfig::with_cases` — over a deterministic
+//! RNG. Two deliberate simplifications versus the real crate:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via the test's
+//!   own assertion message) but is not minimized;
+//! * **derived seeding** — each test derives its seed from its own name, so
+//!   runs are reproducible but independent across tests.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the offline suite fast
+        // while still exercising plenty of structure.
+        Self { cases: 64 }
+    }
+}
+
+/// Why a test case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` (or a filtering strategy) rejected the inputs.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// A value generator. `new_value` returns `None` when a filtering
+/// combinator rejects the draw (the runner retries with fresh randomness).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Map through `f`, rejecting draws for which it returns `None`.
+    /// `whence` labels the filter in (unused) diagnostics, mirroring the
+    /// real API.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            _whence: whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Option<Self::Value> {
+        (**self).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    _whence: &'static str,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.new_value(rng).and_then(&self.f)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, usize, u64, u32, i64, i32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.new_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Strategy namespace, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng as _;
+        use std::ops::Range;
+
+        /// `Vec` strategy with a length drawn from `len` and elements from
+        /// `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Runner behind the [`proptest!`] macro: repeats `case` until `cfg.cases`
+/// draws succeed, retrying rejected draws (up to a global cap) and panicking
+/// on the first failure.
+pub fn run_proptest<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    // Per-test deterministic seed: FNV-1a over the test name.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = (cfg.cases as u64).max(1) * 64;
+    while passed < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest {name}: too many rejected cases \
+                         ({rejected} rejects for {passed}/{} passes)",
+                        cfg.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name}: case {} failed: {msg}", passed + 1);
+            }
+        }
+    }
+}
+
+/// Define property tests. Supports the standard shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, v in prop::collection::vec(0u64..9, 1..5)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    // `$meta` passes every attribute through — including the mandatory
+    // `#[test]` and any doc comments above it.
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::run_proptest(&__cfg, stringify!($name), |__rng| {
+                    $(
+                        let $arg = match $crate::Strategy::new_value(&($strat), __rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => {
+                                return ::core::result::Result::Err(
+                                    $crate::TestCaseError::Reject("strategy filter".into()),
+                                )
+                            }
+                        };
+                    )+
+                    #[allow(unreachable_code)]
+                    {
+                        $body
+                        ::core::result::Result::Ok(())
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test (reports instead of unwinding mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Reject the current case unless `cond` holds (does not count toward the
+/// case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).into(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vec_work(x in -5.0f64..5.0, v in prop::collection::vec(0usize..10, 1..6)) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn map_and_assume_work(e in evens(), n in 1u64..50) {
+            prop_assume!(n % 7 != 0);
+            prop_assert_eq!(e % 2, 0);
+            prop_assert_ne!(n % 7, 0);
+        }
+
+        #[test]
+        fn filter_map_rejects(x in (0u64..100).prop_filter_map("odd only", |x| {
+            if x % 2 == 1 { Some(x) } else { None }
+        })) {
+            prop_assert!(x % 2 == 1, "got even {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case 1 failed")]
+    fn failures_panic() {
+        crate::run_proptest(&ProptestConfig::with_cases(5), "failures_panic", |_rng| {
+            Err(crate::TestCaseError::Fail("boom".into()))
+        });
+    }
+}

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let pos = rng.gen_range(0.0..100_000.0);
             let staleness = rng.gen_range(5.0..120.0); // seconds since update
             let width = 3.0 * staleness; // ~3 m/s drift bound
-            // Paper configuration: Gaussian with σ = width/6, 300-bar histogram.
+                                         // Paper configuration: Gaussian with σ = width/6, 300-bar histogram.
             UncertainObject::gaussian(ObjectId(i), pos - width / 2.0, pos + width / 2.0, 300)
                 .expect("valid region")
         })
@@ -43,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\nphase times: filter {:?}, init {:?}, verify {:?}, refine {:?}",
-        res.stats.filter_time,
-        res.stats.init_time,
-        res.stats.verify_time,
-        res.stats.refine_time
+        res.stats.filter_time, res.stats.init_time, res.stats.verify_time, res.stats.refine_time
     );
 
     // A small workload of incidents — how often do the verifiers finish the

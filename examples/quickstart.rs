@@ -12,10 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Four uncertain objects (uniform pdfs), mimicking paper Fig. 2 where
     // B ≈ 41%, D ≈ 29%, A ≈ 20%, C ≈ 10%.
     let objects = vec![
-        UncertainObject::uniform(ObjectId(0), 1.0, 8.0)?,  // A
-        UncertainObject::uniform(ObjectId(1), 1.0, 5.0)?,  // B
+        UncertainObject::uniform(ObjectId(0), 1.0, 8.0)?, // A
+        UncertainObject::uniform(ObjectId(1), 1.0, 5.0)?, // B
         UncertainObject::uniform(ObjectId(2), 1.0, 12.0)?, // C
-        UncertainObject::uniform(ObjectId(3), 1.0, 6.0)?,  // D
+        UncertainObject::uniform(ObjectId(3), 1.0, 6.0)?, // D
     ];
     let names = ["A", "B", "C", "D"];
     let db = UncertainDb::build(objects)?;
@@ -39,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &result.reports {
         println!(
             "  {} ({}): bound {} → {:?}",
-            r.id,
-            names[r.id.0 as usize],
-            r.bound,
-            r.label
+            r.id, names[r.id.0 as usize], r.bound, r.label
         );
     }
     println!(

@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cands = CandidateSet::build(&objects, q, 0)?;
     let table = SubregionTable::build(&cands);
 
-    println!("candidate set |C| = {}, fmin = {}", cands.len(), table.fmin());
+    println!(
+        "candidate set |C| = {}, fmin = {}",
+        cands.len(),
+        table.fmin()
+    );
     println!("end-points: {:?}", table.endpoints());
     println!("subregion probabilities s_ij (left regions):");
     for i in 0..table.n_objects() {
@@ -53,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "c_j (objects per subregion): {:?}\n",
-        (0..table.left_regions()).map(|j| table.count(j)).collect::<Vec<_>>()
+        (0..table.left_regions())
+            .map(|j| table.count(j))
+            .collect::<Vec<_>>()
     );
 
     // C-PNN with an awkward threshold that forces every stage to work.

@@ -3,8 +3,8 @@
 
 use cpnn::core::{CpnnQuery, Strategy, UncertainDb};
 use cpnn::datagen::{
-    gaussian_variant, longbeach::longbeach_with, query_points, uniform_intervals,
-    LongBeachConfig, SyntheticConfig,
+    gaussian_variant, longbeach::longbeach_with, query_points, uniform_intervals, LongBeachConfig,
+    SyntheticConfig,
 };
 
 fn small_longbeach(seed: u64, count: usize) -> UncertainDb {
