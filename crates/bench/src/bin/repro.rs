@@ -1,17 +1,17 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation,
-//! plus the batch-scaling experiment, and emit a machine-readable timing
-//! file (`BENCH_pr1.json`) so later changes have a perf trajectory to
-//! regress against.
+//! plus the batch-scaling and serve-mode experiments, and emit a
+//! machine-readable timing file (`BENCH_pr2.json`) so later changes have a
+//! perf trajectory to regress against.
 //!
 //! Usage:
 //! ```text
 //! repro [--quick] [--out DIR] [--bench-json FILE] [EXPERIMENT ...]
 //! ```
 //! where `EXPERIMENT` is any of `fig9 fig10 fig11 fig12 fig13 fig14 table3
-//! ablations batch` or `all` (default). `--quick` uses a reduced workload
-//! (same shapes, faster); `--out` selects the results directory (default
-//! `results/`); `--bench-json` selects the timing-file path (default
-//! `BENCH_pr1.json`, empty string disables).
+//! ablations batch serve` or `all` (default). `--quick` uses a reduced
+//! workload (same shapes, faster); `--out` selects the results directory
+//! (default `results/`); `--bench-json` selects the timing-file path
+//! (default `BENCH_pr2.json`, empty string disables).
 
 use std::fmt::Write as _;
 use std::fs;
@@ -24,7 +24,7 @@ use cpnn_bench::report::Table;
 fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
-    let mut bench_json = PathBuf::from("BENCH_pr1.json");
+    let mut bench_json = PathBuf::from("BENCH_pr2.json");
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,7 +45,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] [--bench-json FILE] \
-                     [fig9|fig10|fig11|fig12|fig13|fig14|table3|ablations|batch|all ...]"
+                     [fig9|fig10|fig11|fig12|fig13|fig14|table3|ablations|batch|serve|all ...]"
                 );
                 return;
             }
@@ -66,6 +66,7 @@ fn main() {
         "table3",
         "ablations",
         "batch",
+        "serve",
     ];
     if let Some(unknown) = wanted.iter().find(|w| !KNOWN.contains(&w.as_str())) {
         eprintln!(
@@ -139,6 +140,9 @@ fn main() {
     if want("batch") {
         run("batch", &experiments::batch::run, &mut produced);
     }
+    if want("serve") {
+        run("serve", &experiments::serve::run, &mut produced);
+    }
 
     for (t, _) in &produced {
         let stem = file_stem(&t.id);
@@ -177,7 +181,7 @@ fn file_stem(id: &str) -> String {
 /// and the numbers themselves.
 fn bench_json_text(quick: bool, produced: &[(Table, f64)]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"pr\": 1,");
+    let _ = writeln!(out, "  \"pr\": 2,");
     let _ = writeln!(out, "  \"tool\": \"repro\",");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"experiments\": [");

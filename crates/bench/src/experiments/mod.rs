@@ -10,6 +10,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod serve;
 pub mod table3;
 
 use cpnn_core::UncertainDb;

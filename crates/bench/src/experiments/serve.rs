@@ -1,0 +1,194 @@
+//! Serve-mode benchmark — beyond the paper: the long-lived
+//! [`QueryServer`] against the up-front [`cpnn_core::BatchExecutor`]
+//! baseline on the same workload, across worker-thread counts.
+//!
+//! The batch executor is the throughput ceiling: it pays no per-request
+//! channel round-trip and needs no queue. The server streams queries one
+//! at a time through an `mpsc` submission queue with a bounded in-flight
+//! window (closed-loop, `64 × threads` outstanding requests), which is the
+//! steady-state regime of an interactive service. The table reports both
+//! throughputs, their ratio, and the sojourn-latency percentiles
+//! (submit → response, including queue wait) that only serve mode has.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cpnn_core::{QueryServer, QuerySpec, Strategy, Ticket, UncertainDb};
+
+use crate::experiments::{longbeach_db, DEFAULT_DELTA, DEFAULT_P};
+use crate::harness::run_queries_batched;
+use crate::report::Table;
+use cpnn_datagen::query_points;
+
+use super::batch::thread_sweep;
+
+/// Sojourn latencies of a closed-loop streamed run: submit each query as
+/// soon as the in-flight window has room, retire the oldest ticket when it
+/// is full. Returns (wall time, per-query latencies in submission order).
+fn streamed_run(
+    db: &Arc<UncertainDb>,
+    queries: &[f64],
+    spec: &QuerySpec,
+    threads: usize,
+) -> (Duration, Vec<Duration>) {
+    let server = QueryServer::<UncertainDb>::start(Arc::clone(db), threads, db.config().pipeline());
+    let window = threads * 64;
+    let mut inflight: VecDeque<(Instant, Ticket)> = VecDeque::with_capacity(window);
+    let mut latencies = Vec::with_capacity(queries.len());
+    // Single retirement path for both lanes: validate the response and
+    // record the sojourn latency of the popped entry.
+    let record = |served: cpnn_core::Served, submitted: Instant, latencies: &mut Vec<Duration>| {
+        served.result.expect("benchmark queries are valid");
+        latencies.push(submitted.elapsed());
+    };
+    let start = Instant::now();
+    for &q in queries {
+        // Opportunistically drain everything that already completed (no
+        // blocking), then block on the oldest ticket only if the window is
+        // still full.
+        loop {
+            let ready = match inflight.front() {
+                Some((_, ticket)) => ticket.try_wait(),
+                None => None,
+            };
+            let Some(served) = ready else { break };
+            let (submitted, _) = inflight.pop_front().expect("front exists");
+            record(served, submitted, &mut latencies);
+        }
+        if inflight.len() >= window {
+            let (submitted, ticket) = inflight.pop_front().expect("window is non-empty");
+            record(ticket.wait(), submitted, &mut latencies);
+        }
+        inflight.push_back((Instant::now(), server.submit(q, *spec)));
+    }
+    for (submitted, ticket) in inflight {
+        record(ticket.wait(), submitted, &mut latencies);
+    }
+    let wall = start.elapsed();
+    server.shutdown();
+    (wall, latencies)
+}
+
+/// Throughput of the micro-batch streaming lane: the same query stream cut
+/// into [`MICRO_BATCH`]-sized `submit_batch` chunks (each chunk pins one
+/// snapshot), with a small window of chunks in flight. This amortizes the
+/// per-request channel round-trip and is the intended steady-state mode for
+/// high-rate ingest.
+fn micro_batched_run(
+    db: &Arc<UncertainDb>,
+    queries: &[f64],
+    spec: &QuerySpec,
+    threads: usize,
+) -> Duration {
+    let server = QueryServer::<UncertainDb>::start(Arc::clone(db), threads, db.config().pipeline());
+    let window = 2 * threads;
+    let mut inflight = VecDeque::with_capacity(window);
+    let start = Instant::now();
+    for chunk in queries.chunks(MICRO_BATCH) {
+        if inflight.len() >= window {
+            let oldest: cpnn_core::Ticket<Vec<cpnn_core::Served>> =
+                inflight.pop_front().expect("window is non-empty");
+            for served in oldest.wait() {
+                served.result.expect("benchmark queries are valid");
+            }
+        }
+        inflight.push_back(server.submit_batch(chunk.iter().map(|&q| (q, *spec)).collect()));
+    }
+    for ticket in inflight {
+        for served in ticket.wait() {
+            served.result.expect("benchmark queries are valid");
+        }
+    }
+    let wall = start.elapsed();
+    server.shutdown();
+    wall
+}
+
+/// Queries per `submit_batch` chunk in the micro-batch lane.
+const MICRO_BATCH: usize = 32;
+
+fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+/// Run the experiment. Columns: threads, batch and serve throughput, their
+/// ratio, and serve-mode latency percentiles.
+pub fn run(quick: bool) -> Table {
+    let db = Arc::new(longbeach_db(quick));
+    let n_queries = if quick { 2_000 } else { 10_000 };
+    let queries = query_points(0x5E12E, n_queries);
+    let spec = QuerySpec::nn(DEFAULT_P, DEFAULT_DELTA, Strategy::Verified);
+    let mut table = Table::new(
+        "Serve",
+        &format!("QueryServer streaming vs. BatchExecutor on a {n_queries}-query VR workload"),
+        &[
+            "threads",
+            "batch q/s",
+            "serve q/s",
+            "serve/batch",
+            "µbatch q/s",
+            "µb/batch",
+            "p50 (µs)",
+            "p95 (µs)",
+            "p99 (µs)",
+        ],
+    );
+    table.note(format!(
+        "{} queries, |T| = {}, P = {DEFAULT_P}, Δ = {DEFAULT_DELTA}, strategy VR, \
+         window = 64 × threads (single-query lane) / {MICRO_BATCH}-query chunks \
+         (micro-batch lane), {} core(s)",
+        n_queries,
+        db.len(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    // Best-of-REPS per mode: the container's scheduler jitter swamps the
+    // mode differences in any single run, and the minimum wall clock is the
+    // steady-state capacity estimate.
+    const REPS: usize = 3;
+    for threads in thread_sweep() {
+        let mut batch_qps: f64 = 0.0;
+        let mut serve_qps: f64 = 0.0;
+        let mut micro_qps: f64 = 0.0;
+        let mut latencies = Vec::new();
+        let mut best_serve_wall = Duration::MAX;
+        for _ in 0..REPS {
+            let batch = run_queries_batched(
+                &db,
+                &queries,
+                DEFAULT_P,
+                DEFAULT_DELTA,
+                Strategy::Verified,
+                threads,
+            );
+            batch_qps = batch_qps.max(batch.throughput());
+            let (wall, lat) = streamed_run(&db, &queries, &spec, threads);
+            if wall < best_serve_wall {
+                best_serve_wall = wall;
+                latencies = lat;
+            }
+            serve_qps = serve_qps.max(n_queries as f64 / wall.as_secs_f64().max(1e-9));
+            let micro_wall = micro_batched_run(&db, &queries, &spec, threads);
+            micro_qps = micro_qps.max(n_queries as f64 / micro_wall.as_secs_f64().max(1e-9));
+        }
+        latencies.sort_unstable();
+        table.push_row(vec![
+            threads.to_string(),
+            format!("{batch_qps:.0}"),
+            format!("{serve_qps:.0}"),
+            format!("{:.2}", serve_qps / batch_qps.max(1e-9)),
+            format!("{micro_qps:.0}"),
+            format!("{:.2}", micro_qps / batch_qps.max(1e-9)),
+            format!("{:.1}", percentile_us(&latencies, 0.50)),
+            format!("{:.1}", percentile_us(&latencies, 0.95)),
+            format!("{:.1}", percentile_us(&latencies, 0.99)),
+        ]);
+    }
+    table
+}

@@ -56,6 +56,12 @@ impl ArgBag {
             .map_err(|e| UsageError(format!("invalid {what} `{raw}`: {e}")))
     }
 
+    /// Look at the next positional without consuming it (e.g. to special-case
+    /// a `help` keyword where a file path is normally expected).
+    pub fn peek_positional(&self) -> Option<&str> {
+        self.positionals.first().map(String::as_str)
+    }
+
     /// Consume a required `--key`.
     pub fn required<T: FromStr>(&mut self, key: &str) -> Result<T, UsageError>
     where

@@ -10,13 +10,21 @@
 //!                                                          # random query points
 //! cpnn knn data.cpnn --q 4200 --k 3 --p 0.5                # constrained k-NN
 //! cpnn range data.cpnn --lo 100 --hi 200 --p 0.5           # probabilistic range
+//! cpnn serve data.cpnn --threads 8                         # long-lived query server
+//!                                                          # (streams queries from stdin)
 //! ```
 
+use std::collections::VecDeque;
+use std::io::{BufRead, IsTerminal as _, Write as _};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use cpnn_core::persist::{load_from_path, save_to_path};
-use cpnn_core::{BatchExecutor, CpnnQuery, Strategy, UncertainDb};
+use cpnn_core::{
+    BatchExecutor, CpnnQuery, ObjectId, QueryServer, QuerySpec, Served, Strategy, Ticket,
+    UncertainDb, UncertainObject,
+};
 use cpnn_datagen::{longbeach::longbeach_with, query_points_in, LongBeachConfig};
 
 mod args;
@@ -47,6 +55,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "cpnn" => cpnn(&mut bag),
         "knn" => knn(&mut bag),
         "range" => range(&mut bag),
+        "serve" => serve(&mut bag),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -67,7 +76,11 @@ fn print_usage() {
          \x20                                              batch over N random query points\n\
          \x20                                              (T = 0 means one per core)\n\
          \x20 knn FILE --q Q --k K --p P [--delta D]       constrained probabilistic k-NN\n\
-         \x20 range FILE --lo A --hi B --p P               probabilistic range query"
+         \x20 range FILE --lo A --hi B --p P               probabilistic range query\n\
+         \x20 serve FILE [--threads T] [--queries FILE]    long-lived query server: stream\n\
+         \x20                                              queries from stdin (or FILE) through\n\
+         \x20                                              a worker pool; `serve help` for the\n\
+         \x20                                              line protocol"
     );
 }
 
@@ -256,6 +269,229 @@ fn knn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
         res.stats.integrations
     );
     Ok(())
+}
+
+const SERVE_PROTOCOL: &str = "\
+serve line protocol (stdin or --queries FILE; one request per line):
+  <q> <p> [delta]           constrained 1-NN query (delta defaults to 0.01,
+                            matching the one-shot `cpnn` command)
+  cpnn <q> <p> [delta]      constrained 1-NN query
+  knn <q> <k> <p> [delta]   constrained k-NN query (delta defaults to 0)
+  insert <id> <lo> <hi>     snapshot-swap in a new uniform object
+  remove <id>               snapshot-swap the object out
+  quit                      drain pending responses and exit
+blank lines and lines starting with `#` are ignored; responses stream
+back in submission order as `#<n> v<version> answers=[..]`.";
+
+/// `cpnn serve FILE`: long-lived [`QueryServer`] session. Reads requests
+/// line by line, submits them to the worker pool without waiting, and
+/// streams responses back in submission order as they complete. Updates
+/// (`insert` / `remove`) swap the database snapshot while queries are in
+/// flight; each response reports the snapshot version that served it.
+fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
+    if bag.peek_positional() == Some("help") {
+        println!("{SERVE_PROTOCOL}");
+        return Ok(());
+    }
+    let db = load(bag)?;
+    let threads: usize = bag.optional("threads")?.unwrap_or(0);
+    let queries: Option<PathBuf> = bag.optional("queries")?;
+    bag.finish()?;
+    let pipeline = db.config().pipeline();
+    let server = QueryServer::start(db, threads, pipeline);
+    eprintln!(
+        "serving on {} worker thread(s); send `quit` or EOF to stop",
+        server.threads()
+    );
+
+    // On a terminal, each response is awaited before the next prompt read
+    // (a human wants the answer now); on piped/file input, submissions
+    // pipeline and responses are drained opportunistically.
+    let interactive = queries.is_none() && std::io::stdin().is_terminal();
+    let start = Instant::now();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    // Responses print strictly in submission order: completed tickets are
+    // drained from the front opportunistically, so results stream while the
+    // reader is still feeding the queue.
+    let mut pending: VecDeque<(u64, Ticket)> = VecDeque::new();
+    let mut submitted: u64 = 0;
+    let mut line_no = 0u64;
+
+    let reader: Box<dyn BufRead> = match queries {
+        Some(path) => Box::new(std::io::BufReader::new(std::fs::File::open(path)?)),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    for line in reader.lines() {
+        let line = line?;
+        line_no += 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" {
+            break;
+        }
+        match parse_serve_line(line) {
+            Ok(ServeRequest::Query(q, spec)) => {
+                // Bound the backlog: piped input can outrun the workers, and
+                // every pending ticket buffers a full response.
+                const MAX_IN_FLIGHT: usize = 1024;
+                if pending.len() >= MAX_IN_FLIGHT {
+                    let (seq, ticket) = pending.pop_front().expect("backlog is non-empty");
+                    print_served(&mut out, seq, &ticket.wait())?;
+                }
+                pending.push_back((submitted, server.submit(q, spec)));
+                submitted += 1;
+            }
+            Ok(ServeRequest::Insert(object)) => {
+                // Settle earlier queries first so output (and the versions
+                // it cites) reads in submission order.
+                drain_all(&mut pending, &mut out)?;
+                match server.insert(object) {
+                    Ok(snap) => {
+                        writeln!(out, "update v{} objects={}", snap.version, snap.model.len())?
+                    }
+                    Err(e) => writeln!(out, "update rejected: {e}")?,
+                }
+            }
+            Ok(ServeRequest::Remove(id)) => {
+                drain_all(&mut pending, &mut out)?;
+                match server.remove(id) {
+                    Ok(snap) => {
+                        writeln!(out, "update v{} objects={}", snap.version, snap.model.len())?
+                    }
+                    Err(e) => writeln!(out, "update rejected: {e}")?,
+                }
+            }
+            Err(msg) => {
+                eprintln!("line {line_no}: {msg}");
+                eprintln!("{SERVE_PROTOCOL}");
+            }
+        }
+        if interactive {
+            drain_all(&mut pending, &mut out)?;
+            out.flush()?;
+            continue;
+        }
+        // Stream any responses that are already done (front first: output
+        // stays in submission order).
+        while let Some((seq, ticket)) = pending.front() {
+            match ticket.try_wait() {
+                Some(served) => {
+                    print_served(&mut out, *seq, &served)?;
+                    pending.pop_front();
+                }
+                None => break,
+            }
+        }
+    }
+    // EOF / quit: wait out the tail.
+    drain_all(&mut pending, &mut out)?;
+    let stats = server.shutdown();
+    let wall = start.elapsed();
+    eprintln!(
+        "served {} queries, {} snapshot update(s) in {:.3?} ({:.0} queries/s)",
+        stats.served,
+        stats.updates,
+        wall,
+        stats.served as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    Ok(())
+}
+
+/// Block until every pending response has been printed (submission order).
+fn drain_all(
+    pending: &mut VecDeque<(u64, Ticket)>,
+    out: &mut impl std::io::Write,
+) -> Result<(), std::io::Error> {
+    for (seq, ticket) in pending.drain(..) {
+        print_served(out, seq, &ticket.wait())?;
+    }
+    Ok(())
+}
+
+enum ServeRequest {
+    Query(f64, QuerySpec),
+    Insert(UncertainObject),
+    Remove(ObjectId),
+}
+
+/// Parse one line of the serve protocol (see [`SERVE_PROTOCOL`]).
+fn parse_serve_line(line: &str) -> Result<ServeRequest, String> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let num = |s: &str, what: &str| -> Result<f64, String> {
+        s.parse::<f64>()
+            .map_err(|_| format!("invalid {what} `{s}`"))
+    };
+    let int = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse::<u64>()
+            .map_err(|_| format!("invalid {what} `{s}`"))
+    };
+    match fields.as_slice() {
+        ["knn", q, k, p] => Ok(ServeRequest::Query(
+            num(q, "query point")?,
+            QuerySpec::knn(
+                int(k, "k")? as usize,
+                num(p, "threshold")?,
+                0.0,
+                Strategy::Verified,
+            ),
+        )),
+        ["knn", q, k, p, d] => Ok(ServeRequest::Query(
+            num(q, "query point")?,
+            QuerySpec::knn(
+                int(k, "k")? as usize,
+                num(p, "threshold")?,
+                num(d, "tolerance")?,
+                Strategy::Verified,
+            ),
+        )),
+        ["insert", id, lo, hi] => Ok(ServeRequest::Insert(
+            UncertainObject::uniform(
+                ObjectId(int(id, "object id")?),
+                num(lo, "lower bound")?,
+                num(hi, "upper bound")?,
+            )
+            .map_err(|e| e.to_string())?,
+        )),
+        ["remove", id] => Ok(ServeRequest::Remove(ObjectId(int(id, "object id")?))),
+        // Bare and `cpnn`-prefixed 1-NN queries come last: a two- or
+        // three-field line that is not a keyword request is `<q> <p> [delta]`.
+        // The tolerance default matches the one-shot `cpnn` command (0.01),
+        // so a streamed query answers exactly like its one-shot twin.
+        ["cpnn", q, p] | [q, p] => Ok(ServeRequest::Query(
+            num(q, "query point")?,
+            QuerySpec::nn(num(p, "threshold")?, 0.01, Strategy::Verified),
+        )),
+        ["cpnn", q, p, d] | [q, p, d] => Ok(ServeRequest::Query(
+            num(q, "query point")?,
+            QuerySpec::nn(
+                num(p, "threshold")?,
+                num(d, "tolerance")?,
+                Strategy::Verified,
+            ),
+        )),
+        _ => Err(format!("unrecognized request `{line}`")),
+    }
+}
+
+fn print_served(
+    out: &mut impl std::io::Write,
+    seq: u64,
+    served: &Served,
+) -> Result<(), std::io::Error> {
+    match &served.result {
+        Ok(res) => writeln!(
+            out,
+            "#{seq} v{} answers={:?} cands={} t={:?}",
+            served.snapshot_version,
+            res.answers.iter().map(|id| id.0).collect::<Vec<_>>(),
+            res.stats.candidates,
+            res.stats.total_time()
+        ),
+        Err(e) => writeln!(out, "#{seq} v{} error: {e}", served.snapshot_version),
+    }
 }
 
 fn range(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {

@@ -34,6 +34,29 @@ use crate::pipeline::{
 };
 
 /// Evaluates batches of constrained queries across worker threads.
+///
+/// ```
+/// use cpnn_core::{
+///     BatchExecutor, CpnnQuery, ObjectId, Strategy, UncertainDb, UncertainObject,
+/// };
+///
+/// let db = UncertainDb::build(vec![
+///     UncertainObject::uniform(ObjectId(1), 1.0, 4.0).unwrap(),
+///     UncertainObject::uniform(ObjectId(2), 2.0, 6.0).unwrap(),
+/// ])
+/// .unwrap();
+/// let queries: Vec<CpnnQuery> =
+///     (0..8).map(|i| CpnnQuery::new(i as f64, 0.3, 0.01)).collect();
+/// let out = BatchExecutor::new(2).run_cpnn(
+///     &db,
+///     &queries,
+///     Strategy::Verified,
+///     &db.config().pipeline(),
+/// );
+/// assert_eq!(out.summary.queries, 8);
+/// // Results are in input order and identical to a sequential run.
+/// assert!(out.results.iter().all(|r| r.is_ok()));
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct BatchExecutor {
     threads: usize,

@@ -15,7 +15,7 @@
 //! which has a closed form. The cdf is discretized (mass-preserving) into a
 //! distance histogram, after which the entire 1-D verifier machinery —
 //! subregions, RS/L-SR/U-SR, refinement — applies unchanged through
-//! [`CandidateSet::from_distances`].
+//! [`crate::candidate::CandidateSet::from_distances`].
 
 use std::time::Instant;
 

@@ -26,9 +26,17 @@
 //!
 //! All query flavors — 1-D ([`UncertainDb`]), 2-D ([`UncertainDb2d`]),
 //! and k-NN — share one generic implementation of this flow in
-//! [`pipeline`], parameterized by a [`pipeline::DistanceModel`]; the
-//! [`batch::BatchExecutor`] evaluates many queries concurrently across
-//! worker threads.
+//! [`pipeline`], parameterized by a [`pipeline::DistanceModel`].
+//!
+//! ## Execution modes
+//!
+//! * **one-shot** — [`UncertainDb::cpnn`] / [`pipeline::cpnn`];
+//! * **batch** — [`batch::BatchExecutor`] evaluates an up-front batch
+//!   concurrently across scoped worker threads;
+//! * **serving** — [`server::QueryServer`] keeps a persistent worker pool
+//!   behind a submission queue, streaming responses per request while
+//!   `insert`/`remove` swap immutable database snapshots underneath the
+//!   stream (every response cites the snapshot version that answered it).
 //!
 //! ## Entry point
 //!
@@ -67,6 +75,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod range;
 pub mod refine;
+pub mod server;
 pub mod subregion;
 pub mod verifiers;
 
@@ -89,4 +98,5 @@ pub use object::{ObjectId, UncertainObject};
 pub use pipeline::{DistanceModel, PipelineConfig, QueryScratch, QuerySpec};
 pub use range::RangeAnswer;
 pub use refine::RefinementOrder;
+pub use server::{QueryServer, Served, ServerStats, Snapshot, Ticket};
 pub use subregion::SubregionTable;

@@ -160,6 +160,18 @@ pub struct PnnResult {
 /// Everything about a constrained query except the query *point* (whose
 /// type belongs to the [`DistanceModel`]): threshold, tolerance, horizon
 /// `k`, and the evaluation strategy.
+///
+/// ```
+/// use cpnn_core::{QuerySpec, Strategy};
+///
+/// // The paper's C-PNN (Definition 1): threshold P = 0.3, tolerance Δ = 0.01.
+/// let nn = QuerySpec::nn(0.3, 0.01, Strategy::Verified);
+/// assert_eq!(nn.k, 1);
+///
+/// // The C-PkNN extension: among the 3 nearest with probability ≥ 0.5.
+/// let knn = QuerySpec::knn(3, 0.5, 0.0, Strategy::Verified);
+/// assert_eq!((knn.k, knn.threshold), (3, 0.5));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuerySpec {
     /// Threshold `P ∈ (0, 1]`.

@@ -1,0 +1,577 @@
+//! Asynchronous query serving: a long-lived worker pool with
+//! snapshot-swap updates.
+//!
+//! [`crate::batch::BatchExecutor`] answers a *batch* the caller assembled
+//! up front; a standing service (the moving-object workloads of the
+//! related literature, and the paper's own interactive-use motivation,
+//! Sec. I) instead absorbs a continuous query *stream* while the
+//! underlying uncertain objects change. [`QueryServer`] provides exactly
+//! that on plain `std` primitives (no external runtime):
+//!
+//! * **submission queue** — callers [`submit`](QueryServer::submit)
+//!   queries one at a time (or in micro-batches via
+//!   [`submit_batch`](QueryServer::submit_batch)) into an `std::mpsc`
+//!   channel and receive a [`Ticket`] that resolves to the result through
+//!   a per-request response channel — no up-front batching;
+//! * **persistent workers** — `threads` long-lived `std::thread` workers
+//!   drain the queue, each owning a [`QueryScratch`] so steady-state
+//!   throughput matches the batch executor (same reuse of
+//!   verification/refinement buffers across queries);
+//! * **snapshot-swap updates** — the database lives behind an [`Arc`] in
+//!   a versioned [`Snapshot`]. Writers never mutate it in place: an
+//!   [`update`](QueryServer::update) builds a *new* model
+//!   (copy-on-write — see [`QueryServer::insert`] /
+//!   [`QueryServer::remove`] for the 1-D database) and swaps the `Arc`
+//!   atomically. A worker pins the snapshot it dequeued a job with, so
+//!   every response is evaluated against exactly one consistent database
+//!   version — reads never block on writes and never observe a half-applied
+//!   update (property-tested in `tests/proptest_server.rs`).
+//!
+//! Results for a given snapshot version are bitwise identical to a
+//! sequential [`crate::pipeline::cpnn`] run at any thread count: each
+//! query's evaluation (including Monte-Carlo seeding) is deterministic
+//! and independent.
+//!
+//! # Example
+//!
+//! ```
+//! use cpnn_core::server::QueryServer;
+//! use cpnn_core::{
+//!     CpnnQuery, ObjectId, PipelineConfig, QuerySpec, Strategy, UncertainDb, UncertainObject,
+//! };
+//!
+//! let db = UncertainDb::build(vec![
+//!     UncertainObject::uniform(ObjectId(1), 1.0, 4.0).unwrap(),
+//!     UncertainObject::uniform(ObjectId(2), 2.0, 6.0).unwrap(),
+//! ])
+//! .unwrap();
+//! let server = QueryServer::start(db, 2, PipelineConfig::default());
+//!
+//! // Stream queries; each ticket resolves independently.
+//! let ticket = server.submit(0.0, QuerySpec::nn(0.3, 0.01, Strategy::Verified));
+//! let served = ticket.wait();
+//! assert_eq!(served.result.unwrap().answers, vec![ObjectId(1)]);
+//! assert_eq!(served.snapshot_version, 0);
+//!
+//! // Updates swap in a new snapshot; later queries see the new version.
+//! let snap = server
+//!     .insert(UncertainObject::uniform(ObjectId(3), 0.1, 0.2).unwrap())
+//!     .unwrap();
+//! assert_eq!(snap.version, 1);
+//! let served = server
+//!     .submit(0.0, QuerySpec::nn(0.3, 0.01, Strategy::Verified))
+//!     .wait();
+//! assert_eq!(served.snapshot_version, 1);
+//! assert_eq!(served.result.unwrap().answers, vec![ObjectId(3)]);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.served, 2);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::UncertainDb;
+use crate::error::Result;
+use crate::object::{ObjectId, UncertainObject};
+use crate::pipeline::{
+    cpnn_with, CpnnResult, DistanceModel, PipelineConfig, QueryScratch, QuerySpec,
+};
+
+/// A versioned, immutable database snapshot.
+///
+/// Version `0` is the model the server [started](QueryServer::start) with;
+/// every successful [`QueryServer::update`] increments it by one. Holding a
+/// `Snapshot` keeps that database version alive (it is an [`Arc`]) without
+/// blocking the server from swapping in newer ones.
+#[derive(Debug)]
+pub struct Snapshot<M> {
+    /// Monotone snapshot version (0 = the initial model).
+    pub version: u64,
+    /// The immutable model this version pins.
+    pub model: Arc<M>,
+}
+
+impl<M> Clone for Snapshot<M> {
+    fn clone(&self) -> Self {
+        Self {
+            version: self.version,
+            model: Arc::clone(&self.model),
+        }
+    }
+}
+
+/// One served response: the query result plus the version of the snapshot
+/// it was evaluated against.
+#[derive(Debug)]
+pub struct Served {
+    /// The query outcome (per-query errors surface here, exactly as in a
+    /// sequential run).
+    pub result: Result<CpnnResult>,
+    /// Which [`Snapshot::version`] answered this request.
+    pub snapshot_version: u64,
+}
+
+/// Handle to one in-flight response (a single-use receiver).
+#[derive(Debug)]
+pub struct Ticket<T = Served>(Receiver<T>);
+
+impl<T> Ticket<T> {
+    /// Block until the response arrives.
+    ///
+    /// # Panics
+    /// Panics if the serving worker died before responding (workers only
+    /// terminate at shutdown, after the queue has drained).
+    pub fn wait(self) -> T {
+        self.0
+            .recv()
+            .expect("server worker alive while ticket pending")
+    }
+
+    /// Non-blocking poll: the response if it is ready, `None` if not yet.
+    ///
+    /// # Panics
+    /// Panics if the serving worker died before responding (same contract
+    /// as [`wait`](Self::wait)) — a dead worker must not look like a
+    /// not-ready response to a polling loop.
+    pub fn try_wait(&self) -> Option<T> {
+        match self.0.try_recv() {
+            Ok(v) => Some(v),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                panic!("server worker alive while ticket pending")
+            }
+        }
+    }
+}
+
+/// Aggregate counters reported at [`QueryServer::shutdown`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Individual query responses sent (micro-batch members count one each).
+    pub served: u64,
+    /// Snapshot swaps applied.
+    pub updates: u64,
+}
+
+enum Job<M: DistanceModel> {
+    One {
+        q: M::Query,
+        spec: QuerySpec,
+        reply: Sender<Served>,
+    },
+    /// A micro-batch: all members are evaluated by one worker against one
+    /// pinned snapshot (a consistent multi-query read).
+    Batch {
+        jobs: Vec<(M::Query, QuerySpec)>,
+        reply: Sender<Vec<Served>>,
+    },
+}
+
+struct Shared<M> {
+    /// The current snapshot. The lock is held only to clone or swap the
+    /// `Arc` — never across query evaluation or snapshot rebuilding — so
+    /// readers are effectively lock-free.
+    current: Mutex<Snapshot<M>>,
+    /// Mirror of `current.version`, updated *after* the swap. Workers keep
+    /// a locally pinned snapshot and re-pin only when this moves, so the
+    /// steady-state read path touches neither the lock nor the shared
+    /// refcount (no cache-line ping-pong between workers).
+    version: AtomicU64,
+    /// Serializes writers so copy-on-write rebuilds never race (readers are
+    /// unaffected).
+    writer: Mutex<()>,
+    served: AtomicU64,
+    updates: AtomicU64,
+}
+
+impl<M> Shared<M> {
+    fn pin(&self) -> Snapshot<M> {
+        self.current
+            .lock()
+            .expect("snapshot lock unpoisoned")
+            .clone()
+    }
+}
+
+/// A long-lived query-serving worker pool over an immutable, swappable
+/// database snapshot. See the [module docs](self) for the full design.
+pub struct QueryServer<M: DistanceModel> {
+    shared: Arc<Shared<M>>,
+    /// `Some` while serving; taken (and dropped, closing the queue) at
+    /// shutdown.
+    tx: Option<Sender<Job<M>>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl<M> QueryServer<M>
+where
+    M: DistanceModel + Send + Sync + 'static,
+    M::Query: Send + 'static,
+{
+    /// Start a server over `model` with `threads` persistent workers
+    /// (`0` = one per available core) evaluating under `cfg`.
+    ///
+    /// Accepts the model by value or pre-wrapped in an [`Arc`] (so callers
+    /// benchmarking several servers over one large database don't rebuild
+    /// it).
+    pub fn start(model: impl Into<Arc<M>>, threads: usize, cfg: PipelineConfig) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let shared = Arc::new(Shared {
+            current: Mutex::new(Snapshot {
+                version: 0,
+                model: model.into(),
+            }),
+            version: AtomicU64::new(0),
+            writer: Mutex::new(()),
+            served: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel::<Job<M>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&rx, &shared, &cfg))
+            })
+            .collect();
+        Self {
+            shared,
+            tx: Some(tx),
+            workers,
+            threads,
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Pin the current snapshot (clones the `Arc`; the momentary lock is
+    /// never held across evaluation or rebuilding).
+    pub fn snapshot(&self) -> Snapshot<M> {
+        self.shared.pin()
+    }
+
+    /// Enqueue one query; returns immediately with a [`Ticket`] for the
+    /// response. The worker that dequeues it pins whatever snapshot is
+    /// current *at dequeue time*.
+    pub fn submit(&self, q: M::Query, spec: QuerySpec) -> Ticket {
+        let (reply, ticket) = mpsc::channel();
+        self.sender()
+            .send(Job::One { q, spec, reply })
+            .expect("serving queue open while server alive");
+        Ticket(ticket)
+    }
+
+    /// Enqueue a micro-batch evaluated by a single worker against a single
+    /// pinned snapshot: all responses share one `snapshot_version` (a
+    /// consistent multi-query read under concurrent updates).
+    pub fn submit_batch(&self, jobs: Vec<(M::Query, QuerySpec)>) -> Ticket<Vec<Served>> {
+        let (reply, ticket) = mpsc::channel();
+        self.sender()
+            .send(Job::Batch { jobs, reply })
+            .expect("serving queue open while server alive");
+        Ticket(ticket)
+    }
+
+    /// Swap in a new snapshot built from the current one (copy-on-write).
+    ///
+    /// `rebuild` receives the current model and returns its replacement;
+    /// on success the new snapshot (version = old + 1) becomes current and
+    /// is returned. Writers are serialized against each other; readers are
+    /// never blocked — in-flight queries keep the snapshot they pinned and
+    /// finish against it.
+    pub fn update<F>(&self, rebuild: F) -> Result<Snapshot<M>>
+    where
+        F: FnOnce(&M) -> Result<M>,
+    {
+        let _writers = self.shared.writer.lock().expect("writer lock unpoisoned");
+        let base = self.shared.pin();
+        let next = Snapshot {
+            version: base.version + 1,
+            model: Arc::new(rebuild(&base.model)?),
+        };
+        let swapped = next.clone();
+        let mut current = self
+            .shared
+            .current
+            .lock()
+            .expect("snapshot lock unpoisoned");
+        debug_assert_eq!(
+            current.version, base.version,
+            "writers are serialized, so the base cannot move underneath us"
+        );
+        *current = next;
+        drop(current);
+        // Publish after the swap: a worker that observes the new version
+        // will find (at least) that snapshot behind the lock.
+        self.shared
+            .version
+            .store(swapped.version, Ordering::Release);
+        self.shared.updates.fetch_add(1, Ordering::Relaxed);
+        Ok(swapped)
+    }
+
+    /// Counters so far (also returned by [`shutdown`](Self::shutdown)).
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            updates: self.shared.updates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Close the queue, drain every pending job, join the workers, and
+    /// report totals. Dropping the server does the same without the report.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.join_workers();
+        self.stats()
+    }
+
+    fn sender(&self) -> &Sender<Job<M>> {
+        self.tx.as_ref().expect("sender taken only at shutdown")
+    }
+
+    fn join_workers(&mut self) {
+        // Dropping the sender closes the queue; workers finish what is
+        // enqueued and exit on the resulting RecvError.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            w.join().expect("serving worker exits cleanly");
+        }
+    }
+}
+
+impl<M: DistanceModel> Drop for QueryServer<M> {
+    fn drop(&mut self) {
+        // `join_workers` inlined: Drop cannot rely on the Send/Sync bounds
+        // of the inherent impl, but dropping the sender and joining needs
+        // neither.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl QueryServer<UncertainDb> {
+    /// Copy-on-write insert: rebuilds the 1-D database with `object` added
+    /// and swaps it in. Fails on a duplicate id (the snapshot is untouched).
+    pub fn insert(&self, object: UncertainObject) -> Result<Snapshot<UncertainDb>> {
+        self.update(move |db| {
+            let mut objects = db.objects().to_vec();
+            objects.push(object);
+            UncertainDb::with_config(objects, *db.config())
+        })
+    }
+
+    /// Copy-on-write remove: rebuilds the 1-D database without `id` and
+    /// swaps it in. Removing an absent id still swaps (contents unchanged,
+    /// version advanced).
+    pub fn remove(&self, id: ObjectId) -> Result<Snapshot<UncertainDb>> {
+        self.update(move |db| {
+            let objects: Vec<UncertainObject> = db
+                .objects()
+                .iter()
+                .filter(|o| o.id() != id)
+                .cloned()
+                .collect();
+            UncertainDb::with_config(objects, *db.config())
+        })
+    }
+}
+
+fn worker_loop<M>(rx: &Mutex<Receiver<Job<M>>>, shared: &Shared<M>, cfg: &PipelineConfig)
+where
+    M: DistanceModel,
+{
+    let mut scratch = QueryScratch::new();
+    // The worker's locally pinned snapshot: refreshed from `shared` only
+    // when the published version moves, so steady-state serving touches
+    // neither the snapshot lock nor the shared `Arc` refcount.
+    let mut pinned = shared.pin();
+    loop {
+        // Take the queue lock only for the dequeue itself, never across
+        // query evaluation.
+        let job = match rx.lock().expect("queue lock unpoisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed and drained: shutdown
+        };
+        if shared.version.load(Ordering::Acquire) != pinned.version {
+            pinned = shared.pin();
+        }
+        match job {
+            Job::One { q, spec, reply } => {
+                let result = cpnn_with(&*pinned.model, &q, &spec, cfg, &mut scratch);
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                // A dropped ticket (fire-and-forget caller) is fine.
+                let _ = reply.send(Served {
+                    result,
+                    snapshot_version: pinned.version,
+                });
+            }
+            Job::Batch { jobs, reply } => {
+                let served: Vec<Served> = jobs
+                    .into_iter()
+                    .map(|(q, spec)| Served {
+                        result: cpnn_with(&*pinned.model, &q, &spec, cfg, &mut scratch),
+                        snapshot_version: pinned.version,
+                    })
+                    .collect();
+                shared
+                    .served
+                    .fetch_add(served.len() as u64, Ordering::Relaxed);
+                let _ = reply.send(served);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::pipeline::{cpnn, Strategy};
+
+    fn db(n: u64) -> UncertainDb {
+        let objects: Vec<UncertainObject> = (0..n)
+            .map(|i| {
+                let lo = (i as f64 * 7.3) % 100.0;
+                UncertainObject::uniform(ObjectId(i), lo, lo + 3.0 + (i % 5) as f64).unwrap()
+            })
+            .collect();
+        UncertainDb::build(objects).unwrap()
+    }
+
+    fn spec() -> QuerySpec {
+        QuerySpec::nn(0.3, 0.01, Strategy::Verified)
+    }
+
+    #[test]
+    fn streamed_results_match_sequential_at_any_thread_count() {
+        let db = Arc::new(db(40));
+        let cfg = EngineConfig::default().pipeline();
+        let points: Vec<f64> = (0..30).map(|i| (i as f64 * 13.7) % 110.0 - 5.0).collect();
+        let expected: Vec<CpnnResult> = points
+            .iter()
+            .map(|q| cpnn(&*db, q, &spec(), &cfg).unwrap())
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let server = QueryServer::<UncertainDb>::start(Arc::clone(&db), threads, cfg);
+            let tickets: Vec<Ticket> = points.iter().map(|&q| server.submit(q, spec())).collect();
+            for (i, t) in tickets.into_iter().enumerate() {
+                let served = t.wait();
+                assert_eq!(served.snapshot_version, 0);
+                let got = served.result.unwrap();
+                assert_eq!(
+                    got.answers, expected[i].answers,
+                    "query {i}, {threads} threads"
+                );
+                assert_eq!(got.reports.len(), expected[i].reports.len());
+                for (a, b) in got.reports.iter().zip(&expected[i].reports) {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(a.label, b.label);
+                    assert_eq!(a.bound.lo(), b.bound.lo());
+                    assert_eq!(a.bound.hi(), b.bound.hi());
+                }
+            }
+            let stats = server.shutdown();
+            assert_eq!(stats.served, points.len() as u64);
+            assert_eq!(stats.updates, 0);
+        }
+    }
+
+    #[test]
+    fn micro_batch_pins_one_snapshot_and_preserves_order() {
+        let server = QueryServer::start(db(25), 4, PipelineConfig::default());
+        let jobs: Vec<(f64, QuerySpec)> = (0..10).map(|i| (i as f64 * 9.0, spec())).collect();
+        let ticket = server.submit_batch(jobs.clone());
+        server
+            .insert(UncertainObject::uniform(ObjectId(900), 0.0, 1.0).unwrap())
+            .unwrap();
+        let served = ticket.wait();
+        assert_eq!(served.len(), jobs.len());
+        let v = served[0].snapshot_version;
+        assert!(served.iter().all(|s| s.snapshot_version == v));
+        // Order inside the batch is submission order.
+        let snap = server.snapshot();
+        assert_eq!(snap.version, 1);
+    }
+
+    #[test]
+    fn updates_advance_versions_and_change_answers() {
+        let server = QueryServer::start(db(10), 2, PipelineConfig::default());
+        let before = server.submit(0.0, spec()).wait();
+        assert_eq!(before.snapshot_version, 0);
+        let snap = server
+            .insert(UncertainObject::uniform(ObjectId(777), 0.05, 0.15).unwrap())
+            .unwrap();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.model.len(), 11);
+        let after = server.submit(0.0, spec()).wait();
+        assert_eq!(after.snapshot_version, 1);
+        assert!(after.result.unwrap().answers.contains(&ObjectId(777)));
+        let removed = server.remove(ObjectId(777)).unwrap();
+        assert_eq!(removed.version, 2);
+        let back = server.submit(0.0, spec()).wait();
+        assert_eq!(back.snapshot_version, 2);
+        assert_eq!(back.result.unwrap().answers, before.result.unwrap().answers);
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.updates, 2);
+    }
+
+    #[test]
+    fn duplicate_insert_fails_without_touching_the_snapshot() {
+        let server = QueryServer::start(db(5), 1, PipelineConfig::default());
+        let err = server.insert(UncertainObject::uniform(ObjectId(2), 0.0, 1.0).unwrap());
+        assert!(err.is_err());
+        assert_eq!(server.snapshot().version, 0);
+        assert_eq!(server.stats().updates, 0);
+    }
+
+    #[test]
+    fn per_query_errors_surface_in_their_ticket() {
+        let server = QueryServer::start(db(5), 2, PipelineConfig::default());
+        let bad = server.submit(f64::NAN, spec()).wait();
+        assert!(bad.result.is_err());
+        let good = server.submit(10.0, spec()).wait();
+        assert!(good.result.is_ok());
+    }
+
+    #[test]
+    fn pinned_snapshot_outlives_later_updates() {
+        let server = QueryServer::start(db(8), 1, PipelineConfig::default());
+        let pinned = server.snapshot();
+        server.remove(ObjectId(0)).unwrap();
+        server.remove(ObjectId(1)).unwrap();
+        assert_eq!(pinned.version, 0);
+        assert_eq!(pinned.model.len(), 8);
+        assert_eq!(server.snapshot().model.len(), 6);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let server = QueryServer::start(db(30), 2, PipelineConfig::default());
+        let tickets: Vec<Ticket> = (0..50)
+            .map(|i| server.submit(i as f64 * 2.0, spec()))
+            .collect();
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 50);
+        for t in tickets {
+            // Workers drained the queue before exiting, so every response
+            // is already buffered in its channel.
+            assert!(t.try_wait().is_some());
+        }
+    }
+}
