@@ -1,6 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation,
-//! plus the batch-scaling and serve-mode experiments, and emit a
-//! machine-readable timing file (`BENCH_pr2.json`) so later changes have a
+//! plus the batch-scaling, serve-mode, sharding, and 2-D k-NN experiments,
+//! and emit a machine-readable timing file (the current series file,
+//! `BENCH_pr<N>.json` derived from [`CURRENT_PR`]) so later changes have a
 //! perf trajectory to regress against.
 //!
 //! Usage:
@@ -8,10 +9,11 @@
 //! repro [--quick] [--out DIR] [--bench-json FILE] [EXPERIMENT ...]
 //! ```
 //! where `EXPERIMENT` is any of `fig9 fig10 fig11 fig12 fig13 fig14 table3
-//! ablations batch serve` or `all` (default). `--quick` uses a reduced
-//! workload (same shapes, faster); `--out` selects the results directory
-//! (default `results/`); `--bench-json` selects the timing-file path
-//! (default `BENCH_pr2.json`, empty string disables).
+//! ablations batch serve shard knn2d` or `all` (default). `--quick` uses a
+//! reduced workload (same shapes, faster); `--out` selects the results
+//! directory (default `results/`); `--bench-json` overrides the
+//! timing-file path (default: the current series file, empty string
+//! disables) — so one-off runs can land anywhere without touching source.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -21,10 +23,20 @@ use std::time::Instant;
 use cpnn_bench::experiments;
 use cpnn_bench::report::Table;
 
+/// The PR this tree's timings belong to. The default timing file is
+/// derived from it, so each PR's trajectory lands in its own
+/// `BENCH_pr<N>.json` (override any single run with `--bench-json PATH`).
+const CURRENT_PR: u32 = 3;
+
+/// The current series file: `BENCH_pr<CURRENT_PR>.json`.
+fn current_series() -> String {
+    format!("BENCH_pr{CURRENT_PR}.json")
+}
+
 fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
-    let mut bench_json = PathBuf::from("BENCH_pr2.json");
+    let mut bench_json = PathBuf::from(current_series());
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,8 +56,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick] [--out DIR] [--bench-json FILE] \
-                     [fig9|fig10|fig11|fig12|fig13|fig14|table3|ablations|batch|serve|all ...]"
+                    "usage: repro [--quick] [--out DIR] [--bench-json FILE (default {})] \
+                     [fig9|fig10|fig11|fig12|fig13|fig14|table3|ablations|batch|serve|shard|\
+                     knn2d|all ...]",
+                    current_series()
                 );
                 return;
             }
@@ -67,6 +81,8 @@ fn main() {
         "ablations",
         "batch",
         "serve",
+        "shard",
+        "knn2d",
     ];
     if let Some(unknown) = wanted.iter().find(|w| !KNOWN.contains(&w.as_str())) {
         eprintln!(
@@ -143,6 +159,12 @@ fn main() {
     if want("serve") {
         run("serve", &experiments::serve::run, &mut produced);
     }
+    if want("shard") {
+        run("shard", &experiments::shard::run, &mut produced);
+    }
+    if want("knn2d") {
+        run("knn2d", &experiments::knn2d::run, &mut produced);
+    }
 
     for (t, _) in &produced {
         let stem = file_stem(&t.id);
@@ -181,7 +203,7 @@ fn file_stem(id: &str) -> String {
 /// and the numbers themselves.
 fn bench_json_text(quick: bool, produced: &[(Table, f64)]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"pr\": 2,");
+    let _ = writeln!(out, "  \"pr\": {CURRENT_PR},");
     let _ = writeln!(out, "  \"tool\": \"repro\",");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"experiments\": [");
@@ -258,5 +280,12 @@ mod tests {
     fn file_stems_are_fs_safe() {
         assert_eq!(file_stem("Fig. 9"), "fig_9");
         assert_eq!(file_stem("Batch"), "batch");
+    }
+
+    #[test]
+    fn bench_json_defaults_to_current_series() {
+        assert_eq!(current_series(), format!("BENCH_pr{CURRENT_PR}.json"));
+        let s = bench_json_text(true, &[]);
+        assert!(s.contains(&format!("\"pr\": {CURRENT_PR},")));
     }
 }

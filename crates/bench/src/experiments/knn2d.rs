@@ -1,0 +1,79 @@
+//! 2-D k-NN experiment — beyond the paper: the C-PkNN extension over the
+//! 2-D disk/rectangle engine (`pipeline::cpnn` with `k > 1` over
+//! [`UncertainDb2d`]), the ROADMAP's previously bench-less workload.
+//!
+//! Sweeps the neighbor count `k` over a fixed synthetic 2-D dataset and a
+//! fixed query workload, measuring throughput and the work profile
+//! (candidates, subregions, verification-resolution rate). The k-ary
+//! verifier chain (RS-k / L-SR-k / U-SR-k) does the heavy lifting; the
+//! resolution-rate column is the 2-D analogue of Fig. 13.
+
+use cpnn_core::{BatchExecutor, PipelineConfig, QuerySpec, Strategy, UncertainDb2d};
+use cpnn_datagen::{objects_2d, query_points_2d, Synthetic2dConfig};
+
+use crate::experiments::{DEFAULT_DELTA, DEFAULT_P};
+use crate::report::Table;
+
+/// Run the experiment. Columns: k, wall ms, throughput, average
+/// candidates/subregions, and queries resolved by verification alone.
+pub fn run(quick: bool) -> Table {
+    let cfg2d = Synthetic2dConfig {
+        count: if quick { 2_000 } else { 10_000 },
+        ..Synthetic2dConfig::default()
+    };
+    let n_queries = if quick { 200 } else { 1_000 };
+    let db = UncertainDb2d::build(objects_2d(0x2D5EED, cfg2d)).expect("valid generated data");
+    let queries = query_points_2d(0x2D0BEE, n_queries, cfg2d.domain);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut table = Table::new(
+        "Knn2d",
+        &format!(
+            "2-D C-PkNN over {} disk/rectangle objects: k sweep on a \
+             {n_queries}-query VR workload",
+            db.len()
+        ),
+        &[
+            "k",
+            "wall (ms)",
+            "queries/s",
+            "avg cands",
+            "avg subregions",
+            "resolved by verify %",
+        ],
+    );
+    table.note(format!(
+        "P = {DEFAULT_P}, Δ = {DEFAULT_DELTA}, strategy VR, domain {}², {} thread(s)",
+        cfg2d.domain, threads
+    ));
+    for k in [1usize, 2, 4, 8] {
+        let spec = QuerySpec::knn(k, DEFAULT_P, DEFAULT_DELTA, Strategy::Verified);
+        let out = BatchExecutor::new(threads).run_uniform(
+            &db,
+            &queries,
+            &spec,
+            &PipelineConfig::default(),
+        );
+        let s = &out.summary;
+        assert_eq!(s.errors, 0, "benchmark queries are valid");
+        let subregions: usize = out
+            .results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|r| r.stats.subregions)
+            .sum();
+        table.push_row(vec![
+            k.to_string(),
+            format!("{:.1}", s.wall_time.as_secs_f64() * 1e3),
+            format!("{:.0}", s.throughput()),
+            format!("{:.1}", s.candidates as f64 / s.queries.max(1) as f64),
+            format!("{:.1}", subregions as f64 / s.queries.max(1) as f64),
+            format!(
+                "{:.1}",
+                100.0 * s.resolved_by_verification as f64 / s.queries.max(1) as f64
+            ),
+        ]);
+    }
+    table
+}

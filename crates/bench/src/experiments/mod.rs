@@ -10,7 +10,9 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod knn2d;
 pub mod serve;
+pub mod shard;
 pub mod table3;
 
 use cpnn_core::UncertainDb;

@@ -1,0 +1,121 @@
+//! Sharding experiment — beyond the paper: query throughput and update
+//! latency of the domain-partitioned [`ShardedDb`] as the shard count
+//! grows, on a fixed workload.
+//!
+//! Two effects are measured per shard count:
+//!
+//! * **query throughput** — the shard-aware batch executor
+//!   ([`cpnn_core::BatchExecutor::run_sharded`]) over the same VR workload
+//!   the `batch` experiment uses. Fan-out only visits shards overlapping
+//!   each query's candidate horizon, so throughput should hold (or
+//!   slightly improve from smaller per-shard R-trees) as shards grow.
+//! * **update latency** — [`cpnn_core::QueryServer`] copy-on-write
+//!   `insert`/`remove`, which rebuild *only the owning shard*. The mean
+//!   swap latency should scale with `|T| / shards` (the rebuilt shard's
+//!   size), not with `|T|` — the point of per-shard snapshots.
+
+use std::time::{Duration, Instant};
+
+use cpnn_core::{
+    BatchExecutor, ObjectId, QueryServer, QuerySpec, ShardedDb, Strategy, UncertainDb,
+    UncertainObject,
+};
+use cpnn_datagen::query_points;
+
+use crate::experiments::{longbeach_db, DEFAULT_DELTA, DEFAULT_P};
+use crate::report::Table;
+
+/// Shard counts to sweep.
+const SHARD_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Mean per-update swap latency over `reps` insert + `reps` remove
+/// round-trips against a running server (each update copy-on-write
+/// rebuilds the owning shard and swaps the snapshot).
+fn update_latency(db: &ShardedDb<UncertainDb>, reps: usize) -> (Duration, Duration) {
+    let server = QueryServer::start(db.clone(), 1, db.pipeline_config());
+    let base = 10_000_000u64;
+    let mut insert_total = Duration::ZERO;
+    let mut remove_total = Duration::ZERO;
+    for i in 0..reps {
+        let id = ObjectId(base + i as u64);
+        let lo = (i as f64 * 37.3) % 9_000.0;
+        let object = UncertainObject::uniform(id, lo, lo + 5.0).expect("valid update object");
+        let start = Instant::now();
+        server.insert(object).expect("fresh id inserts cleanly");
+        insert_total += start.elapsed();
+        let start = Instant::now();
+        server.remove(id).expect("update applies");
+        remove_total += start.elapsed();
+    }
+    server.shutdown();
+    (
+        insert_total / reps.max(1) as u32,
+        remove_total / reps.max(1) as u32,
+    )
+}
+
+/// Run the experiment. Columns: shard count, largest shard, batch
+/// throughput through the shard-aware executor, and mean copy-on-write
+/// insert/remove latency (µs) with the speedup over the unsharded rebuild.
+pub fn run(quick: bool) -> Table {
+    let flat = longbeach_db(quick);
+    let n_queries = if quick { 2_000 } else { 10_000 };
+    let reps = if quick { 12 } else { 30 };
+    let queries = query_points(0x54A2D, n_queries);
+    let spec = QuerySpec::nn(DEFAULT_P, DEFAULT_DELTA, Strategy::Verified);
+    let jobs: Vec<(f64, QuerySpec)> = queries.iter().map(|&q| (q, spec)).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut table = Table::new(
+        "Shard",
+        &format!(
+            "ShardedDb scaling on a {n_queries}-query VR workload: \
+             throughput and copy-on-write update latency vs. shard count"
+        ),
+        &[
+            "shards",
+            "max |shard|",
+            "batch q/s",
+            "q/s vs 1",
+            "insert (µs)",
+            "remove (µs)",
+            "update speedup",
+        ],
+    );
+    table.note(format!(
+        "{} queries, |T| = {}, P = {DEFAULT_P}, Δ = {DEFAULT_DELTA}, strategy VR, \
+         {} thread(s); updates are QueryServer snapshot swaps rebuilding only \
+         the owning shard, averaged over {} insert/remove round-trips \
+         (best-of-2 throughput)",
+        n_queries,
+        flat.len(),
+        threads,
+        reps
+    ));
+    let mut base_qps = None;
+    let mut base_update = None;
+    for shards in SHARD_SWEEP {
+        let db = ShardedDb::from_model(&flat, shards).expect("reshard of a valid database");
+        let mut qps: f64 = 0.0;
+        for _ in 0..2 {
+            let out = BatchExecutor::new(threads).run_sharded(&db, &jobs, &db.pipeline_config());
+            assert_eq!(out.summary.errors, 0, "benchmark queries are valid");
+            qps = qps.max(out.summary.throughput());
+        }
+        let (insert_us, remove_us) = update_latency(&db, reps);
+        let update_us = (insert_us.as_secs_f64() + remove_us.as_secs_f64()) * 0.5 * 1e6;
+        let qps_base = *base_qps.get_or_insert(qps);
+        let update_base = *base_update.get_or_insert(update_us);
+        table.push_row(vec![
+            shards.to_string(),
+            db.shard_sizes().into_iter().max().unwrap_or(0).to_string(),
+            format!("{qps:.0}"),
+            format!("{:.2}x", qps / qps_base.max(1e-9)),
+            format!("{:.1}", insert_us.as_secs_f64() * 1e6),
+            format!("{:.1}", remove_us.as_secs_f64() * 1e6),
+            format!("{:.2}x", update_base / update_us.max(1e-9)),
+        ]);
+    }
+    table
+}

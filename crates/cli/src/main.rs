@@ -20,12 +20,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cpnn_core::persist::{load_from_path, save_to_path};
+use cpnn_core::persist::{load_from_path, load_objects_from_path, save_to_path};
 use cpnn_core::{
-    BatchExecutor, CpnnQuery, ObjectId, QueryServer, QuerySpec, Served, Strategy, Ticket,
-    UncertainDb, UncertainObject,
+    pipeline, BatchExecutor, CpnnQuery, ObjectId, QueryServer, QuerySpec, Served, ShardedDb,
+    Strategy, Ticket, UncertainDb, UncertainDb2d, UncertainObject,
 };
-use cpnn_datagen::{longbeach::longbeach_with, query_points_in, LongBeachConfig};
+use cpnn_datagen::{
+    longbeach::longbeach_with, objects_2d, query_points_in, LongBeachConfig, Synthetic2dConfig,
+};
 
 mod args;
 
@@ -54,6 +56,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "pnn" => pnn(&mut bag),
         "cpnn" => cpnn(&mut bag),
         "knn" => knn(&mut bag),
+        "knn2d" => knn2d(&mut bag),
         "range" => range(&mut bag),
         "serve" => serve(&mut bag),
         "help" | "--help" | "-h" => {
@@ -71,16 +74,23 @@ fn print_usage() {
          \x20 generate --out FILE [--count N] [--seed S]   create a synthetic dataset snapshot\n\
          \x20 info FILE                                    dataset statistics\n\
          \x20 pnn FILE --q Q [--top N]                     exact qualification probabilities\n\
-         \x20 cpnn FILE --q Q --p P [--delta D] [--strategy vr|basic|refine|mc]\n\
+         \x20 cpnn FILE --q Q --p P [--delta D] [--strategy vr|basic|refine|mc] [--shards N]\n\
          \x20 cpnn FILE --batch N --p P [--threads T] [--seed S] [--delta D] [--strategy S]\n\
-         \x20                                              batch over N random query points\n\
-         \x20                                              (T = 0 means one per core)\n\
+         \x20           [--shards N]                       batch over N random query points\n\
+         \x20                                              (T = 0 means one per core; shards > 1\n\
+         \x20                                              fans each query out across a\n\
+         \x20                                              domain-partitioned database)\n\
          \x20 knn FILE --q Q --k K --p P [--delta D]       constrained probabilistic k-NN\n\
+         \x20 knn2d --qx X --qy Y --p P [--k K] [--count N] [--seed S] [--delta D]\n\
+         \x20       [--domain D] [--shards N]              constrained 2-D k-NN over a synthetic\n\
+         \x20                                              disk/rectangle dataset on [0, D]²\n\
          \x20 range FILE --lo A --hi B --p P               probabilistic range query\n\
-         \x20 serve FILE [--threads T] [--queries FILE]    long-lived query server: stream\n\
+         \x20 serve FILE [--threads T] [--queries FILE] [--shards N]\n\
+         \x20                                              long-lived query server: stream\n\
          \x20                                              queries from stdin (or FILE) through\n\
-         \x20                                              a worker pool; `serve help` for the\n\
-         \x20                                              line protocol"
+         \x20                                              a worker pool; with --shards N,\n\
+         \x20                                              insert/remove rebuild only the owning\n\
+         \x20                                              shard; `serve help` for the protocol"
     );
 }
 
@@ -167,10 +177,31 @@ fn parse_strategy(name: &str) -> Result<Strategy, UsageError> {
 }
 
 fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
-    let db = load(bag)?;
-    if let Some(count) = bag.optional::<usize>("batch")? {
+    let path: PathBuf = bag.positional("dataset file")?;
+    let shards: usize = bag.optional("shards")?.unwrap_or(1);
+    let batch = bag.optional::<usize>("batch")?;
+    // One storage layout, built once from the snapshot's raw objects: a
+    // ShardedDb whose single-shard case *is* the unsharded database
+    // (equivalence is property-tested), so there is no second code path.
+    let db = UncertainDb::build_sharded(load_objects_from_path(&path)?, shards)?;
+    if shards > 1 {
+        eprintln!(
+            "sharded into {} domain slabs: sizes {:?}",
+            db.num_shards(),
+            db.shard_sizes()
+        );
+    }
+    if let Some(count) = batch {
         return cpnn_batch(bag, &db, count);
     }
+    let (query, strategy) = cpnn_query_args(bag)?;
+    print_cpnn_result(&db.cpnn(&query, strategy)?);
+    Ok(())
+}
+
+/// Shared `--q/--p/--delta/--strategy` parsing for the one-shot `cpnn`
+/// paths (flat and sharded).
+fn cpnn_query_args(bag: &mut ArgBag) -> Result<(CpnnQuery, Strategy), Box<dyn std::error::Error>> {
     let q: f64 = bag.required("q")?;
     let p: f64 = bag.required("p")?;
     let delta: f64 = bag.optional("delta")?.unwrap_or(0.01);
@@ -179,7 +210,10 @@ fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_else(|| "vr".into()),
     )?;
     bag.finish()?;
-    let res = db.cpnn(&CpnnQuery::new(q, p, delta), strategy)?;
+    Ok((CpnnQuery::new(q, p, delta), strategy))
+}
+
+fn print_cpnn_result(res: &cpnn_core::CpnnResult) {
     println!(
         "answers: {:?}",
         res.answers.iter().map(|id| id.0).collect::<Vec<_>>()
@@ -194,16 +228,18 @@ fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     for r in res.reports.iter().filter(|r| r.bound.hi() > 0.01) {
         println!("  {}: {} -> {:?}", r.id, r.bound, r.label);
     }
-    Ok(())
 }
 
-/// `cpnn FILE --batch N`: evaluate `N` random query points concurrently
-/// through the batch executor and report aggregate statistics.
-fn cpnn_batch(
-    bag: &mut ArgBag,
-    db: &UncertainDb,
-    count: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+/// Parsed arguments shared by the flat and sharded `--batch` paths.
+struct BatchArgs {
+    p: f64,
+    delta: f64,
+    threads: usize,
+    seed: u64,
+    strategy: Strategy,
+}
+
+fn batch_args(bag: &mut ArgBag) -> Result<BatchArgs, Box<dyn std::error::Error>> {
     let p: f64 = bag.required("p")?;
     let delta: f64 = bag.optional("delta")?.unwrap_or(0.01);
     let threads: usize = bag.optional("threads")?.unwrap_or(0);
@@ -213,13 +249,38 @@ fn cpnn_batch(
             .unwrap_or_else(|| "vr".into()),
     )?;
     bag.finish()?;
-    let (lo, hi) = db.domain().unwrap_or((0.0, 1.0));
-    let queries: Vec<CpnnQuery> = query_points_in(seed, count, lo, hi)
+    Ok(BatchArgs {
+        p,
+        delta,
+        threads,
+        seed,
+        strategy,
+    })
+}
+
+/// `cpnn FILE --batch N [--shards S]`: evaluate `N` random query points
+/// concurrently through the shard-aware batch executor (`(query, shard)`
+/// work units; one shard is the unsharded case) and report aggregate
+/// statistics.
+fn cpnn_batch(
+    bag: &mut ArgBag,
+    db: &ShardedDb<UncertainDb>,
+    count: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let a = batch_args(bag)?;
+    let (lo, hi) = db
+        .extent()
+        .map(|e| (e.lo[0], e.hi[0]))
+        .unwrap_or((0.0, 1.0));
+    let jobs: Vec<(f64, QuerySpec)> = query_points_in(a.seed, count, lo, hi)
         .into_iter()
-        .map(|q| CpnnQuery::new(q, p, delta))
+        .map(|q| (q, QuerySpec::nn(a.p, a.delta, a.strategy)))
         .collect();
-    let executor = BatchExecutor::new(threads);
-    let out = executor.run_cpnn(db, &queries, strategy, &db.config().pipeline());
+    let out = BatchExecutor::new(a.threads).run_sharded(db, &jobs, &db.pipeline_config());
+    print_batch_outcome(&out)
+}
+
+fn print_batch_outcome(out: &cpnn_core::BatchOutcome) -> Result<(), Box<dyn std::error::Error>> {
     let s = &out.summary;
     println!(
         "{} queries on {} threads in {:?}  ({:.0} queries/s, parallel efficiency {:.2}x)",
@@ -271,6 +332,56 @@ fn knn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `cpnn knn2d`: constrained probabilistic k-NN over a synthetic 2-D
+/// dataset (mixed uniform disks and rectangles) — the ROADMAP's "2-D k-NN"
+/// workload, running `pipeline::cpnn` with `k > 1` over `UncertainDb2d`,
+/// optionally domain-sharded with `--shards`.
+fn knn2d(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
+    let qx: f64 = bag.required("qx")?;
+    let qy: f64 = bag.required("qy")?;
+    let p: f64 = bag.required("p")?;
+    let k: usize = bag.optional("k")?.unwrap_or(3);
+    let delta: f64 = bag.optional("delta")?.unwrap_or(0.0);
+    let count: usize = bag.optional("count")?.unwrap_or(5_000);
+    let seed: u64 = bag.optional("seed")?.unwrap_or(0x2D);
+    let domain: f64 = bag.optional("domain")?.unwrap_or(1_000.0);
+    let shards: usize = bag.optional("shards")?.unwrap_or(1);
+    bag.finish()?;
+    let cfg2d = Synthetic2dConfig {
+        count,
+        domain,
+        ..Synthetic2dConfig::default()
+    };
+    if !(domain.is_finite() && domain > 2.0 * cfg2d.max_radius) {
+        return Err(Box::new(UsageError(format!(
+            "--domain must be a finite value greater than {} (2x the max object radius)",
+            2.0 * cfg2d.max_radius
+        ))));
+    }
+    let objects = objects_2d(seed, cfg2d);
+    let db = UncertainDb2d::build_sharded(objects, shards)?;
+    let spec = QuerySpec::knn(k, p, delta, Strategy::Verified);
+    let res = pipeline::cpnn(&db, &[qx, qy], &spec, &db.pipeline_config())?;
+    println!(
+        "{} objects ({} shard(s), sizes {:?}), query ({qx}, {qy}), k = {k}, P = {p}",
+        db.len(),
+        db.num_shards(),
+        db.shard_sizes()
+    );
+    println!(
+        "answers: {:?}  ({} candidates, {} subregions, {} integrations, {:?})",
+        res.answers.iter().map(|id| id.0).collect::<Vec<_>>(),
+        res.stats.candidates,
+        res.stats.subregions,
+        res.stats.integrations,
+        res.stats.total_time()
+    );
+    for r in res.reports.iter().filter(|r| r.bound.hi() > 0.01) {
+        println!("  {}: {} -> {:?}", r.id, r.bound, r.label);
+    }
+    Ok(())
+}
+
 const SERVE_PROTOCOL: &str = "\
 serve line protocol (stdin or --queries FILE; one request per line):
   <q> <p> [delta]           constrained 1-NN query (delta defaults to 0.01,
@@ -288,20 +399,31 @@ back in submission order as `#<n> v<version> answers=[..]`.";
 /// streams responses back in submission order as they complete. Updates
 /// (`insert` / `remove`) swap the database snapshot while queries are in
 /// flight; each response reports the snapshot version that served it.
+///
+/// The backend is always a domain-partitioned [`ShardedDb`] (`--shards`
+/// slabs, default 1): updates copy-on-write rebuild **only the owning
+/// shard**, so their cost scales with shard size, not database size. The
+/// single-shard case is the unsharded behavior.
 fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     if bag.peek_positional() == Some("help") {
         println!("{SERVE_PROTOCOL}");
         return Ok(());
     }
-    let db = load(bag)?;
+    let path: PathBuf = bag.positional("dataset file")?;
     let threads: usize = bag.optional("threads")?.unwrap_or(0);
+    let shards: usize = bag.optional("shards")?.unwrap_or(1);
     let queries: Option<PathBuf> = bag.optional("queries")?;
     bag.finish()?;
-    let pipeline = db.config().pipeline();
-    let server = QueryServer::start(db, threads, pipeline);
+    // Build the sharded store directly from the snapshot's objects — one
+    // index build total, not a flat database torn down and re-sharded.
+    let sharded = UncertainDb::build_sharded(load_objects_from_path(&path)?, shards)?;
+    let pipeline = sharded.pipeline_config();
+    let num_shards = sharded.num_shards();
+    let server = QueryServer::start(sharded, threads, pipeline);
     eprintln!(
-        "serving on {} worker thread(s); send `quit` or EOF to stop",
-        server.threads()
+        "serving on {} worker thread(s) over {} shard(s); send `quit` or EOF to stop",
+        server.threads(),
+        num_shards
     );
 
     // On a terminal, each response is awaited before the next prompt read

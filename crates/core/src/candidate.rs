@@ -93,7 +93,15 @@ impl CandidateSet {
             .iter()
             .map(|m| m.dist.far())
             .fold(f64::NEG_INFINITY, f64::max);
-        members.sort_by(|a, b| a.dist.near().total_cmp(&b.dist.near()));
+        // Tie-break equal near points by id: candidate order (and with it
+        // report order) is then independent of how the survivors arrived —
+        // R-tree emission order and sharded merge order give the same set.
+        members.sort_by(|a, b| {
+            a.dist
+                .near()
+                .total_cmp(&b.dist.near())
+                .then(a.id.cmp(&b.id))
+        });
         Self {
             q,
             members,

@@ -17,6 +17,7 @@ use crate::error::{CoreError, Result};
 use crate::object::{ObjectId, UncertainObject};
 use crate::pipeline::{self, DistanceModel, Filtered, PipelineConfig, QuerySpec};
 use crate::refine::RefinementOrder;
+use crate::shard::{Extent, ShardableModel, ShardedDb};
 
 pub use crate::pipeline::{CpnnQuery, CpnnResult, ObjectReport, PnnResult, QueryStats, Strategy};
 
@@ -102,10 +103,54 @@ impl DistanceModel for UncertainDb {
     }
 }
 
+/// One [`UncertainDb`] is one shard: it owns its objects and its own
+/// R-tree, so a [`ShardedDb`] of these partitions the index along with the
+/// data. The single-shard case is just `shards = 1`.
+impl ShardableModel for UncertainDb {
+    type Object = UncertainObject;
+    type Config = EngineConfig;
+
+    fn shard_config(&self) -> EngineConfig {
+        self.config
+    }
+
+    fn shard_objects(&self) -> Vec<UncertainObject> {
+        self.objects.clone()
+    }
+
+    fn object_id(object: &UncertainObject) -> ObjectId {
+        object.id()
+    }
+
+    fn object_extent(object: &UncertainObject) -> Extent {
+        let (lo, hi) = object.region();
+        Extent::new(vec![lo], vec![hi])
+    }
+
+    fn build_shard(objects: Vec<UncertainObject>, config: &EngineConfig) -> Result<Self> {
+        Self::with_config(objects, *config)
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        self.config.pipeline()
+    }
+}
+
 impl UncertainDb {
     /// Build with default configuration. Fails on duplicate object ids.
     pub fn build(objects: Vec<UncertainObject>) -> Result<Self> {
         Self::with_config(objects, EngineConfig::default())
+    }
+
+    /// Partition `objects` into a domain-sharded database
+    /// ([`ShardedDb`]): each shard owns its own R-tree, queries fan out
+    /// only to overlapping shards, and updates rebuild only the owning
+    /// shard. `shards = 1` is equivalent to an unsharded build.
+    pub fn build_sharded(
+        objects: Vec<UncertainObject>,
+        shards: usize,
+    ) -> Result<ShardedDb<UncertainDb>> {
+        ShardedDb::build(objects, EngineConfig::default(), shards)
     }
 
     /// Build with explicit configuration.

@@ -24,6 +24,7 @@ use crate::error::{CoreError, Result};
 use crate::geometry2d::{rect_distance_cdf, Rect2};
 use crate::object::ObjectId;
 use crate::pipeline::{self, DistanceModel, Filtered, PipelineConfig, QuerySpec};
+use crate::shard::{Extent, ShardableModel, ShardedDb};
 
 /// A 2-D uncertain object: an id plus a uniform uncertainty region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,6 +184,21 @@ impl UncertainDb2d {
         &self.objects
     }
 
+    /// Engine configuration.
+    pub fn config(&self) -> &Engine2dConfig {
+        &self.config
+    }
+
+    /// Partition `objects` into a domain-sharded 2-D database: bbox tiles
+    /// along the widest axis, each shard with its own R-tree (see
+    /// [`ShardedDb`]). `shards = 1` is equivalent to an unsharded build.
+    pub fn build_sharded(
+        objects: Vec<Object2d>,
+        shards: usize,
+    ) -> Result<ShardedDb<UncertainDb2d>> {
+        ShardedDb::build(objects, Engine2dConfig::default(), shards)
+    }
+
     /// C-PNN over 2-D objects: the unified verify → refine pipeline, as in
     /// the 1-D engine.
     pub fn cpnn(&self, q: [f64; 2], threshold: f64, tolerance: f64) -> Result<CpnnResult> {
@@ -194,9 +210,62 @@ impl UncertainDb2d {
         )
     }
 
+    /// Constrained probabilistic k-NN over 2-D objects: the C-PkNN
+    /// extension through the shared pipeline — the same evaluation the
+    /// `cpnn knn2d` command and the `knn2d` bench experiment run via
+    /// [`pipeline::cpnn`] with `k > 1`.
+    pub fn cknn(
+        &self,
+        q: [f64; 2],
+        k: usize,
+        threshold: f64,
+        tolerance: f64,
+    ) -> Result<CpnnResult> {
+        pipeline::cpnn(
+            self,
+            &q,
+            &QuerySpec::knn(k, threshold, tolerance, Strategy::Verified),
+            &PipelineConfig::default(),
+        )
+    }
+
     /// Exact 2-D PNN probabilities, descending.
     pub fn pnn(&self, q: [f64; 2]) -> Result<PnnResult> {
         pipeline::pnn(self, &q, 1)
+    }
+
+    /// Exact 2-D probabilistic k-NN probabilities, descending (sum to
+    /// `min(k, |C|)`).
+    pub fn pknn(&self, q: [f64; 2], k: usize) -> Result<PnnResult> {
+        pipeline::pnn(self, &q, k)
+    }
+}
+
+/// One [`UncertainDb2d`] is one shard (its own bbox R-tree); a
+/// [`ShardedDb`] of these tiles the plane along the widest axis.
+impl ShardableModel for UncertainDb2d {
+    type Object = Object2d;
+    type Config = Engine2dConfig;
+
+    fn shard_config(&self) -> Engine2dConfig {
+        self.config
+    }
+
+    fn shard_objects(&self) -> Vec<Object2d> {
+        self.objects.clone()
+    }
+
+    fn object_id(object: &Object2d) -> ObjectId {
+        object.id()
+    }
+
+    fn object_extent(object: &Object2d) -> Extent {
+        let bbox = object.bounding_box();
+        Extent::new(bbox.min().to_vec(), bbox.max().to_vec())
+    }
+
+    fn build_shard(objects: Vec<Object2d>, config: &Engine2dConfig) -> Result<Self> {
+        Self::with_config(objects, *config)
     }
 }
 
@@ -328,6 +397,26 @@ mod tests {
         assert!((o.far([1.0, 1.0]) - 2f64.sqrt()).abs() < 1e-12);
         let d = o.distance_distribution([1.0, 1.0], 32).unwrap();
         assert!((d.cdf(d.far()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cknn_2d_matches_exact_pknn_thresholding() {
+        let db = mixed_db();
+        let q = [0.0, 0.5];
+        let exact = db.pknn(q, 2).unwrap();
+        let total: f64 = exact.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total - 2.0).abs() < 1e-6, "sum = {total}");
+        for threshold in [0.3, 0.6, 0.95] {
+            let res = db.cknn(q, 2, threshold, 0.0).unwrap();
+            let mut want: Vec<ObjectId> = exact
+                .probabilities
+                .iter()
+                .filter(|(_, p)| *p >= threshold)
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(res.answers, want, "P = {threshold}");
+        }
     }
 
     #[test]

@@ -28,6 +28,16 @@
 //! and k-NN — share one generic implementation of this flow in
 //! [`pipeline`], parameterized by a [`pipeline::DistanceModel`].
 //!
+//! ## Sharding
+//!
+//! [`shard::ShardedDb`] partitions any [`shard::ShardableModel`] by
+//! domain: each shard owns its own R-tree, a query fans out only to
+//! shards overlapping its candidate horizon, and the merged candidates
+//! run the shared verify/refine flow once (results are identical to
+//! unsharded evaluation — property-tested). `insert`/`remove` rebuild
+//! only the owning shard, which is what makes [`server::QueryServer`]
+//! updates O(shard) instead of O(database).
+//!
 //! ## Execution modes
 //!
 //! * **one-shot** — [`UncertainDb::cpnn`] / [`pipeline::cpnn`];
@@ -76,6 +86,7 @@ pub mod pipeline;
 pub mod range;
 pub mod refine;
 pub mod server;
+pub mod shard;
 pub mod subregion;
 pub mod verifiers;
 
@@ -99,4 +110,5 @@ pub use pipeline::{DistanceModel, PipelineConfig, QueryScratch, QuerySpec};
 pub use range::RangeAnswer;
 pub use refine::RefinementOrder;
 pub use server::{QueryServer, Served, ServerStats, Snapshot, Ticket};
+pub use shard::{Extent, ShardPoint, ShardableModel, ShardedDb};
 pub use subregion::SubregionTable;

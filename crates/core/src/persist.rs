@@ -172,6 +172,14 @@ pub fn load_snapshot_with<R: Read>(
     r: R,
     config: EngineConfig,
 ) -> std::result::Result<UncertainDb, SnapshotError> {
+    UncertainDb::with_config(load_objects(r)?, config).map_err(SnapshotError::Invalid)
+}
+
+/// Deserialize just the objects — no index build. The entry point for
+/// callers that construct their own storage over the snapshot (e.g. a
+/// [`crate::shard::ShardedDb`], which would otherwise pay a full flat
+/// database build only to re-shard it).
+pub fn load_objects<R: Read>(r: R) -> std::result::Result<Vec<UncertainObject>, SnapshotError> {
     let mut r = HashingReader::new(r);
     let magic = r.take::<4>()?;
     if &magic != MAGIC {
@@ -208,7 +216,7 @@ pub fn load_snapshot_with<R: Read>(
     if stored != computed {
         return Err(SnapshotError::ChecksumMismatch { stored, computed });
     }
-    UncertainDb::with_config(objects, config).map_err(SnapshotError::Invalid)
+    Ok(objects)
 }
 
 /// Convenience: result alias used by callers.
@@ -224,6 +232,13 @@ pub fn save_to_path(db: &UncertainDb, path: &std::path::Path) -> SnapshotResult<
 pub fn load_from_path(path: &std::path::Path) -> SnapshotResult<UncertainDb> {
     let file = std::fs::File::open(path)?;
     load_snapshot(io::BufReader::new(file))
+}
+
+/// Load just the objects from a file path (no index build) — see
+/// [`load_objects`].
+pub fn load_objects_from_path(path: &std::path::Path) -> SnapshotResult<Vec<UncertainObject>> {
+    let file = std::fs::File::open(path)?;
+    load_objects(io::BufReader::new(file))
 }
 
 #[cfg(test)]

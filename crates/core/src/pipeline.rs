@@ -304,56 +304,128 @@ pub fn cpnn_with<M: DistanceModel + ?Sized>(
     scratch: &mut QueryScratch,
 ) -> Result<CpnnResult> {
     model.check_query(q)?;
-    let classifier = Classifier::new(spec.threshold, spec.tolerance)?;
-    let k = spec.k.max(1);
-
+    // Validate the spec before any filtering work happens.
+    Classifier::new(spec.threshold, spec.tolerance)?;
     let mut stats = QueryStats {
         total_objects: model.total_objects(),
         ..Default::default()
     };
-    let (cands, init_time) = prepare(model, q, k, &mut stats)?;
+    let (cands, init_time) = prepare(model, q, spec.k.max(1), &mut stats)?;
+    stats.init_time = init_time;
+    evaluate_candidates(&cands, spec, cfg, scratch, stats)
+}
+
+/// Fan a filtering pass out over shards and merge the survivors.
+///
+/// `shards` yields `(bound, model)` pairs where `bound` is a conservative
+/// lower bound on the distance from `q` to anything that model stores
+/// (e.g. the mindist from `q` to the shard's minimum bounding box). A
+/// shard whose bound exceeds the merged candidate *horizon* — the `k`-th
+/// smallest far point collected so far — is skipped outright: every one of
+/// its objects has a near distance of at least `bound`, so the candidate
+/// assembly ([`CandidateSet::from_distances`]) would prune it anyway.
+/// The merged result is therefore identical to filtering one unsharded
+/// model over the same objects (property-tested in
+/// `tests/proptest_shard.rs`). Visit shards in ascending `bound` order for
+/// maximal pruning; the order affects how much work is skipped, never the
+/// merged candidate set.
+pub fn fan_out_filter<'a, M, I>(shards: I, q: &M::Query, k: usize) -> Result<Filtered>
+where
+    M: DistanceModel + 'a,
+    I: IntoIterator<Item = (f64, &'a M)>,
+{
+    let k = k.max(1);
+    let mut items: Vec<(ObjectId, DistanceDistribution)> = Vec::new();
+    let mut filter_time = Duration::ZERO;
+    // The `k` smallest far points seen so far, sorted ascending. Once full,
+    // its last element is the merged horizon; until then every object
+    // anywhere is still a candidate, so the horizon stays infinite.
+    let mut k_fars: Vec<f64> = Vec::with_capacity(k);
+    for (bound, shard) in shards {
+        let horizon = if k_fars.len() == k {
+            k_fars[k - 1]
+        } else {
+            f64::INFINITY
+        };
+        if bound > horizon {
+            continue;
+        }
+        let filtered = shard.filter(q, k)?;
+        filter_time += filtered.filter_time;
+        for (id, dist) in filtered.items {
+            let far = dist.far();
+            if k_fars.len() < k || far < k_fars[k - 1] {
+                let at = k_fars.partition_point(|f| *f <= far);
+                k_fars.insert(at, far);
+                k_fars.truncate(k);
+            }
+            items.push((id, dist));
+        }
+    }
+    Ok(Filtered { items, filter_time })
+}
+
+/// Run the strategy dispatch — verify → refine, exact, or Monte-Carlo —
+/// over an already-assembled candidate set.
+///
+/// This is the back half of [`cpnn_with`]: the shard-aware batch executor
+/// calls it directly after merging per-shard filter results, so the merged
+/// evaluation is *the same code* as the unsharded one. `stats` carries
+/// whatever the caller already measured (`total_objects`, `candidates`,
+/// `filter_time`, and the distribution-construction share of `init_time`);
+/// subregion-table construction time is added here.
+pub fn evaluate_candidates(
+    cands: &CandidateSet,
+    spec: &QuerySpec,
+    cfg: &PipelineConfig,
+    scratch: &mut QueryScratch,
+    mut stats: QueryStats,
+) -> Result<CpnnResult> {
+    let classifier = Classifier::new(spec.threshold, spec.tolerance)?;
+    let k = spec.k.max(1);
+    let init_time = stats.init_time;
     let init_start = Instant::now();
 
     match (spec.strategy, k) {
         (Strategy::Basic, 1) => {
             stats.init_time = init_time + init_start.elapsed();
             let start = Instant::now();
-            let (probs, evals) = basic_probabilities(&cands, cfg.basic_tolerance);
+            let (probs, evals) = basic_probabilities(cands, cfg.basic_tolerance);
             stats.refine_time = start.elapsed();
             stats.integrations = evals;
-            Ok(finish_exact(&cands, &classifier, &probs, stats))
+            Ok(finish_exact(cands, &classifier, &probs, stats))
         }
         (Strategy::MonteCarlo { worlds, seed }, 1) => {
             stats.init_time = init_time + init_start.elapsed();
             let start = Instant::now();
             let mut rng = StdRng::seed_from_u64(seed);
-            let probs = monte_carlo_probabilities(&cands, worlds, &mut rng)?;
+            let probs = monte_carlo_probabilities(cands, worlds, &mut rng)?;
             stats.refine_time = start.elapsed();
             stats.integrations = worlds;
-            Ok(finish_exact(&cands, &classifier, &probs, stats))
+            Ok(finish_exact(cands, &classifier, &probs, stats))
         }
         (Strategy::MonteCarlo { worlds, seed }, k) => {
             stats.init_time = init_time + init_start.elapsed();
             let start = Instant::now();
             let mut rng = StdRng::seed_from_u64(seed);
-            let probs = monte_carlo_knn(&cands, k, worlds, &mut rng)?;
+            let probs = monte_carlo_knn(cands, k, worlds, &mut rng)?;
             stats.refine_time = start.elapsed();
             stats.integrations = worlds;
-            Ok(finish_exact(&cands, &classifier, &probs, stats))
+            Ok(finish_exact(cands, &classifier, &probs, stats))
         }
         (Strategy::Basic, k) => {
-            let table = SubregionTable::build(&cands);
+            let table = SubregionTable::build(cands);
             stats.subregions = table.subregion_count();
             stats.init_time = init_time + init_start.elapsed();
             let start = Instant::now();
             let probs = knn_probabilities(&table, k);
             stats.refine_time = start.elapsed();
             stats.integrations = active_subregions(&table);
-            Ok(finish_exact(&cands, &classifier, &probs, stats))
+            Ok(finish_exact(cands, &classifier, &probs, stats))
         }
         (strategy, k) => {
             // Verify → refine (or refine alone), over the subregion table.
-            let table = SubregionTable::build(&cands);
+            let table = SubregionTable::build(cands);
             stats.subregions = table.subregion_count();
             stats.init_time = init_time + init_start.elapsed();
             scratch.state.reset(&table);
@@ -397,7 +469,7 @@ pub fn cpnn_with<M: DistanceModel + ?Sized>(
             stats.refine_time = refine_start.elapsed();
             stats.refined_objects = report.refined_objects;
             stats.integrations = report.integrations;
-            Ok(finish_state(&cands, &scratch.state, stats))
+            Ok(finish_state(cands, &scratch.state, stats))
         }
     }
 }

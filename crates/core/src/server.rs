@@ -78,6 +78,7 @@ use crate::object::{ObjectId, UncertainObject};
 use crate::pipeline::{
     cpnn_with, CpnnResult, DistanceModel, PipelineConfig, QueryScratch, QuerySpec,
 };
+use crate::shard::{ShardPoint, ShardableModel, ShardedDb};
 
 /// A versioned, immutable database snapshot.
 ///
@@ -391,6 +392,33 @@ impl QueryServer<UncertainDb> {
     }
 }
 
+/// Per-shard copy-on-write updates for a server over a [`ShardedDb`]:
+/// the snapshot holds one `Arc` per shard, so `insert`/`remove` rebuild
+/// **only the owning shard** — O(shard) instead of O(database) — while
+/// every untouched shard `Arc` is shared between the old and new
+/// snapshot. Snapshot-atomicity guarantees are unchanged: readers pin a
+/// whole `ShardedDb` version and never observe a half-swapped shard set
+/// (property-tested in `tests/proptest_shard.rs`).
+impl<M> QueryServer<ShardedDb<M>>
+where
+    M: ShardableModel + Send + Sync + 'static,
+    M::Query: ShardPoint + Send + 'static,
+    M::Config: Send + Sync + 'static,
+{
+    /// Copy-on-write insert touching only the owning shard. Fails on a
+    /// duplicate id anywhere in the database (the snapshot is untouched).
+    pub fn insert(&self, object: M::Object) -> Result<Snapshot<ShardedDb<M>>> {
+        self.update(move |db| db.with_inserted(object))
+    }
+
+    /// Copy-on-write remove touching only the shard that stores `id`.
+    /// Removing an absent id still swaps (contents unchanged, version
+    /// advanced), mirroring the unsharded server.
+    pub fn remove(&self, id: ObjectId) -> Result<Snapshot<ShardedDb<M>>> {
+        self.update(move |db| Ok(db.with_removed(id)))
+    }
+}
+
 fn worker_loop<M>(rx: &Mutex<Receiver<Job<M>>>, shared: &Shared<M>, cfg: &PipelineConfig)
 where
     M: DistanceModel,
@@ -558,6 +586,32 @@ mod tests {
         assert_eq!(pinned.version, 0);
         assert_eq!(pinned.model.len(), 8);
         assert_eq!(server.snapshot().model.len(), 6);
+    }
+
+    #[test]
+    fn sharded_server_updates_rebuild_only_the_owning_shard() {
+        let sharded = ShardedDb::<UncertainDb>::from_model(&db(40), 4).unwrap();
+        let server = QueryServer::start(sharded, 2, PipelineConfig::default());
+        let v0 = server.snapshot();
+        let snap = server
+            .insert(UncertainObject::uniform(ObjectId(700), 0.05, 0.15).unwrap())
+            .unwrap();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.model.len(), 41);
+        // Per-shard COW: all but one shard Arc is shared with v0.
+        let shared = (0..4)
+            .filter(|&s| std::ptr::eq(v0.model.shard_model(s), snap.model.shard_model(s)))
+            .count();
+        assert_eq!(shared, 3);
+        let served = server.submit(0.1, spec()).wait();
+        assert_eq!(served.snapshot_version, 1);
+        assert!(served.result.unwrap().answers.contains(&ObjectId(700)));
+        let removed = server.remove(ObjectId(700)).unwrap();
+        assert_eq!(removed.model.len(), 40);
+        let dup = server.insert(UncertainObject::uniform(ObjectId(3), 0.0, 1.0).unwrap());
+        assert!(dup.is_err());
+        assert_eq!(server.snapshot().version, 2);
+        server.shutdown();
     }
 
     #[test]

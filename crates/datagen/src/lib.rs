@@ -21,7 +21,9 @@
 pub mod longbeach;
 pub mod queries;
 pub mod synthetic;
+pub mod synthetic2d;
 
 pub use longbeach::{longbeach_analog, LongBeachConfig};
 pub use queries::{query_points, query_points_in};
 pub use synthetic::{gaussian_variant, uniform_intervals, SyntheticConfig};
+pub use synthetic2d::{objects_2d, query_points_2d, Synthetic2dConfig};

@@ -1,0 +1,115 @@
+//! 2-D synthetic workloads: mixed disk / rectangle uncertain objects
+//! scattered over a square domain, plus 2-D query points.
+//!
+//! The paper's evaluation is 1-D (Sec. V); this module feeds its "extension
+//! to 2D space" (Sec. IV-A) — the 2-D engine and its k-NN workload — through
+//! the `cpnn knn2d` CLI command and the `knn2d` bench experiment.
+
+use cpnn_core::{Object2d, ObjectId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for synthetic 2-D object sets.
+#[derive(Debug, Clone, Copy)]
+pub struct Synthetic2dConfig {
+    /// Number of objects.
+    pub count: usize,
+    /// Square domain extent (objects fit inside `[0, domain]²`).
+    pub domain: f64,
+    /// Minimum disk radius / rectangle half-side.
+    pub min_radius: f64,
+    /// Maximum disk radius / rectangle half-side.
+    pub max_radius: f64,
+}
+
+impl Default for Synthetic2dConfig {
+    fn default() -> Self {
+        Self {
+            count: 5_000,
+            domain: 1_000.0,
+            min_radius: 1.0,
+            max_radius: 6.0,
+        }
+    }
+}
+
+/// `cfg.count` uncertain 2-D objects, alternating uniform disks and
+/// uniform axis-aligned rectangles (both region shapes the 2-D engine
+/// supports), deterministic in `seed`.
+///
+/// # Panics
+/// The configuration must satisfy
+/// `0 < min_radius < max_radius < domain / 2` so the sampled centers and
+/// radii fit the domain; anything else is a caller bug and panics with a
+/// descriptive message (the CLI validates `--domain` before calling).
+pub fn objects_2d(seed: u64, cfg: Synthetic2dConfig) -> Vec<Object2d> {
+    assert!(
+        cfg.domain.is_finite()
+            && cfg.min_radius > 0.0
+            && cfg.min_radius < cfg.max_radius
+            && cfg.domain > 2.0 * cfg.max_radius,
+        "Synthetic2dConfig requires 0 < min_radius < max_radius < domain / 2 \
+         (got min_radius {}, max_radius {}, domain {})",
+        cfg.min_radius,
+        cfg.max_radius,
+        cfg.domain
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..cfg.count)
+        .map(|i| {
+            let r = rng.gen_range(cfg.min_radius..cfg.max_radius);
+            let cx = rng.gen_range(cfg.max_radius..(cfg.domain - cfg.max_radius));
+            let cy = rng.gen_range(cfg.max_radius..(cfg.domain - cfg.max_radius));
+            let id = ObjectId(i as u64);
+            if i % 2 == 0 {
+                Object2d::circle(id, [cx, cy], r).expect("generated disk is valid")
+            } else {
+                // An aspect-skewed rectangle of comparable footprint.
+                let w = r * rng.gen_range(0.5..1.5);
+                let h = r * rng.gen_range(0.5..1.5);
+                Object2d::rectangle(id, [cx - w, cy - h], [cx + w, cy + h])
+                    .expect("generated rectangle is valid")
+            }
+        })
+        .collect()
+}
+
+/// `count` query points uniform over `[0, domain)²`, deterministic in
+/// `seed`.
+pub fn query_points_2d(seed: u64, count: usize, domain: f64) -> Vec<[f64; 2]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| [rng.gen_range(0.0..domain), rng.gen_range(0.0..domain)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_are_deterministic_and_in_domain() {
+        let cfg = Synthetic2dConfig {
+            count: 200,
+            ..Default::default()
+        };
+        let a = objects_2d(7, cfg);
+        let b = objects_2d(7, cfg);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+        for o in &a {
+            let bb = o.bounding_box();
+            assert!(bb.min()[0] >= 0.0 && bb.max()[0] <= cfg.domain);
+            assert!(bb.min()[1] >= 0.0 && bb.max()[1] <= cfg.domain);
+        }
+    }
+
+    #[test]
+    fn query_points_are_deterministic() {
+        let a = query_points_2d(1, 50, 100.0);
+        assert_eq!(a, query_points_2d(1, 50, 100.0));
+        assert!(a.iter().all(|p| p.iter().all(|c| (0.0..100.0).contains(c))));
+    }
+}

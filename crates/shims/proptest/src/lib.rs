@@ -165,6 +165,27 @@ impl_tuple_strategy! {
 
 /// Strategy namespace, mirroring `proptest::prop`.
 pub mod prop {
+    /// Boolean strategies, mirroring `proptest::bool`.
+    pub mod bool {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng as _;
+
+        /// The strategy behind [`ANY`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// Generates `true` and `false` with equal probability.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn new_value(&self, rng: &mut StdRng) -> Option<bool> {
+                Some(rng.gen::<bool>())
+            }
+        }
+    }
+
     /// Collection strategies.
     pub mod collection {
         use super::super::Strategy;
