@@ -1,0 +1,154 @@
+//! Verification-cache experiment — beyond the paper: throughput of the
+//! batch executor on a skewed, repeated-query workload with the
+//! per-thread [`VerifyCache`](cpnn_core::VerifyCache) off and on, across
+//! hot-spot counts (which set the achievable hit rate) and one
+//! quantization row.
+//!
+//! The workload is Zipf-skewed repeat traffic
+//! ([`cpnn_datagen::zipfian_query_points`]): a handful of hot query
+//! points dominate the stream, exactly the regime the ROADMAP's caching
+//! item targets. With the cache on, repeats skip filter + init (distance
+//! distributions and the subregion table come from the LRU); verify and
+//! refine always run, so answers are bit-identical — asserted per row
+//! against the uncached run. The quantization row jitters every point
+//! around its hot spot and snaps with `quantum` wider than the jitter,
+//! showing nearby-point traffic collapsing onto shared entries.
+
+use cpnn_core::{BatchExecutor, CacheConfig, CpnnQuery, Strategy};
+use cpnn_datagen::zipfian_query_points;
+
+use crate::experiments::{longbeach_db, DEFAULT_DELTA, DEFAULT_P};
+use crate::report::Table;
+
+/// Hot-spot counts to sweep (fewer hot spots → higher hit rate).
+const HOT_SPOT_SWEEP: [usize; 3] = [8, 64, 512];
+/// Zipf exponent of the rank-frequency law.
+const ZIPF_EXPONENT: f64 = 1.1;
+/// Cache capacity under test (entries per worker thread).
+const CAPACITY: usize = 1_024;
+
+/// One measured row: best-of-2 throughput for a given cache config, plus
+/// the hit/miss counters of the measured run.
+fn measure(
+    db: &cpnn_core::UncertainDb,
+    queries: &[f64],
+    threads: usize,
+    cache: CacheConfig,
+) -> (f64, u64, u64, Vec<Vec<cpnn_core::ObjectId>>) {
+    let batch: Vec<CpnnQuery> = queries
+        .iter()
+        .map(|&q| CpnnQuery::new(q, DEFAULT_P, DEFAULT_DELTA))
+        .collect();
+    let mut cfg = db.config().pipeline();
+    cfg.cache = cache;
+    let mut best = 0.0f64;
+    let mut hits = 0;
+    let mut misses = 0;
+    let mut answers = Vec::new();
+    for _ in 0..2 {
+        let out = BatchExecutor::new(threads).run_cpnn(db, &batch, Strategy::Verified, &cfg);
+        assert_eq!(out.summary.errors, 0, "benchmark queries are valid");
+        if out.summary.throughput() >= best {
+            best = out.summary.throughput();
+        }
+        hits = out.summary.cache_hits;
+        misses = out.summary.cache_misses;
+        answers = out
+            .results
+            .iter()
+            .map(|r| r.as_ref().expect("valid query").answers.clone())
+            .collect();
+    }
+    (best, hits, misses, answers)
+}
+
+/// Run the experiment. Columns: hot-spot count, quantum, uncached and
+/// cached throughput, speedup, and the measured hit rate.
+pub fn run(quick: bool) -> Table {
+    let db = longbeach_db(quick);
+    let n_queries = if quick { 2_000 } else { 10_000 };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut table = Table::new(
+        "Cache",
+        &format!(
+            "VerifyCache on Zipf({ZIPF_EXPONENT}) repeat traffic: cached vs. uncached \
+             throughput across hot-spot counts, {n_queries} queries"
+        ),
+        &[
+            "hot spots",
+            "quantum",
+            "uncached q/s",
+            "cached q/s",
+            "speedup",
+            "hit rate",
+            "hits",
+            "misses",
+        ],
+    );
+    table.note(format!(
+        "|T| = {}, P = {DEFAULT_P}, Δ = {DEFAULT_DELTA}, strategy VR, {threads} thread(s), \
+         cache capacity {CAPACITY}/worker, best-of-2; answers asserted identical cached \
+         vs. uncached on every row (quantum-0 rows) / vs. the snapped stream (quantum row)",
+        db.len()
+    ));
+    for hot_spots in HOT_SPOT_SWEEP {
+        let queries = zipfian_query_points(
+            0xCACE,
+            n_queries,
+            0.0,
+            10_000.0,
+            hot_spots,
+            ZIPF_EXPONENT,
+            0.0,
+        );
+        let (off_qps, _, _, off_answers) = measure(&db, &queries, threads, CacheConfig::disabled());
+        let (on_qps, hits, misses, on_answers) =
+            measure(&db, &queries, threads, CacheConfig::new(CAPACITY, 0.0));
+        assert_eq!(
+            off_answers, on_answers,
+            "cached answers must equal uncached at quantum 0"
+        );
+        let rate = hits as f64 / (hits + misses).max(1) as f64;
+        table.push_row(vec![
+            hot_spots.to_string(),
+            "0".into(),
+            format!("{off_qps:.0}"),
+            format!("{on_qps:.0}"),
+            format!("{:.2}x", on_qps / off_qps.max(1e-9)),
+            format!("{:.1}%", 100.0 * rate),
+            hits.to_string(),
+            misses.to_string(),
+        ]);
+    }
+    // Quantization row: jittered traffic (±2 units around each hot spot)
+    // with a 10-unit grid — nearby points share entries, and every cached
+    // answer must equal uncached evaluation of the *snapped* stream.
+    let quantum = 10.0;
+    let jittered = zipfian_query_points(0xCACE, n_queries, 0.0, 10_000.0, 64, ZIPF_EXPONENT, 2.0);
+    let snapped: Vec<f64> = jittered
+        .iter()
+        .map(|&q| cpnn_core::cache::quantize_coord(q, quantum))
+        .collect();
+    let (off_qps, _, _, _) = measure(&db, &jittered, threads, CacheConfig::disabled());
+    let (_, _, _, snapped_answers) = measure(&db, &snapped, threads, CacheConfig::disabled());
+    let (on_qps, hits, misses, on_answers) =
+        measure(&db, &jittered, threads, CacheConfig::new(CAPACITY, quantum));
+    assert_eq!(
+        snapped_answers, on_answers,
+        "quantized answers must equal uncached evaluation of the snapped stream"
+    );
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    table.push_row(vec![
+        "64±2".into(),
+        format!("{quantum}"),
+        format!("{off_qps:.0}"),
+        format!("{on_qps:.0}"),
+        format!("{:.2}x", on_qps / off_qps.max(1e-9)),
+        format!("{:.1}%", 100.0 * rate),
+        hits.to_string(),
+        misses.to_string(),
+    ]);
+    table
+}

@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod batch;
+pub mod cache;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;

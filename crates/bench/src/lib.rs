@@ -10,8 +10,9 @@
 //! cargo run -p cpnn-bench --release --bin repro -- --quick fig10 fig12
 //! ```
 //!
-//! Results land in `results/<id>.md` and `results/<id>.csv` and are pasted
-//! into EXPERIMENTS.md with the paper-vs-measured commentary.
+//! Results land in `results/<id>.md` and `results/<id>.csv`, with the
+//! machine-readable timing series in `BENCH_pr<N>.json` (see the README's
+//! figure → experiment table for the paper-vs-measured mapping).
 
 #![warn(missing_docs)]
 

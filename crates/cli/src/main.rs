@@ -22,8 +22,8 @@ use std::time::Instant;
 
 use cpnn_core::persist::{load_from_path, load_objects_from_path, save_to_path};
 use cpnn_core::{
-    pipeline, BatchExecutor, CpnnQuery, ObjectId, QueryServer, QuerySpec, Served, ShardedDb,
-    Strategy, Ticket, UncertainDb, UncertainDb2d, UncertainObject,
+    pipeline, BatchExecutor, CacheConfig, CpnnQuery, ObjectId, QueryServer, QuerySpec, Served,
+    ShardedDb, Strategy, Ticket, UncertainDb, UncertainDb2d, UncertainObject,
 };
 use cpnn_datagen::{
     longbeach::longbeach_with, objects_2d, query_points_in, LongBeachConfig, Synthetic2dConfig,
@@ -75,18 +75,24 @@ fn print_usage() {
          \x20 info FILE                                    dataset statistics\n\
          \x20 pnn FILE --q Q [--top N]                     exact qualification probabilities\n\
          \x20 cpnn FILE --q Q --p P [--delta D] [--strategy vr|basic|refine|mc] [--shards N]\n\
+         \x20           [--cache N] [--cache-quantum EPS]\n\
          \x20 cpnn FILE --batch N --p P [--threads T] [--seed S] [--delta D] [--strategy S]\n\
-         \x20           [--shards N]                       batch over N random query points\n\
+         \x20           [--shards N] [--cache N] [--cache-quantum EPS]\n\
+         \x20                                              batch over N random query points\n\
          \x20                                              (T = 0 means one per core; shards > 1\n\
          \x20                                              fans each query out across a\n\
-         \x20                                              domain-partitioned database)\n\
+         \x20                                              domain-partitioned database; --cache N\n\
+         \x20                                              memoizes verification state for up to\n\
+         \x20                                              N query points per worker, snapped to\n\
+         \x20                                              an EPS-wide grid)\n\
          \x20 knn FILE --q Q --k K --p P [--delta D]       constrained probabilistic k-NN\n\
          \x20 knn2d --qx X --qy Y --p P [--k K] [--count N] [--seed S] [--delta D]\n\
-         \x20       [--domain D] [--shards N]              constrained 2-D k-NN over a synthetic\n\
+         \x20       [--domain D] [--shards N] [--cache N] [--cache-quantum EPS]\n\
+         \x20                                              constrained 2-D k-NN over a synthetic\n\
          \x20                                              disk/rectangle dataset on [0, D]²\n\
          \x20 range FILE --lo A --hi B --p P               probabilistic range query\n\
-         \x20 serve FILE [--threads T] [--queries FILE] [--shards N]\n\
-         \x20                                              long-lived query server: stream\n\
+         \x20 serve FILE [--threads T] [--queries FILE] [--shards N] [--cache N]\n\
+         \x20       [--cache-quantum EPS]                  long-lived query server: stream\n\
          \x20                                              queries from stdin (or FILE) through\n\
          \x20                                              a worker pool; with --shards N,\n\
          \x20                                              insert/remove rebuild only the owning\n\
@@ -176,10 +182,29 @@ fn parse_strategy(name: &str) -> Result<Strategy, UsageError> {
     }
 }
 
+/// Shared `--cache N` / `--cache-quantum EPS` parsing (capacity 0, the
+/// default, disables the verification-state cache).
+fn cache_args(bag: &mut ArgBag) -> Result<CacheConfig, UsageError> {
+    let capacity: usize = bag.optional("cache")?.unwrap_or(0);
+    let quantum: f64 = bag.optional("cache-quantum")?.unwrap_or(0.0);
+    if !(quantum.is_finite() && quantum >= 0.0) {
+        return Err(UsageError(format!(
+            "--cache-quantum must be a finite value >= 0, got {quantum}"
+        )));
+    }
+    if quantum > 0.0 && capacity == 0 {
+        return Err(UsageError(
+            "--cache-quantum has no effect without --cache N (N > 0 enables the cache)".into(),
+        ));
+    }
+    Ok(CacheConfig::new(capacity, quantum))
+}
+
 fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let path: PathBuf = bag.positional("dataset file")?;
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
     let batch = bag.optional::<usize>("batch")?;
+    let cache = cache_args(bag)?;
     // One storage layout, built once from the snapshot's raw objects: a
     // ShardedDb whose single-shard case *is* the unsharded database
     // (equivalence is property-tested), so there is no second code path.
@@ -191,12 +216,34 @@ fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
             db.shard_sizes()
         );
     }
+    let mut cfg = db.pipeline_config();
+    cfg.cache = cache;
     if let Some(count) = batch {
-        return cpnn_batch(bag, &db, count);
+        return cpnn_batch(bag, &db, count, &cfg);
     }
     let (query, strategy) = cpnn_query_args(bag)?;
-    print_cpnn_result(&db.cpnn(&query, strategy)?);
+    let spec = QuerySpec::nn(query.threshold, query.tolerance, strategy);
+    warn_snapped(&cfg.cache, &[query.q]);
+    print_cpnn_result(&pipeline::cpnn(&db, &query.q, &spec, &cfg)?);
     Ok(())
+}
+
+/// One-shot queries with `--cache-quantum` evaluate the *snapped* point;
+/// say so, since the output otherwise gives no hint the point moved.
+fn warn_snapped(cache: &CacheConfig, coords: &[f64]) {
+    if !cache.is_enabled() || cache.quantum <= 0.0 {
+        return;
+    }
+    let snapped: Vec<f64> = coords
+        .iter()
+        .map(|&c| cpnn_core::cache::quantize_coord(c, cache.quantum))
+        .collect();
+    if snapped != coords {
+        eprintln!(
+            "cache quantum {} snapped the query point {:?} -> {:?}",
+            cache.quantum, coords, snapped
+        );
+    }
 }
 
 /// Shared `--q/--p/--delta/--strategy` parsing for the one-shot `cpnn`
@@ -266,6 +313,7 @@ fn cpnn_batch(
     bag: &mut ArgBag,
     db: &ShardedDb<UncertainDb>,
     count: usize,
+    cfg: &cpnn_core::PipelineConfig,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let a = batch_args(bag)?;
     let (lo, hi) = db
@@ -276,7 +324,7 @@ fn cpnn_batch(
         .into_iter()
         .map(|q| (q, QuerySpec::nn(a.p, a.delta, a.strategy)))
         .collect();
-    let out = BatchExecutor::new(a.threads).run_sharded(db, &jobs, &db.pipeline_config());
+    let out = BatchExecutor::new(a.threads).run_sharded(db, &jobs, cfg);
     print_batch_outcome(&out)
 }
 
@@ -304,6 +352,14 @@ fn print_batch_outcome(out: &cpnn_core::BatchOutcome) -> Result<(), Box<dyn std:
         s.verify_time / s.queries.max(1) as u32,
         s.refine_time / s.queries.max(1) as u32
     );
+    if s.cache_hits + s.cache_misses > 0 {
+        println!(
+            "cache: {} hits / {} misses ({:.1}% hit rate)",
+            s.cache_hits,
+            s.cache_misses,
+            100.0 * s.cache_hit_rate()
+        );
+    }
     if let Some(err) = out.results.iter().filter_map(|r| r.as_ref().err()).next() {
         if s.errors == s.queries {
             // Every query failed (e.g. an invalid threshold): that is a
@@ -346,6 +402,7 @@ fn knn2d(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = bag.optional("seed")?.unwrap_or(0x2D);
     let domain: f64 = bag.optional("domain")?.unwrap_or(1_000.0);
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
+    let cache = cache_args(bag)?;
     bag.finish()?;
     let cfg2d = Synthetic2dConfig {
         count,
@@ -361,7 +418,10 @@ fn knn2d(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let objects = objects_2d(seed, cfg2d);
     let db = UncertainDb2d::build_sharded(objects, shards)?;
     let spec = QuerySpec::knn(k, p, delta, Strategy::Verified);
-    let res = pipeline::cpnn(&db, &[qx, qy], &spec, &db.pipeline_config())?;
+    let mut cfg = db.pipeline_config();
+    cfg.cache = cache;
+    warn_snapped(&cfg.cache, &[qx, qy]);
+    let res = pipeline::cpnn(&db, &[qx, qy], &spec, &cfg)?;
     println!(
         "{} objects ({} shard(s), sizes {:?}), query ({qx}, {qy}), k = {k}, P = {p}",
         db.len(),
@@ -390,6 +450,10 @@ serve line protocol (stdin or --queries FILE; one request per line):
   knn <q> <k> <p> [delta]   constrained k-NN query (delta defaults to 0)
   insert <id> <lo> <hi>     snapshot-swap in a new uniform object
   remove <id>               snapshot-swap the object out
+  stats                     drain pending responses, then report server
+                            counters: `stats served=<n> updates=<n>
+                            cache_hits=<n> cache_misses=<n>` (cache
+                            counters stay 0 unless --cache is on)
   quit                      drain pending responses and exit
 blank lines and lines starting with `#` are ignored; responses stream
 back in submission order as `#<n> v<version> answers=[..]`.";
@@ -413,11 +477,13 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let threads: usize = bag.optional("threads")?.unwrap_or(0);
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
     let queries: Option<PathBuf> = bag.optional("queries")?;
+    let cache = cache_args(bag)?;
     bag.finish()?;
     // Build the sharded store directly from the snapshot's objects — one
     // index build total, not a flat database torn down and re-sharded.
     let sharded = UncertainDb::build_sharded(load_objects_from_path(&path)?, shards)?;
-    let pipeline = sharded.pipeline_config();
+    let mut pipeline = sharded.pipeline_config();
+    pipeline.cache = cache;
     let num_shards = sharded.num_shards();
     let server = QueryServer::start(sharded, threads, pipeline);
     eprintln!(
@@ -486,6 +552,17 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
                     Err(e) => writeln!(out, "update rejected: {e}")?,
                 }
             }
+            Ok(ServeRequest::Stats) => {
+                // Settle earlier queries first so the counters cover every
+                // request that precedes this line.
+                drain_all(&mut pending, &mut out)?;
+                let s = server.stats();
+                writeln!(
+                    out,
+                    "stats served={} updates={} cache_hits={} cache_misses={}",
+                    s.served, s.updates, s.cache_hits, s.cache_misses
+                )?;
+            }
             Err(msg) => {
                 eprintln!("line {line_no}: {msg}");
                 eprintln!("{SERVE_PROTOCOL}");
@@ -512,12 +589,21 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     drain_all(&mut pending, &mut out)?;
     let stats = server.shutdown();
     let wall = start.elapsed();
+    let cache_note = if stats.cache_hits + stats.cache_misses > 0 {
+        format!(
+            ", cache {} hits / {} misses",
+            stats.cache_hits, stats.cache_misses
+        )
+    } else {
+        String::new()
+    };
     eprintln!(
-        "served {} queries, {} snapshot update(s) in {:.3?} ({:.0} queries/s)",
+        "served {} queries, {} snapshot update(s) in {:.3?} ({:.0} queries/s{})",
         stats.served,
         stats.updates,
         wall,
-        stats.served as f64 / wall.as_secs_f64().max(1e-9)
+        stats.served as f64 / wall.as_secs_f64().max(1e-9),
+        cache_note
     );
     Ok(())
 }
@@ -537,6 +623,7 @@ enum ServeRequest {
     Query(f64, QuerySpec),
     Insert(UncertainObject),
     Remove(ObjectId),
+    Stats,
 }
 
 /// Parse one line of the serve protocol (see [`SERVE_PROTOCOL`]).
@@ -578,6 +665,7 @@ fn parse_serve_line(line: &str) -> Result<ServeRequest, String> {
             .map_err(|e| e.to_string())?,
         )),
         ["remove", id] => Ok(ServeRequest::Remove(ObjectId(int(id, "object id")?))),
+        ["stats"] => Ok(ServeRequest::Stats),
         // Bare and `cpnn`-prefixed 1-NN queries come last: a two- or
         // three-field line that is not a keyword request is `<q> <p> [delta]`.
         // The tolerance default matches the one-shot `cpnn` command (0.01),

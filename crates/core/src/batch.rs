@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::cache::CacheStats;
 use crate::candidate::CandidateSet;
 use crate::error::Result;
 use crate::pipeline::{
@@ -154,6 +155,18 @@ impl BatchExecutor {
         M::Query: ShardPoint + Sync,
         M::Config: Send + Sync,
     {
+        // With the verification cache on, memoization wants the *merged*
+        // filter output of a whole query — which per-(query, shard) work
+        // units never materialize on one worker. Route whole queries
+        // through the generic path instead (the `ShardedDb` is itself a
+        // `DistanceModel` whose `filter` does the sequential fan-out), so
+        // each worker's cache sees complete, reusable candidate sets.
+        // Results are identical either way (fan-out equivalence,
+        // `tests/proptest_shard.rs`); only the stealing granularity drops
+        // from (query, shard) to query.
+        if cfg.cache.is_enabled() {
+            return self.run_indexed(db, jobs.len(), cfg, |i| jobs[i]);
+        }
         struct Assembly {
             /// One slot per selected shard, in selection (merge) order.
             slots: Vec<Option<Result<(Filtered, Duration)>>>,
@@ -298,18 +311,22 @@ impl BatchExecutor {
     {
         let threads = self.threads.min(n.max(1));
         let wall_start = Instant::now();
+        let mut cache_totals = CacheStats::default();
         let results: Vec<Result<CpnnResult>> = if threads <= 1 {
             let mut scratch = QueryScratch::new();
-            (0..n)
+            let results = (0..n)
                 .map(|i| {
                     let (q, spec) = job(i);
                     cpnn_with(model, &q, &spec, cfg, &mut scratch)
                 })
-                .collect()
+                .collect();
+            cache_totals.accumulate(&scratch.cache_stats());
+            results
         } else {
             let next = AtomicUsize::new(0);
             let collected: Mutex<Vec<(usize, Result<CpnnResult>)>> =
                 Mutex::new(Vec::with_capacity(n));
+            let cache_acc: Mutex<CacheStats> = Mutex::new(CacheStats::default());
             std::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| {
@@ -324,9 +341,14 @@ impl BatchExecutor {
                             local.push((i, cpnn_with(model, &q, &spec, cfg, &mut scratch)));
                         }
                         collected.lock().expect("no worker panics").extend(local);
+                        cache_acc
+                            .lock()
+                            .expect("no worker panics")
+                            .accumulate(&scratch.cache_stats());
                     });
                 }
             });
+            cache_totals = cache_acc.into_inner().expect("no worker panics");
             let mut slots: Vec<Option<Result<CpnnResult>>> = Vec::new();
             slots.resize_with(n, || None);
             for (i, r) in collected.into_inner().expect("no worker panics") {
@@ -338,7 +360,9 @@ impl BatchExecutor {
                 .collect()
         };
         let wall_time = wall_start.elapsed();
-        let summary = BatchSummary::aggregate(&results, threads, wall_time);
+        let mut summary = BatchSummary::aggregate(&results, threads, wall_time);
+        summary.cache_hits = cache_totals.hits;
+        summary.cache_misses = cache_totals.misses;
         BatchOutcome { results, summary }
     }
 }
@@ -392,6 +416,11 @@ pub struct BatchSummary {
     pub resolved_by_verification: usize,
     /// Total answers returned.
     pub answers: usize,
+    /// Verification-cache hits across all workers (0 unless
+    /// [`crate::PipelineConfig`]'s `cache` was enabled).
+    pub cache_hits: u64,
+    /// Verification-cache misses across all workers.
+    pub cache_misses: u64,
 }
 
 impl BatchSummary {
@@ -432,6 +461,16 @@ impl BatchSummary {
             return 0.0;
         }
         self.queries as f64 / secs
+    }
+
+    /// Verification-cache hits per lookup in `[0, 1]` (0 when caching was
+    /// off or no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / lookups as f64
     }
 
     /// Ratio of summed per-query time to wall time — approaches the thread

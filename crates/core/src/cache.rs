@@ -1,0 +1,540 @@
+//! Verification-state caching: quantized-query LRU memoization of the
+//! expensive, *query-point-determined* half of the pipeline.
+//!
+//! The paper's verify/refine flow recomputes per-object distance
+//! distributions and the dense [`SubregionTable`] from scratch for every
+//! query, even though real traffic issues repeated (or, after
+//! quantization, identical) query points whose candidate sets and
+//! distributions are the same — precomputing query-independent
+//! probabilistic structure is how Probabilistic Voronoi Diagrams amortize
+//! repeated PNN evaluation. [`VerifyCache`] memoizes exactly the state
+//! that depends only on `(query point, k, snapshot)`:
+//!
+//! * the **filter output** — the candidate set, including every
+//!   survivor's distance distribution (the product of phases 1–2,
+//!   dominated by pdf folding / 2-D cdf integration);
+//! * the **subregion table** — built lazily by the first strategy that
+//!   needs one and reused afterwards.
+//!
+//! Thresholds, tolerances, and strategies are deliberately *not* part of
+//! the key: verify/refine re-run on every query, so one cached entry
+//! serves every `P`/`Δ`/strategy at that point. The cache therefore never
+//! changes any verdict or probability bound — it only skips recomputing
+//! inputs that are bit-identical by construction.
+//!
+//! # Quantization correctness
+//!
+//! With `quantum == 0` a lookup key is the exact bit pattern of the query
+//! point: cached and uncached evaluation are bit-for-bit identical
+//! (property-tested in `tests/proptest_cache.rs`). With `quantum = ε > 0`
+//! every query point is first **snapped to its grid representative**
+//! (each coordinate rounded to the nearest multiple of ε) and then
+//! evaluated — on a hit *and* on a miss. Snapping is a pure function of
+//! the point, so the answer a query receives is independent of cache
+//! state, arrival order, and capacity: it is always the uncached answer
+//! *of the snapped point*. The approximation is the snap, never the
+//! cache.
+//!
+//! # Snapshot-version invalidation
+//!
+//! A cache is only sound against one immutable database. Every execution
+//! surface that evaluates against a [`crate::server::Snapshot`] tells its
+//! scratch the pinned version ([`crate::QueryScratch::set_snapshot_version`])
+//! before evaluating; when the version moves, the cache clears itself, so
+//! a copy-on-write update can never serve stale candidate sets or bounds
+//! (property-tested under interleaved `insert`/`remove` through
+//! [`crate::server::QueryServer`]). As defense in depth for callers
+//! driving `cpnn_with` directly, the cache also pins the database's
+//! object count on every query ([`VerifyCache::pin_source`]): an
+//! in-place `insert`/`remove` on the model, or reusing one scratch
+//! across differently-sized databases, invalidates automatically even
+//! though no version ever moved. An equal-count swap is the one case the
+//! guards cannot see — use a fresh scratch (or bump the version) when
+//! substituting objects behind a cached scratch.
+//!
+//! # Example
+//!
+//! ```
+//! use cpnn_core::cache::CacheConfig;
+//! use cpnn_core::{
+//!     pipeline, ObjectId, PipelineConfig, QueryScratch, QuerySpec, Strategy, UncertainDb,
+//!     UncertainObject,
+//! };
+//!
+//! let db = UncertainDb::build(vec![
+//!     UncertainObject::uniform(ObjectId(1), 1.0, 4.0).unwrap(),
+//!     UncertainObject::uniform(ObjectId(2), 2.0, 6.0).unwrap(),
+//! ])
+//! .unwrap();
+//! let mut cfg = PipelineConfig::default();
+//! cfg.cache = CacheConfig::new(128, 0.0);
+//! let mut scratch = QueryScratch::new();
+//! let spec = QuerySpec::nn(0.3, 0.01, Strategy::Verified);
+//!
+//! let first = pipeline::cpnn_with(&db, &0.0, &spec, &cfg, &mut scratch).unwrap();
+//! let second = pipeline::cpnn_with(&db, &0.0, &spec, &cfg, &mut scratch).unwrap();
+//! assert_eq!(first.answers, second.answers);
+//! let stats = scratch.cache_stats();
+//! assert_eq!((stats.hits, stats.misses), (1, 1));
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::candidate::CandidateSet;
+use crate::subregion::SubregionTable;
+
+/// Tuning for a per-thread [`VerifyCache`]. Lives inside
+/// [`crate::PipelineConfig`], so every execution surface — one-shot,
+/// batch, server, sharded — picks it up without new plumbing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum memoized query points per thread; `0` disables caching
+    /// entirely (the default).
+    pub capacity: usize,
+    /// Quantization grid width ε. `0.0` reuses exact repeats only;
+    /// `ε > 0` snaps every query coordinate to the nearest multiple of ε
+    /// **before** evaluation, so nearby points share one entry (see the
+    /// [module docs](self) for why this never makes answers depend on
+    /// cache state).
+    pub quantum: f64,
+}
+
+impl CacheConfig {
+    /// A cache of `capacity` entries with grid width `quantum`.
+    ///
+    /// ```
+    /// use cpnn_core::cache::CacheConfig;
+    /// let cfg = CacheConfig::new(256, 0.5);
+    /// assert!(cfg.is_enabled());
+    /// assert!(!CacheConfig::disabled().is_enabled());
+    /// ```
+    pub fn new(capacity: usize, quantum: f64) -> Self {
+        Self { capacity, quantum }
+    }
+
+    /// The no-cache configuration (also the [`Default`]).
+    pub fn disabled() -> Self {
+        Self {
+            capacity: 0,
+            quantum: 0.0,
+        }
+    }
+
+    /// Does this configuration cache anything at all?
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Cumulative cache counters. Survive [`VerifyCache`] invalidations, so a
+/// long-running worker reports its lifetime hit rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to filter and build distributions from scratch.
+    pub misses: u64,
+    /// Whole-cache clears caused by a snapshot-version change.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits per lookup in `[0, 1]` (`0` before the first lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / n as f64
+    }
+
+    /// Fold another counter set into this one (batch workers aggregate
+    /// their per-thread caches this way).
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// Snap one coordinate to the nearest multiple of `quantum`
+/// (identity when `quantum` is zero, negative, or not finite).
+///
+/// ```
+/// use cpnn_core::cache::quantize_coord;
+/// assert_eq!(quantize_coord(4203.7, 10.0), 4200.0);
+/// assert_eq!(quantize_coord(4203.7, 0.0), 4203.7);
+/// ```
+pub fn quantize_coord(c: f64, quantum: f64) -> f64 {
+    if quantum > 0.0 && quantum.is_finite() && c.is_finite() {
+        (c / quantum).round() * quantum
+    } else {
+        c
+    }
+}
+
+/// Bit-exact key of a 1-D query point (already snapped).
+pub fn point_key_1d(q: f64) -> u128 {
+    q.to_bits() as u128
+}
+
+/// Bit-exact key of a 2-D query point (already snapped).
+pub fn point_key_2d(q: [f64; 2]) -> u128 {
+    ((q[0].to_bits() as u128) << 64) | q[1].to_bits() as u128
+}
+
+/// One memoized verification state: the candidate set (filter output +
+/// per-candidate distance distributions) and, once some strategy built
+/// it, the subregion table. Both sit behind [`Arc`]s so a hit costs two
+/// refcount bumps, not a copy.
+#[derive(Debug, Clone)]
+pub struct CachedQuery {
+    cands: Arc<CandidateSet>,
+    table: Option<Arc<SubregionTable>>,
+}
+
+impl CachedQuery {
+    /// An entry holding filter output only (the table attaches later).
+    pub fn new(cands: Arc<CandidateSet>) -> Self {
+        Self { cands, table: None }
+    }
+
+    /// The memoized candidate set.
+    pub fn candidates(&self) -> &Arc<CandidateSet> {
+        &self.cands
+    }
+
+    /// The memoized subregion table, if one was ever built at this point.
+    pub fn table(&self) -> Option<&Arc<SubregionTable>> {
+        self.table.as_ref()
+    }
+}
+
+/// Key of one memoized query: the snapped point's bit pattern plus the
+/// neighbor count `k` (a `k = 1` candidate set prunes against a tighter
+/// horizon than a `k = 3` one, so they cannot share state). The snapshot
+/// version is *not* in the key — a version change clears the whole cache
+/// instead, so stale entries cannot linger in the LRU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    point: u128,
+    k: usize,
+}
+
+/// A per-thread LRU memoizing filter output, distance distributions, and
+/// subregion tables by quantized query point. See the [module
+/// docs](self) for the key design and the correctness argument; the
+/// high-level entry points are [`crate::QueryScratch::with_cache`] and
+/// [`crate::PipelineConfig`]'s `cache` field.
+///
+/// ```
+/// use cpnn_core::cache::{CacheConfig, CachedQuery, VerifyCache};
+/// use cpnn_core::{CandidateSet, ObjectId, UncertainObject};
+/// use std::sync::Arc;
+///
+/// let objects = vec![UncertainObject::uniform(ObjectId(1), 1.0, 3.0).unwrap()];
+/// let cands = Arc::new(CandidateSet::build(&objects, 0.0, 0).unwrap());
+/// let mut cache = VerifyCache::new(CacheConfig::new(2, 0.0));
+///
+/// let point = cpnn_core::cache::point_key_1d(0.0);
+/// assert!(cache.lookup(point, 1).is_none()); // miss
+/// cache.insert(point, 1, CachedQuery::new(cands));
+/// assert!(cache.lookup(point, 1).is_some()); // hit
+///
+/// // A snapshot-version change invalidates everything.
+/// cache.set_version(1);
+/// assert!(cache.lookup(point, 1).is_none());
+/// assert_eq!(cache.stats().invalidations, 1);
+/// ```
+#[derive(Debug)]
+pub struct VerifyCache {
+    config: CacheConfig,
+    /// The snapshot version the cached entries were computed against.
+    version: u64,
+    /// Object count of the database the entries were computed against
+    /// (`None` until the first query) — a defense-in-depth guard for the
+    /// public `cpnn_with` seam: an in-place `insert`/`remove` on the
+    /// model, or reusing one scratch across differently-sized databases,
+    /// changes the count and invalidates even though no snapshot version
+    /// ever moved. Equal-count mutations still need
+    /// [`set_version`](Self::set_version) (or a fresh scratch) — the
+    /// serving path always provides exactly that.
+    source_objects: Option<usize>,
+    /// Entry → (last-use tick, state). Eviction scans for the minimum
+    /// tick — O(capacity), fine for the few-hundred-entry caches this is
+    /// built for and free of unsafe linked-list bookkeeping.
+    map: HashMap<Key, (u64, CachedQuery)>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl VerifyCache {
+    /// A fresh cache (snapshot version 0).
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            config,
+            version: 0,
+            source_objects: None,
+            map: HashMap::with_capacity(config.capacity.min(1024)),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache runs under.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The quantization grid width.
+    pub fn quantum(&self) -> f64 {
+        self.config.quantum
+    }
+
+    /// The snapshot version current entries belong to.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of memoized query points.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative counters (not reset by invalidation).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Pin the snapshot version. Moving to a *different* version drops
+    /// every entry — the memoized candidate sets were computed against a
+    /// database that no longer serves — and counts one invalidation (if
+    /// anything was dropped). Idempotent for the current version.
+    pub fn set_version(&mut self, version: u64) {
+        if version == self.version {
+            return;
+        }
+        self.version = version;
+        if !self.map.is_empty() {
+            self.map.clear();
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Drop every entry without touching counters or version.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Pin the object count of the database about to be queried,
+    /// invalidating every entry if it moved since the last query (see
+    /// the `source_objects` field docs — the guard that catches in-place
+    /// mutation and cross-database scratch reuse without a version
+    /// change). The pipeline calls this on every cached query.
+    pub fn pin_source(&mut self, total_objects: usize) {
+        if self.source_objects == Some(total_objects) {
+            return;
+        }
+        if self.source_objects.is_some() && !self.map.is_empty() {
+            self.map.clear();
+            self.stats.invalidations += 1;
+        }
+        self.source_objects = Some(total_objects);
+    }
+
+    /// Look up the memoized state for a snapped point and neighbor count,
+    /// counting a hit or miss.
+    pub fn lookup(&mut self, point: u128, k: usize) -> Option<CachedQuery> {
+        self.tick += 1;
+        match self.map.get_mut(&Key { point, k }) {
+            Some((tick, entry)) => {
+                *tick = self.tick;
+                self.stats.hits += 1;
+                Some(entry.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoize freshly computed state, evicting the least-recently-used
+    /// entry if the cache is full. No-op at capacity 0.
+    pub fn insert(&mut self, point: u128, k: usize, entry: CachedQuery) {
+        if self.config.capacity == 0 {
+            return;
+        }
+        let key = Key { point, k };
+        if self.map.len() >= self.config.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, entry));
+    }
+
+    /// Attach a just-built subregion table to an existing entry (the
+    /// table is built lazily by the first strategy that needs one).
+    /// Ignored if the entry was evicted in the meantime or already has a
+    /// table.
+    pub fn attach_table(&mut self, point: u128, k: usize, table: Arc<SubregionTable>) {
+        if let Some((_, entry)) = self.map.get_mut(&Key { point, k }) {
+            if entry.table.is_none() {
+                entry.table = Some(table);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{ObjectId, UncertainObject};
+
+    fn entry(q: f64) -> CachedQuery {
+        let objects = vec![UncertainObject::uniform(ObjectId(7), 1.0, 3.0).unwrap()];
+        CachedQuery::new(Arc::new(CandidateSet::build(&objects, q, 0).unwrap()))
+    }
+
+    #[test]
+    fn quantize_snaps_to_grid_and_zero_is_identity() {
+        assert_eq!(quantize_coord(4203.7, 10.0), 4200.0);
+        assert_eq!(quantize_coord(-4203.7, 10.0), -4200.0);
+        assert_eq!(quantize_coord(4205.0, 10.0), 4210.0); // ties round away
+        assert_eq!(quantize_coord(1.23456, 0.0), 1.23456);
+        assert_eq!(quantize_coord(1.23456, -1.0), 1.23456);
+        assert!(quantize_coord(f64::NAN, 1.0).is_nan());
+    }
+
+    #[test]
+    fn point_keys_are_bit_exact_and_dimension_distinct() {
+        assert_eq!(point_key_1d(1.5), point_key_1d(1.5));
+        assert_ne!(point_key_1d(1.5), point_key_1d(1.5 + f64::EPSILON));
+        assert_ne!(point_key_2d([1.0, 2.0]), point_key_2d([2.0, 1.0]));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = VerifyCache::new(CacheConfig::new(2, 0.0));
+        cache.insert(1, 1, entry(0.0));
+        cache.insert(2, 1, entry(0.0));
+        // Touch 1, then insert 3: 2 is the LRU victim.
+        assert!(cache.lookup(1, 1).is_some());
+        cache.insert(3, 1, entry(0.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1, 1).is_some());
+        assert!(cache.lookup(2, 1).is_none());
+        assert!(cache.lookup(3, 1).is_some());
+    }
+
+    #[test]
+    fn k_is_part_of_the_key() {
+        let mut cache = VerifyCache::new(CacheConfig::new(4, 0.0));
+        cache.insert(1, 1, entry(0.0));
+        assert!(cache.lookup(1, 2).is_none());
+        assert!(cache.lookup(1, 1).is_some());
+    }
+
+    #[test]
+    fn version_change_clears_but_counters_survive() {
+        let mut cache = VerifyCache::new(CacheConfig::new(4, 0.0));
+        cache.insert(1, 1, entry(0.0));
+        assert!(cache.lookup(1, 1).is_some());
+        cache.set_version(1);
+        assert!(cache.is_empty());
+        assert!(cache.lookup(1, 1).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 1, 1));
+        // Same version again: no further invalidation.
+        cache.set_version(1);
+        assert_eq!(cache.stats().invalidations, 1);
+        // Clearing an empty cache on a version move counts nothing.
+        cache.set_version(2);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn attach_table_fills_once_and_tolerates_eviction() {
+        let mut cache = VerifyCache::new(CacheConfig::new(1, 0.0));
+        cache.insert(1, 1, entry(0.0));
+        let e = cache.lookup(1, 1).unwrap();
+        assert!(e.table().is_none());
+        let table = Arc::new(SubregionTable::build(e.candidates()));
+        cache.attach_table(1, 1, Arc::clone(&table));
+        let e = cache.lookup(1, 1).unwrap();
+        assert!(e.table().is_some());
+        // A second attach does not replace the first.
+        cache.attach_table(1, 1, Arc::new(SubregionTable::build(e.candidates())));
+        let again = cache.lookup(1, 1).unwrap();
+        assert!(Arc::ptr_eq(again.table().unwrap(), &table));
+        // Attaching to an evicted key is a no-op.
+        cache.insert(2, 1, entry(0.0));
+        cache.attach_table(1, 1, table);
+        assert!(cache.lookup(1, 1).is_none());
+    }
+
+    #[test]
+    fn pin_source_invalidates_on_count_change_only() {
+        let mut cache = VerifyCache::new(CacheConfig::new(4, 0.0));
+        cache.pin_source(10);
+        cache.insert(1, 1, entry(0.0));
+        // Same count: entries survive.
+        cache.pin_source(10);
+        assert!(cache.lookup(1, 1).is_some());
+        // Count moved (in-place insert / different database): clear.
+        cache.pin_source(11);
+        assert!(cache.lookup(1, 1).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_zero_never_stores() {
+        let mut cache = VerifyCache::new(CacheConfig::disabled());
+        cache.insert(1, 1, entry(0.0));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(1, 1).is_none());
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        let mut a = CacheStats {
+            hits: 3,
+            misses: 1,
+            invalidations: 0,
+        };
+        assert_eq!(a.hit_rate(), 0.75);
+        a.accumulate(&CacheStats {
+            hits: 1,
+            misses: 3,
+            invalidations: 2,
+        });
+        assert_eq!((a.hits, a.misses, a.invalidations), (4, 4, 2));
+        assert_eq!(a.hit_rate(), 0.5);
+    }
+}

@@ -21,7 +21,8 @@ pub enum Label {
 /// An object **satisfies** the query iff `p.u ≥ P` and (`p.l ≥ P` or
 /// `p.u − p.l ≤ Δ`); it **fails** iff `p.u < P`. The comparisons are
 /// inclusive, matching Fig. 4(a) where `p.l = P` is accepted (the scan of
-/// the paper is ambiguous between `>` and `≥`; see DESIGN.md).
+/// the paper is ambiguous between `>` and `≥`; this implementation
+/// pins `≥`, matching Definition 1's "at least `P`").
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Classifier {
     threshold: f64,

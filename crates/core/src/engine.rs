@@ -51,12 +51,15 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    /// The pipeline-level slice of this configuration.
+    /// The pipeline-level slice of this configuration (caching stays at
+    /// its disabled default; callers opt in by setting
+    /// `PipelineConfig::cache`).
     pub fn pipeline(&self) -> PipelineConfig {
         PipelineConfig {
             refinement_order: self.refinement_order,
             basic_tolerance: self.basic_tolerance,
             extended_verifiers: self.extended_verifiers,
+            ..PipelineConfig::default()
         }
     }
 }
@@ -100,6 +103,14 @@ impl DistanceModel for UncertainDb {
             items.push((o.id(), dist));
         }
         Ok(Filtered { items, filter_time })
+    }
+
+    fn quantize_query(&self, q: &f64, quantum: f64) -> f64 {
+        crate::cache::quantize_coord(*q, quantum)
+    }
+
+    fn cache_key(&self, q: &f64) -> Option<u128> {
+        Some(crate::cache::point_key_1d(*q))
     }
 }
 

@@ -309,6 +309,17 @@ impl DistanceModel for UncertainDb2d {
         }
         Ok(Filtered { items, filter_time })
     }
+
+    fn quantize_query(&self, q: &[f64; 2], quantum: f64) -> [f64; 2] {
+        [
+            crate::cache::quantize_coord(q[0], quantum),
+            crate::cache::quantize_coord(q[1], quantum),
+        ]
+    }
+
+    fn cache_key(&self, q: &[f64; 2]) -> Option<u128> {
+        Some(crate::cache::point_key_2d(*q))
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,16 @@
 //!   `insert`/`remove` swap immutable database snapshots underneath the
 //!   stream (every response cites the snapshot version that answered it).
 //!
+//! ## Caching
+//!
+//! Repeated (or, after quantization, nearby) query points skip filter +
+//! init entirely: [`cache::VerifyCache`] — a per-thread LRU enabled via
+//! [`PipelineConfig`]'s `cache` knob and hung off [`QueryScratch`] —
+//! memoizes candidate sets, distance distributions, and subregion tables
+//! by quantized query point, invalidated whenever the serving snapshot
+//! version moves. Verify/refine always re-run, so cached and uncached
+//! evaluation agree bit-for-bit (property-tested).
+//!
 //! ## Entry point
 //!
 //! ```
@@ -68,6 +78,7 @@
 
 pub mod batch;
 pub mod bounds;
+pub mod cache;
 pub mod candidate;
 pub mod classify;
 pub mod distance;
@@ -95,6 +106,7 @@ pub(crate) mod testutil;
 
 pub use batch::{BatchExecutor, BatchOutcome, BatchSummary};
 pub use bounds::ProbBound;
+pub use cache::{CacheConfig, CacheStats, VerifyCache};
 pub use candidate::{CandidateMember, CandidateSet};
 pub use classify::{Classifier, Label};
 pub use distance::DistanceDistribution;

@@ -23,15 +23,20 @@
 //! carries its own copy of the control flow.
 //!
 //! [`QueryScratch`] holds the allocations the verify/refine phases reuse
-//! across queries; the batch executor ([`crate::batch`]) keeps one per
-//! worker thread.
+//! across queries, plus (when enabled through [`PipelineConfig`]'s
+//! `cache` knob) a per-thread [`VerifyCache`] memoizing filter output,
+//! distance distributions, and subregion tables by quantized query point
+//! (see [`crate::cache`]); the batch executor ([`crate::batch`]) keeps
+//! one scratch per worker thread.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::bounds::ProbBound;
+use crate::cache::{CacheConfig, CacheStats, CachedQuery, VerifyCache};
 use crate::candidate::CandidateSet;
 use crate::classify::{Classifier, Label};
 use crate::distance::DistanceDistribution;
@@ -218,6 +223,11 @@ pub struct PipelineConfig {
     /// Add the FL-SR verifier to the 1-NN chain (see
     /// [`crate::verifiers::FarLowerSubregion`]).
     pub extended_verifiers: bool,
+    /// Per-thread verification-state cache (see [`crate::cache`]):
+    /// capacity 0 (the default) disables it, otherwise each
+    /// [`QueryScratch`] lazily grows a [`VerifyCache`] and the pipeline
+    /// consults it transparently.
+    pub cache: CacheConfig,
 }
 
 impl Default for PipelineConfig {
@@ -226,6 +236,7 @@ impl Default for PipelineConfig {
             refinement_order: RefinementOrder::DescendingMass,
             basic_tolerance: 1e-6,
             extended_verifiers: false,
+            cache: CacheConfig::disabled(),
         }
     }
 }
@@ -266,21 +277,101 @@ pub trait DistanceModel {
     /// against the exact `k`-th smallest far point); under-approximation is
     /// not.
     fn filter(&self, q: &Self::Query, k: usize) -> Result<Filtered>;
+
+    /// Snap a query point onto the verification-cache grid (see
+    /// [`crate::cache::quantize_coord`]). The default is the identity —
+    /// together with the default [`cache_key`](Self::cache_key) it opts a
+    /// model out of caching entirely.
+    fn quantize_query(&self, q: &Self::Query, quantum: f64) -> Self::Query {
+        let _ = quantum;
+        *q
+    }
+
+    /// Bit-exact cache key of an (already snapped) query point, or `None`
+    /// to opt this model out of verification-state caching (the default:
+    /// caching is only sound when equal keys imply equal filter output).
+    fn cache_key(&self, q: &Self::Query) -> Option<u128> {
+        let _ = q;
+        None
+    }
 }
 
-/// Reusable per-query allocations: the verification state and stage
-/// reports. One scratch per worker thread lets a batch run recycle these
-/// buffers instead of reallocating them for every query.
+/// Reusable per-query state: the verification buffers and, when caching
+/// is enabled, the per-thread [`VerifyCache`]. One scratch per worker
+/// thread lets a batch run recycle these across the queries it executes
+/// instead of reallocating them per query.
+///
+/// The cache is created either explicitly ([`with_cache`](Self::with_cache))
+/// or lazily on first use from [`PipelineConfig`]'s `cache` field, so the
+/// batch executor and query server enable caching purely through
+/// configuration.
+///
+/// ```
+/// use cpnn_core::cache::CacheConfig;
+/// use cpnn_core::QueryScratch;
+///
+/// // A scratch with a 64-entry cache snapping queries to a 0.5-wide grid.
+/// let mut scratch = QueryScratch::with_cache(CacheConfig::new(64, 0.5));
+/// assert_eq!(scratch.cache_stats().lookups(), 0);
+///
+/// // Serving surfaces pin the snapshot version they evaluate against;
+/// // moving it invalidates the cached verification state.
+/// scratch.set_snapshot_version(3);
+/// ```
 #[derive(Debug, Default)]
 pub struct QueryScratch {
     state: VerificationState,
     stages: Vec<StageReport>,
+    cache: Option<VerifyCache>,
+    /// Snapshot version to pin a lazily created cache to.
+    snapshot_version: u64,
 }
 
 impl QueryScratch {
-    /// Fresh scratch (allocates lazily on first use).
+    /// Fresh scratch (allocates lazily on first use), no cache until a
+    /// [`PipelineConfig`] with caching enabled passes through.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh scratch with an eagerly created verification-state cache.
+    pub fn with_cache(config: CacheConfig) -> Self {
+        let mut scratch = Self::default();
+        if config.is_enabled() {
+            scratch.cache = Some(VerifyCache::new(config));
+        }
+        scratch
+    }
+
+    /// Cumulative cache counters (all zero when caching never ran).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(VerifyCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Pin the snapshot version subsequent queries evaluate against.
+    /// Moving to a different version drops every cached entry — the
+    /// invalidation that keeps copy-on-write updates from serving stale
+    /// candidate sets or bounds (see [`crate::cache`]).
+    pub fn set_snapshot_version(&mut self, version: u64) {
+        self.snapshot_version = version;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.set_version(version);
+        }
+    }
+
+    /// The cache to consult under `cfg`, creating it on first use when
+    /// `cfg` enables caching and none exists yet. An explicitly created
+    /// cache ([`with_cache`](Self::with_cache)) wins over `cfg`.
+    fn cache_mut(&mut self, cfg: &CacheConfig) -> Option<&mut VerifyCache> {
+        if self.cache.is_none() && cfg.is_enabled() {
+            let mut cache = VerifyCache::new(*cfg);
+            cache.set_version(self.snapshot_version);
+            self.cache = Some(cache);
+        }
+        self.cache.as_mut()
     }
 }
 
@@ -296,6 +387,14 @@ pub fn cpnn<M: DistanceModel + ?Sized>(
 }
 
 /// [`cpnn`] with caller-provided scratch buffers.
+///
+/// When `cfg` (or the scratch itself) enables the verification-state
+/// cache, the query point is first snapped onto the quantization grid
+/// ([`DistanceModel::quantize_query`] — the identity at quantum 0) and
+/// the memoized candidate set / subregion table for that snapped point is
+/// reused instead of re-running filter + init. Verify and refine always
+/// run, so thresholds, tolerances, and strategies need no cache keying;
+/// see [`crate::cache`] for the correctness argument.
 pub fn cpnn_with<M: DistanceModel + ?Sized>(
     model: &M,
     q: &M::Query,
@@ -306,13 +405,67 @@ pub fn cpnn_with<M: DistanceModel + ?Sized>(
     model.check_query(q)?;
     // Validate the spec before any filtering work happens.
     Classifier::new(spec.threshold, spec.tolerance)?;
+    let k = spec.k.max(1);
     let mut stats = QueryStats {
         total_objects: model.total_objects(),
         ..Default::default()
     };
-    let (cands, init_time) = prepare(model, q, spec.k.max(1), &mut stats)?;
-    stats.init_time = init_time;
-    evaluate_candidates(&cands, spec, cfg, scratch, stats)
+
+    // Cache consultation: snap the point, derive its key, look up the
+    // memoized verification state. `slot` remembers where fresh state
+    // should be stored; `q_eval` is the point actually evaluated (snapped
+    // whenever the cache is active — deterministically, so answers never
+    // depend on cache contents).
+    let mut q_eval = *q;
+    let mut slot: Option<(u128, usize)> = None;
+    let mut hit: Option<CachedQuery> = None;
+    if let Some(cache) = scratch.cache_mut(&cfg.cache) {
+        // Guard against a mutated or swapped-out database behind the
+        // same scratch (the snapshot version handles the serving path;
+        // this catches in-place `insert`/`remove` and cross-database
+        // reuse through the public seam).
+        cache.pin_source(stats.total_objects);
+        let snapped = model.quantize_query(q, cache.quantum());
+        if let Some(point) = model.cache_key(&snapped) {
+            q_eval = snapped;
+            hit = cache.lookup(point, k);
+            slot = Some((point, k));
+        }
+    }
+
+    let (cands, cached_table): (Arc<CandidateSet>, Option<Arc<SubregionTable>>) = match hit {
+        Some(entry) => {
+            stats.candidates = entry.candidates().len();
+            (Arc::clone(entry.candidates()), entry.table().cloned())
+        }
+        None => {
+            let (cands, init_time) = prepare(model, &q_eval, k, &mut stats)?;
+            stats.init_time = init_time;
+            let cands = Arc::new(cands);
+            if let Some((point, k)) = slot {
+                if let Some(cache) = scratch.cache_mut(&cfg.cache) {
+                    cache.insert(point, k, CachedQuery::new(Arc::clone(&cands)));
+                }
+            }
+            (cands, None)
+        }
+    };
+    let mut built_table = None;
+    let result = evaluate_candidates_impl(
+        &cands,
+        spec,
+        cfg,
+        scratch,
+        stats,
+        cached_table,
+        &mut built_table,
+    );
+    if let (Some((point, k)), Some(table)) = (slot, built_table) {
+        if let Some(cache) = scratch.cache_mut(&cfg.cache) {
+            cache.attach_table(point, k, table);
+        }
+    }
+    result
 }
 
 /// Fan a filtering pass out over shards and merge the survivors.
@@ -379,12 +532,39 @@ pub fn evaluate_candidates(
     spec: &QuerySpec,
     cfg: &PipelineConfig,
     scratch: &mut QueryScratch,
+    stats: QueryStats,
+) -> Result<CpnnResult> {
+    evaluate_candidates_impl(cands, spec, cfg, scratch, stats, None, &mut None)
+}
+
+/// [`evaluate_candidates`] with verification-cache plumbing: `cached_table`
+/// supplies a memoized [`SubregionTable`] (skipping the build), and a
+/// table built here is handed back through `built_table` so the caller can
+/// attach it to the cache entry.
+fn evaluate_candidates_impl(
+    cands: &CandidateSet,
+    spec: &QuerySpec,
+    cfg: &PipelineConfig,
+    scratch: &mut QueryScratch,
     mut stats: QueryStats,
+    cached_table: Option<Arc<SubregionTable>>,
+    built_table: &mut Option<Arc<SubregionTable>>,
 ) -> Result<CpnnResult> {
     let classifier = Classifier::new(spec.threshold, spec.tolerance)?;
     let k = spec.k.max(1);
     let init_time = stats.init_time;
     let init_start = Instant::now();
+    // Reuse the memoized table or build (and report back) a fresh one.
+    let mut obtain_table = |cands: &CandidateSet| -> Arc<SubregionTable> {
+        match cached_table.clone() {
+            Some(table) => table,
+            None => {
+                let table = Arc::new(SubregionTable::build(cands));
+                *built_table = Some(Arc::clone(&table));
+                table
+            }
+        }
+    };
 
     match (spec.strategy, k) {
         (Strategy::Basic, 1) => {
@@ -414,7 +594,7 @@ pub fn evaluate_candidates(
             Ok(finish_exact(cands, &classifier, &probs, stats))
         }
         (Strategy::Basic, k) => {
-            let table = SubregionTable::build(cands);
+            let table = obtain_table(cands);
             stats.subregions = table.subregion_count();
             stats.init_time = init_time + init_start.elapsed();
             let start = Instant::now();
@@ -425,7 +605,7 @@ pub fn evaluate_candidates(
         }
         (strategy, k) => {
             // Verify → refine (or refine alone), over the subregion table.
-            let table = SubregionTable::build(cands);
+            let table = obtain_table(cands);
             stats.subregions = table.subregion_count();
             stats.init_time = init_time + init_start.elapsed();
             scratch.state.reset(&table);

@@ -154,6 +154,11 @@ pub struct ServerStats {
     pub served: u64,
     /// Snapshot swaps applied.
     pub updates: u64,
+    /// Verification-cache hits across all workers (0 unless the server's
+    /// [`PipelineConfig`] enabled the cache; see [`crate::cache`]).
+    pub cache_hits: u64,
+    /// Verification-cache misses across all workers.
+    pub cache_misses: u64,
 }
 
 enum Job<M: DistanceModel> {
@@ -185,6 +190,10 @@ struct Shared<M> {
     writer: Mutex<()>,
     served: AtomicU64,
     updates: AtomicU64,
+    /// Per-worker verification-cache hits/misses, flushed after every job
+    /// so [`QueryServer::stats`] reads are current.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl<M> Shared<M> {
@@ -235,6 +244,8 @@ where
             writer: Mutex::new(()),
             served: AtomicU64::new(0),
             updates: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::channel::<Job<M>>();
         let rx = Arc::new(Mutex::new(rx));
@@ -329,6 +340,8 @@ where
         ServerStats {
             served: self.shared.served.load(Ordering::Relaxed),
             updates: self.shared.updates.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.shared.cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -424,6 +437,9 @@ where
     M: DistanceModel,
 {
     let mut scratch = QueryScratch::new();
+    // Last cache counters flushed to `shared` (deltas go out after every
+    // job so `stats()` reads stay current).
+    let mut flushed = crate::cache::CacheStats::default();
     // The worker's locally pinned snapshot: refreshed from `shared` only
     // when the published version moves, so steady-state serving touches
     // neither the snapshot lock nor the shared `Arc` refcount.
@@ -438,10 +454,18 @@ where
         if shared.version.load(Ordering::Acquire) != pinned.version {
             pinned = shared.pin();
         }
+        // Pin the evaluated version on the scratch *before* evaluating:
+        // a snapshot swap since the last job invalidates the worker's
+        // verification cache, so no response is ever served from state
+        // computed against a version other than the one it cites.
+        scratch.set_snapshot_version(pinned.version);
         match job {
             Job::One { q, spec, reply } => {
                 let result = cpnn_with(&*pinned.model, &q, &spec, cfg, &mut scratch);
                 shared.served.fetch_add(1, Ordering::Relaxed);
+                // Counters flush *before* the reply: once a ticket
+                // resolves, `stats()` already covers its query.
+                flush_cache_counters(shared, &scratch, &mut flushed);
                 // A dropped ticket (fire-and-forget caller) is fine.
                 let _ = reply.send(Served {
                     result,
@@ -459,10 +483,28 @@ where
                 shared
                     .served
                     .fetch_add(served.len() as u64, Ordering::Relaxed);
+                flush_cache_counters(shared, &scratch, &mut flushed);
                 let _ = reply.send(served);
             }
         }
     }
+}
+
+/// Push the delta between a worker's scratch counters and its last flush
+/// into the shared totals.
+fn flush_cache_counters<M>(
+    shared: &Shared<M>,
+    scratch: &QueryScratch,
+    flushed: &mut crate::cache::CacheStats,
+) {
+    let now = scratch.cache_stats();
+    shared
+        .cache_hits
+        .fetch_add(now.hits - flushed.hits, Ordering::Relaxed);
+    shared
+        .cache_misses
+        .fetch_add(now.misses - flushed.misses, Ordering::Relaxed);
+    *flushed = now;
 }
 
 #[cfg(test)]

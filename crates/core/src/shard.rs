@@ -455,6 +455,17 @@ where
         filtered.filter_time += select_time;
         Ok(filtered)
     }
+
+    /// Sharding is invisible to the verification cache: snap and key
+    /// exactly as the shard model does (equal keys ⇒ equal merged filter
+    /// output, by the fan-out equivalence).
+    fn quantize_query(&self, q: &M::Query, quantum: f64) -> M::Query {
+        self.shards[0].model.quantize_query(q, quantum)
+    }
+
+    fn cache_key(&self, q: &M::Query) -> Option<u128> {
+        self.shards[0].model.cache_key(q)
+    }
 }
 
 /// Convenience query surface mirroring [`crate::engine::UncertainDb`]

@@ -15,7 +15,8 @@
 //! Note the product here runs over **all** `k ≠ i`: under the paper's
 //! assumption (pdf non-zero throughout `U_k`) the extra factors are exactly
 //! 1, and with zero-density histogram bars the full product is still a valid
-//! (if occasionally looser) lower bound — see DESIGN.md.
+//! (if occasionally looser) lower bound: extra factors in `[0, 1]` can
+//! only shrink the product, never overstate `p_i.l`.
 
 use crate::classify::Label;
 use crate::subregion::{SubregionTable, MASS_EPS};

@@ -11,7 +11,8 @@
 //! clumpy), and interval lengths tuned so the average candidate set lands
 //! near 96 objects. The algorithms only see the workload through distance
 //! distributions and candidate density, so this preserves the computational
-//! shape of every experiment (see DESIGN.md, "Substitutions").
+//! shape of every experiment (the substitution rationale is recorded in
+//! [`longbeach`]'s module docs).
 //!
 //! [`synthetic`] provides the size sweeps of Fig. 9 and the Gaussian-pdf
 //! variants of Fig. 14; [`queries`] generates query workloads.
@@ -24,6 +25,6 @@ pub mod synthetic;
 pub mod synthetic2d;
 
 pub use longbeach::{longbeach_analog, LongBeachConfig};
-pub use queries::{query_points, query_points_in};
+pub use queries::{query_points, query_points_in, zipfian_query_points};
 pub use synthetic::{gaussian_variant, uniform_intervals, SyntheticConfig};
 pub use synthetic2d::{objects_2d, query_points_2d, Synthetic2dConfig};

@@ -16,6 +16,49 @@ pub fn query_points_in(seed: u64, count: usize, lo: f64, hi: f64) -> Vec<f64> {
     (0..count).map(|_| rng.gen_range(lo..hi)).collect()
 }
 
+/// Skewed repeat traffic: `count` query points drawn from `hot_spots`
+/// uniformly placed centers on `[lo, hi)`, with center ranks weighted by
+/// a Zipf law (`weight(r) ∝ 1 / r^exponent`, `r = 1..=hot_spots`) and
+/// each draw jittered by up to `±jitter` around its center.
+///
+/// This is the workload the verification cache is built for: with
+/// `jitter = 0` the stream repeats exact points (quantum-0 hits); with
+/// `jitter > 0` it models "nearby" traffic that only a quantization grid
+/// wider than the jitter collapses onto shared cache entries. Points are
+/// clamped into `[lo, hi]`; deterministic given the seed.
+pub fn zipfian_query_points(
+    seed: u64,
+    count: usize,
+    lo: f64,
+    hi: f64,
+    hot_spots: usize,
+    exponent: f64,
+    jitter: f64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hot_spots = hot_spots.max(1);
+    let centers: Vec<f64> = (0..hot_spots).map(|_| rng.gen_range(lo..hi)).collect();
+    // Cumulative Zipf weights over ranks 1..=hot_spots.
+    let mut cumulative: Vec<f64> = Vec::with_capacity(hot_spots);
+    let mut total = 0.0;
+    for r in 1..=hot_spots {
+        total += 1.0 / (r as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    (0..count)
+        .map(|_| {
+            let u = rng.gen_range(0.0..total);
+            let rank = cumulative.partition_point(|&c| c <= u).min(hot_spots - 1);
+            let point = if jitter > 0.0 {
+                centers[rank] + rng.gen_range(-jitter..jitter)
+            } else {
+                centers[rank]
+            };
+            point.clamp(lo, hi)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -33,5 +76,45 @@ mod tests {
     fn custom_range() {
         let pts = query_points_in(1, 50, -5.0, 5.0);
         assert!(pts.iter().all(|&q| (-5.0..5.0).contains(&q)));
+    }
+
+    #[test]
+    fn zipfian_points_repeat_and_stay_in_range() {
+        let pts = zipfian_query_points(7, 500, 0.0, 10_000.0, 16, 1.1, 0.0);
+        assert_eq!(
+            pts,
+            zipfian_query_points(7, 500, 0.0, 10_000.0, 16, 1.1, 0.0)
+        );
+        assert!(pts.iter().all(|&q| (0.0..=10_000.0).contains(&q)));
+        // Without jitter every point is one of the 16 hot spots, so the
+        // stream is dominated by exact repeats.
+        let mut distinct: Vec<u64> = pts.iter().map(|q| q.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 16, "{} distinct points", distinct.len());
+        // Zipf skew: the hottest point is sampled far above the uniform share.
+        let mode = pts
+            .iter()
+            .map(|q| q.to_bits())
+            .fold(std::collections::HashMap::new(), |mut m, b| {
+                *m.entry(b).or_insert(0usize) += 1;
+                m
+            })
+            .into_values()
+            .max()
+            .unwrap();
+        assert!(mode > 500 / 16, "mode count {mode}");
+    }
+
+    #[test]
+    fn zipfian_jitter_spreads_points_around_hot_spots() {
+        let exact = zipfian_query_points(9, 200, 0.0, 1_000.0, 8, 1.0, 0.0);
+        let jittered = zipfian_query_points(9, 200, 0.0, 1_000.0, 8, 1.0, 2.0);
+        assert_eq!(exact.len(), jittered.len());
+        let mut distinct: Vec<u64> = jittered.iter().map(|q| q.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 8, "jitter should break exact repeats");
+        assert!(jittered.iter().all(|&q| (0.0..=1_000.0).contains(&q)));
     }
 }

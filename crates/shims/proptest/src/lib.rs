@@ -186,6 +186,34 @@ pub mod prop {
         }
     }
 
+    /// Sampling strategies, mirroring `proptest::sample`.
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng as _;
+
+        /// Uniformly choose one of `values` (the `Vec` case of
+        /// `proptest::sample::select`).
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select requires at least one value");
+            Select { values }
+        }
+
+        /// See [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            values: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn new_value(&self, rng: &mut StdRng) -> Option<T> {
+                let i = rng.gen_range(0..self.values.len());
+                Some(self.values[i].clone())
+            }
+        }
+    }
+
     /// Collection strategies.
     pub mod collection {
         use super::super::Strategy;
