@@ -15,6 +15,7 @@ pub mod knn2d;
 pub mod serve;
 pub mod shard;
 pub mod table3;
+pub mod update;
 
 use cpnn_core::UncertainDb;
 use cpnn_datagen::{longbeach::longbeach_with, query_points, LongBeachConfig};

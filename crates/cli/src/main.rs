@@ -23,7 +23,8 @@ use std::time::Instant;
 use cpnn_core::persist::{load_from_path, load_objects_from_path, save_to_path};
 use cpnn_core::{
     pipeline, BatchExecutor, CacheConfig, CpnnQuery, ObjectId, QueryServer, QuerySpec, Served,
-    ShardedDb, Strategy, Ticket, UncertainDb, UncertainDb2d, UncertainObject,
+    ShardBalance, ShardedDb, Strategy, Ticket, UncertainDb, UncertainDb2d, UncertainObject,
+    UpdateOutcome,
 };
 use cpnn_datagen::{
     longbeach::longbeach_with, objects_2d, query_points_in, LongBeachConfig, Synthetic2dConfig,
@@ -75,28 +76,33 @@ fn print_usage() {
          \x20 info FILE                                    dataset statistics\n\
          \x20 pnn FILE --q Q [--top N]                     exact qualification probabilities\n\
          \x20 cpnn FILE --q Q --p P [--delta D] [--strategy vr|basic|refine|mc] [--shards N]\n\
-         \x20           [--cache N] [--cache-quantum EPS]\n\
+         \x20           [--shard-balance width|quantile] [--cache N] [--cache-quantum EPS]\n\
          \x20 cpnn FILE --batch N --p P [--threads T] [--seed S] [--delta D] [--strategy S]\n\
-         \x20           [--shards N] [--cache N] [--cache-quantum EPS]\n\
+         \x20           [--shards N] [--shard-balance B] [--cache N] [--cache-quantum EPS]\n\
          \x20                                              batch over N random query points\n\
          \x20                                              (T = 0 means one per core; shards > 1\n\
          \x20                                              fans each query out across a\n\
-         \x20                                              domain-partitioned database; --cache N\n\
-         \x20                                              memoizes verification state for up to\n\
-         \x20                                              N query points per worker, snapped to\n\
-         \x20                                              an EPS-wide grid)\n\
+         \x20                                              domain-partitioned database —\n\
+         \x20                                              equal-width slabs by default,\n\
+         \x20                                              equal-count with --shard-balance\n\
+         \x20                                              quantile; --cache N memoizes\n\
+         \x20                                              verification state for up to N query\n\
+         \x20                                              points per worker, snapped to an\n\
+         \x20                                              EPS-wide grid)\n\
          \x20 knn FILE --q Q --k K --p P [--delta D]       constrained probabilistic k-NN\n\
          \x20 knn2d --qx X --qy Y --p P [--k K] [--count N] [--seed S] [--delta D]\n\
-         \x20       [--domain D] [--shards N] [--cache N] [--cache-quantum EPS]\n\
-         \x20                                              constrained 2-D k-NN over a synthetic\n\
+         \x20       [--domain D] [--shards N] [--shard-balance B] [--cache N]\n\
+         \x20       [--cache-quantum EPS]                  constrained 2-D k-NN over a synthetic\n\
          \x20                                              disk/rectangle dataset on [0, D]²\n\
          \x20 range FILE --lo A --hi B --p P               probabilistic range query\n\
-         \x20 serve FILE [--threads T] [--queries FILE] [--shards N] [--cache N]\n\
-         \x20       [--cache-quantum EPS]                  long-lived query server: stream\n\
+         \x20 serve FILE [--threads T] [--queries FILE] [--shards N] [--shard-balance B]\n\
+         \x20       [--cache N] [--cache-quantum EPS]      long-lived query server: stream\n\
          \x20                                              queries from stdin (or FILE) through\n\
-         \x20                                              a worker pool; with --shards N,\n\
-         \x20                                              insert/remove rebuild only the owning\n\
-         \x20                                              shard; `serve help` for the protocol"
+         \x20                                              a worker pool; insert/remove are\n\
+         \x20                                              O(log n) path-copying snapshot swaps,\n\
+         \x20                                              and consecutive update lines coalesce\n\
+         \x20                                              into one swap; `serve help` for the\n\
+         \x20                                              protocol"
     );
 }
 
@@ -182,6 +188,20 @@ fn parse_strategy(name: &str) -> Result<Strategy, UsageError> {
     }
 }
 
+/// Shared `--shard-balance width|quantile` parsing (equal-width slabs by
+/// default; `quantile` places slab boundaries at object-center quantiles
+/// so clustered data still shards evenly).
+fn shard_balance_args(bag: &mut ArgBag) -> Result<ShardBalance, UsageError> {
+    match bag.optional::<String>("shard-balance")? {
+        None => Ok(ShardBalance::default()),
+        Some(name) => ShardBalance::parse(&name).ok_or_else(|| {
+            UsageError(format!(
+                "unknown --shard-balance `{name}` (expected `width` or `quantile`)"
+            ))
+        }),
+    }
+}
+
 /// Shared `--cache N` / `--cache-quantum EPS` parsing (capacity 0, the
 /// default, disables the verification-state cache).
 fn cache_args(bag: &mut ArgBag) -> Result<CacheConfig, UsageError> {
@@ -203,12 +223,13 @@ fn cache_args(bag: &mut ArgBag) -> Result<CacheConfig, UsageError> {
 fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let path: PathBuf = bag.positional("dataset file")?;
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
+    let balance = shard_balance_args(bag)?;
     let batch = bag.optional::<usize>("batch")?;
     let cache = cache_args(bag)?;
     // One storage layout, built once from the snapshot's raw objects: a
     // ShardedDb whose single-shard case *is* the unsharded database
     // (equivalence is property-tested), so there is no second code path.
-    let db = UncertainDb::build_sharded(load_objects_from_path(&path)?, shards)?;
+    let db = UncertainDb::build_sharded_with(load_objects_from_path(&path)?, shards, balance)?;
     if shards > 1 {
         eprintln!(
             "sharded into {} domain slabs: sizes {:?}",
@@ -402,6 +423,7 @@ fn knn2d(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = bag.optional("seed")?.unwrap_or(0x2D);
     let domain: f64 = bag.optional("domain")?.unwrap_or(1_000.0);
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
+    let balance = shard_balance_args(bag)?;
     let cache = cache_args(bag)?;
     bag.finish()?;
     let cfg2d = Synthetic2dConfig {
@@ -416,7 +438,7 @@ fn knn2d(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
         ))));
     }
     let objects = objects_2d(seed, cfg2d);
-    let db = UncertainDb2d::build_sharded(objects, shards)?;
+    let db = UncertainDb2d::build_sharded_with(objects, shards, balance)?;
     let spec = QuerySpec::knn(k, p, delta, Strategy::Verified);
     let mut cfg = db.pipeline_config();
     cfg.cache = cache;
@@ -448,26 +470,43 @@ serve line protocol (stdin or --queries FILE; one request per line):
                             matching the one-shot `cpnn` command)
   cpnn <q> <p> [delta]      constrained 1-NN query
   knn <q> <k> <p> [delta]   constrained k-NN query (delta defaults to 0)
-  insert <id> <lo> <hi>     snapshot-swap in a new uniform object
-  remove <id>               snapshot-swap the object out
-  stats                     drain pending responses, then report server
-                            counters: `stats served=<n> updates=<n>
+  insert <id> <lo> <hi>     queue a new uniform object on the
+                            write-coalescing lane (O(log n) path copy)
+  remove <id>               queue the object's removal
+  stats                     drain pending responses and flush queued
+                            updates, then report server counters:
+                            `stats served=<n> updates=<n>
+                            coalesced_batches=<n> applied_updates=<n>
                             cache_hits=<n> cache_misses=<n>` (cache
                             counters stay 0 unless --cache is on)
-  quit                      drain pending responses and exit
-blank lines and lines starting with `#` are ignored; responses stream
-back in submission order as `#<n> v<version> answers=[..]`.";
+  quit                      drain pending responses, flush updates, exit
+consecutive insert/remove lines form one burst: they publish together as
+ONE snapshot swap (one version bump, one cache-invalidation pass) when
+the next query/stats line — or end of input — flushes them, printing one
+`update v<version> objects=<n> batch=<burst>` line per applied op (or
+`update rejected: <err>`). A query therefore always observes every
+update queued before it. Relevant flags: --threads T (worker pool),
+--shards N (domain partitioning; updates path-copy only the owning
+shard), --shard-balance width|quantile (slab scheme), --cache N
+[--cache-quantum EPS] (verification-state cache; updates invalidate it
+incrementally by region). Blank lines and lines starting with `#` are
+ignored; responses stream back in submission order as
+`#<n> v<version> answers=[..]`.";
 
 /// `cpnn serve FILE`: long-lived [`QueryServer`] session. Reads requests
 /// line by line, submits them to the worker pool without waiting, and
 /// streams responses back in submission order as they complete. Updates
-/// (`insert` / `remove`) swap the database snapshot while queries are in
-/// flight; each response reports the snapshot version that served it.
+/// (`insert` / `remove`) queue on the server's write-coalescing lane and
+/// publish as **one** snapshot swap per burst (flushed before the next
+/// query, `stats`, or end of input — so a query always observes every
+/// update queued before it); each response reports the snapshot version
+/// that served it.
 ///
 /// The backend is always a domain-partitioned [`ShardedDb`] (`--shards`
-/// slabs, default 1): updates copy-on-write rebuild **only the owning
-/// shard**, so their cost scales with shard size, not database size. The
-/// single-shard case is the unsharded behavior.
+/// slabs, default 1; `--shard-balance quantile` for equal-count slabs):
+/// updates **path-copy** only the owning shard — O(log |shard|)
+/// structural edits, never rebuilds. The single-shard case is the
+/// unsharded behavior.
 fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     if bag.peek_positional() == Some("help") {
         println!("{SERVE_PROTOCOL}");
@@ -476,12 +515,13 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let path: PathBuf = bag.positional("dataset file")?;
     let threads: usize = bag.optional("threads")?.unwrap_or(0);
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
+    let balance = shard_balance_args(bag)?;
     let queries: Option<PathBuf> = bag.optional("queries")?;
     let cache = cache_args(bag)?;
     bag.finish()?;
     // Build the sharded store directly from the snapshot's objects — one
     // index build total, not a flat database torn down and re-sharded.
-    let sharded = UncertainDb::build_sharded(load_objects_from_path(&path)?, shards)?;
+    let sharded = UncertainDb::build_sharded_with(load_objects_from_path(&path)?, shards, balance)?;
     let mut pipeline = sharded.pipeline_config();
     pipeline.cache = cache;
     let num_shards = sharded.num_shards();
@@ -503,6 +543,9 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     // drained from the front opportunistically, so results stream while the
     // reader is still feeding the queue.
     let mut pending: VecDeque<(u64, Ticket)> = VecDeque::new();
+    // Updates queued on the write-coalescing lane, awaiting the flush at
+    // the current burst's end.
+    let mut queued_updates: Vec<Ticket<UpdateOutcome>> = Vec::new();
     let mut submitted: u64 = 0;
     let mut line_no = 0u64;
 
@@ -522,6 +565,14 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
         }
         match parse_serve_line(line) {
             Ok(ServeRequest::Query(q, spec)) => {
+                // A queued update burst ends here: settle earlier queries
+                // (output order), publish the burst as one snapshot swap,
+                // and only then submit — the query must observe every
+                // update queued before it.
+                if !queued_updates.is_empty() {
+                    drain_all(&mut pending, &mut out)?;
+                    flush_updates(&server, &mut queued_updates, &mut out)?;
+                }
                 // Bound the backlog: piped input can outrun the workers, and
                 // every pending ticket buffers a full response.
                 const MAX_IN_FLIGHT: usize = 1024;
@@ -533,34 +584,29 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
                 submitted += 1;
             }
             Ok(ServeRequest::Insert(object)) => {
-                // Settle earlier queries first so output (and the versions
-                // it cites) reads in submission order.
-                drain_all(&mut pending, &mut out)?;
-                match server.insert(object) {
-                    Ok(snap) => {
-                        writeln!(out, "update v{} objects={}", snap.version, snap.model.len())?
-                    }
-                    Err(e) => writeln!(out, "update rejected: {e}")?,
-                }
+                // Queue only — consecutive update lines coalesce into one
+                // publish at the burst's end.
+                queued_updates.push(server.queue_insert(object));
             }
             Ok(ServeRequest::Remove(id)) => {
-                drain_all(&mut pending, &mut out)?;
-                match server.remove(id) {
-                    Ok(snap) => {
-                        writeln!(out, "update v{} objects={}", snap.version, snap.model.len())?
-                    }
-                    Err(e) => writeln!(out, "update rejected: {e}")?,
-                }
+                queued_updates.push(server.queue_remove(id));
             }
             Ok(ServeRequest::Stats) => {
-                // Settle earlier queries first so the counters cover every
-                // request that precedes this line.
+                // Settle earlier queries and flush queued updates first so
+                // the counters cover every request that precedes this line.
                 drain_all(&mut pending, &mut out)?;
+                flush_updates(&server, &mut queued_updates, &mut out)?;
                 let s = server.stats();
                 writeln!(
                     out,
-                    "stats served={} updates={} cache_hits={} cache_misses={}",
-                    s.served, s.updates, s.cache_hits, s.cache_misses
+                    "stats served={} updates={} coalesced_batches={} applied_updates={} \
+                     cache_hits={} cache_misses={}",
+                    s.served,
+                    s.updates,
+                    s.coalesced_batches,
+                    s.applied_updates,
+                    s.cache_hits,
+                    s.cache_misses
                 )?;
             }
             Err(msg) => {
@@ -569,7 +615,11 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         if interactive {
+            // A human wants effects now: settle queries and publish any
+            // queued update immediately (bursts still coalesce when pasted
+            // as one multi-line block — the reader sees them in one gulp).
             drain_all(&mut pending, &mut out)?;
+            flush_updates(&server, &mut queued_updates, &mut out)?;
             out.flush()?;
             continue;
         }
@@ -585,8 +635,9 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    // EOF / quit: wait out the tail.
+    // EOF / quit: wait out the tail, then publish any trailing burst.
     drain_all(&mut pending, &mut out)?;
+    flush_updates(&server, &mut queued_updates, &mut out)?;
     let stats = server.shutdown();
     let wall = start.elapsed();
     let cache_note = if stats.cache_hits + stats.cache_misses > 0 {
@@ -615,6 +666,33 @@ fn drain_all(
 ) -> Result<(), std::io::Error> {
     for (seq, ticket) in pending.drain(..) {
         print_served(out, seq, &ticket.wait())?;
+    }
+    Ok(())
+}
+
+/// End the current update burst: publish every queued update as one
+/// snapshot swap ([`QueryServer::flush_writes`]) and print each op's
+/// outcome in queue order. No-op when nothing is queued.
+fn flush_updates(
+    server: &QueryServer<ShardedDb<UncertainDb>>,
+    queued: &mut Vec<Ticket<UpdateOutcome>>,
+    out: &mut impl std::io::Write,
+) -> Result<(), std::io::Error> {
+    if queued.is_empty() {
+        return Ok(());
+    }
+    server.flush_writes();
+    let objects = server.snapshot().model.len();
+    for ticket in queued.drain(..) {
+        let outcome = ticket.wait();
+        match &outcome.result {
+            Ok(()) => writeln!(
+                out,
+                "update v{} objects={objects} batch={}",
+                outcome.snapshot_version, outcome.batch
+            )?,
+            Err(e) => writeln!(out, "update rejected: {e}")?,
+        }
     }
     Ok(())
 }

@@ -82,6 +82,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::candidate::CandidateSet;
+use crate::shard::Extent;
 use crate::subregion::SubregionTable;
 
 /// Tuning for a per-thread [`VerifyCache`]. Lives inside
@@ -143,6 +144,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Whole-cache clears caused by a snapshot-version change.
     pub invalidations: u64,
+    /// Entries dropped by *incremental* (region-scoped) invalidation —
+    /// entries whose candidate horizon intersected an updated region (see
+    /// [`VerifyCache::advance_version`]). Entries that survive such a
+    /// pass keep serving hits across snapshot versions.
+    pub region_evictions: u64,
 }
 
 impl CacheStats {
@@ -166,6 +172,7 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.invalidations += other.invalidations;
+        self.region_evictions += other.region_evictions;
     }
 }
 
@@ -199,16 +206,55 @@ pub fn point_key_2d(q: [f64; 2]) -> u128 {
 /// per-candidate distance distributions) and, once some strategy built
 /// it, the subregion table. Both sit behind [`Arc`]s so a hit costs two
 /// refcount bumps, not a copy.
+///
+/// For **incremental invalidation** the entry also remembers the (snapped)
+/// query point it was computed at and its *candidate horizon* — the
+/// `k`-th smallest far point the filter pruned against. An update whose
+/// region lies entirely beyond the horizon provably cannot change this
+/// entry's candidate set (its near distance exceeds the horizon, so it is
+/// not a candidate; its far distance exceeds the `k`-th far, so it cannot
+/// tighten the horizon either), so the entry survives the snapshot swap.
 #[derive(Debug, Clone)]
 pub struct CachedQuery {
     cands: Arc<CandidateSet>,
     table: Option<Arc<SubregionTable>>,
+    /// Coordinates of the (snapped) query point, `None` when the model
+    /// cannot expose them — such entries drop on any region invalidation.
+    coords: Option<Box<[f64]>>,
+    /// The filter's pruning horizon at this point (`INFINITY` when the
+    /// candidate set covered the whole database, i.e. `|C| < k`).
+    horizon: f64,
 }
 
 impl CachedQuery {
     /// An entry holding filter output only (the table attaches later).
+    /// Without query coordinates the entry is dropped by *any* region
+    /// invalidation; prefer [`for_query`](Self::for_query).
     pub fn new(cands: Arc<CandidateSet>) -> Self {
-        Self { cands, table: None }
+        Self {
+            cands,
+            table: None,
+            coords: None,
+            horizon: f64::INFINITY,
+        }
+    }
+
+    /// An entry that can survive incremental invalidation: remembers the
+    /// snapped query coordinates and derives the candidate horizon from
+    /// the candidate set (`INFINITY` when fewer than `k` candidates exist
+    /// — then the whole database was in range and any update may matter).
+    pub fn for_query(cands: Arc<CandidateSet>, coords: Option<Vec<f64>>, k: usize) -> Self {
+        let horizon = if cands.len() < k.max(1) {
+            f64::INFINITY
+        } else {
+            cands.horizon()
+        };
+        Self {
+            cands,
+            table: None,
+            coords: coords.map(Vec::into_boxed_slice),
+            horizon,
+        }
     }
 
     /// The memoized candidate set.
@@ -219,6 +265,21 @@ impl CachedQuery {
     /// The memoized subregion table, if one was ever built at this point.
     pub fn table(&self) -> Option<&Arc<SubregionTable>> {
         self.table.as_ref()
+    }
+
+    /// Can this entry survive an update confined to `region`? True only
+    /// when the region's minimum distance from the entry's query point
+    /// strictly exceeds the candidate horizon (see the type docs for the
+    /// soundness argument). Conservative on missing/mismatched
+    /// coordinates: the entry does not survive.
+    fn survives(&self, region: &Extent) -> bool {
+        let Some(coords) = self.coords.as_deref() else {
+            return false;
+        };
+        if coords.len() != region.dims() {
+            return false;
+        }
+        region.mindist(&coords) > self.horizon
     }
 }
 
@@ -336,6 +397,33 @@ impl VerifyCache {
             self.map.clear();
             self.stats.invalidations += 1;
         }
+    }
+
+    /// Pin the snapshot version **incrementally**: instead of clearing,
+    /// drop only the entries whose cached candidate horizon intersects one
+    /// of the `regions` the intervening updates touched (see
+    /// [`CachedQuery::for_query`] for why surviving entries are provably
+    /// still exact). Entries without query coordinates are dropped
+    /// conservatively. Idempotent for the current version; moving
+    /// *backwards* falls back to a full clear (the regions walked forward
+    /// do not describe the reverse trip).
+    pub fn advance_version(&mut self, version: u64, regions: &[Extent]) {
+        if version == self.version {
+            return;
+        }
+        if version < self.version {
+            self.set_version(version);
+            return;
+        }
+        self.version = version;
+        // The source-object count moves with every applied update; the
+        // version move is the sanctioned invalidation here, so re-arm the
+        // count guard instead of letting it clear the survivors.
+        self.source_objects = None;
+        let before = self.map.len();
+        self.map
+            .retain(|_, (_, entry)| regions.iter().all(|r| entry.survives(r)));
+        self.stats.region_evictions += (before - self.map.len()) as u64;
     }
 
     /// Drop every entry without touching counters or version.
@@ -526,15 +614,56 @@ mod tests {
         let mut a = CacheStats {
             hits: 3,
             misses: 1,
-            invalidations: 0,
+            ..Default::default()
         };
         assert_eq!(a.hit_rate(), 0.75);
         a.accumulate(&CacheStats {
             hits: 1,
             misses: 3,
             invalidations: 2,
+            region_evictions: 5,
         });
         assert_eq!((a.hits, a.misses, a.invalidations), (4, 4, 2));
+        assert_eq!(a.region_evictions, 5);
         assert_eq!(a.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn advance_version_drops_only_intersecting_entries() {
+        let objects = vec![UncertainObject::uniform(ObjectId(7), 1.0, 3.0).unwrap()];
+        let at = |q: f64| {
+            CachedQuery::for_query(
+                Arc::new(CandidateSet::build(&objects, q, 0).unwrap()),
+                Some(vec![q]),
+                1,
+            )
+        };
+        let mut cache = VerifyCache::new(CacheConfig::new(8, 0.0));
+        // Entry at q = 0: horizon = far point of [1, 3] from 0 → 3.
+        cache.insert(point_key_1d(0.0), 1, at(0.0));
+        // Entry without coordinates: always dropped on region passes.
+        cache.insert(
+            point_key_1d(50.0),
+            1,
+            CachedQuery::new(Arc::new(CandidateSet::build(&objects, 50.0, 0).unwrap())),
+        );
+        // Far-away update region [100, 101]: mindist from q = 0 is 100 > 3,
+        // so the coordinate-bearing entry survives; the bare one drops.
+        cache.advance_version(1, &[Extent::new(vec![100.0], vec![101.0])]);
+        assert_eq!(cache.version(), 1);
+        assert!(cache.lookup(point_key_1d(0.0), 1).is_some());
+        assert!(cache.lookup(point_key_1d(50.0), 1).is_none());
+        assert_eq!(cache.stats().region_evictions, 1);
+        assert_eq!(cache.stats().invalidations, 0, "no full clear happened");
+        // A region inside the horizon (mindist 1 ≤ 3) drops the entry.
+        cache.advance_version(2, &[Extent::new(vec![-2.0], vec![-1.0])]);
+        assert!(cache.lookup(point_key_1d(0.0), 1).is_none());
+        assert_eq!(cache.stats().region_evictions, 2);
+        // Same version again: no-op. Backwards: full clear.
+        cache.insert(point_key_1d(0.0), 1, at(0.0));
+        cache.advance_version(2, &[Extent::new(vec![0.0], vec![1.0])]);
+        assert!(cache.lookup(point_key_1d(0.0), 1).is_some());
+        cache.advance_version(0, &[]);
+        assert!(cache.is_empty());
     }
 }

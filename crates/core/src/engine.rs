@@ -2,22 +2,27 @@
 //! uncertainty regions, queried through the unified pipeline of
 //! [`crate::pipeline`] (paper Fig. 3: filter → verify → refine).
 //!
-//! This module owns the *storage* — objects, the index, dynamic
-//! insert/remove, tuning knobs — and instantiates the generic pipeline as
-//! its [`DistanceModel`]. The control flow itself (strategy dispatch,
-//! verification, refinement, statistics) lives in [`crate::pipeline`] and
-//! is shared with the 2-D database and the k-NN extension.
+//! This module owns only the *configuration and query surface*: storage is
+//! the shared persistent [`IndexedStore`] (objects live in the
+//! path-copying R-tree's leaves, with an id map alongside — see
+//! [`crate::store`]), so [`UncertainDb::with_inserted`] /
+//! [`UncertainDb::with_removed`] produce copy-on-write snapshots in
+//! O(log n) instead of rebuilding. The pipeline control flow (strategy
+//! dispatch, verification, refinement, statistics) lives in
+//! [`crate::pipeline`] and is shared with the 2-D database and the k-NN
+//! extension.
 
 use std::time::Instant;
 
-use cpnn_rtree::{Params, RTree, Rect};
+use cpnn_rtree::{Params, Rect};
 
 use crate::distance::DistanceDistribution;
 use crate::error::{CoreError, Result};
 use crate::object::{ObjectId, UncertainObject};
 use crate::pipeline::{self, DistanceModel, Filtered, PipelineConfig, QuerySpec};
 use crate::refine::RefinementOrder;
-use crate::shard::{Extent, ShardableModel, ShardedDb};
+use crate::shard::{Extent, ShardBalance, ShardableModel, ShardedDb};
+use crate::store::{CowModel, IndexedStore, StoredObject};
 
 pub use crate::pipeline::{CpnnQuery, CpnnResult, ObjectReport, PnnResult, QueryStats, Strategy};
 
@@ -64,12 +69,24 @@ impl EngineConfig {
     }
 }
 
-/// An in-memory database of 1-D uncertain objects with an R-tree over their
-/// uncertainty regions.
-#[derive(Debug)]
+/// A 1-D interval is stored under its uncertainty region.
+impl StoredObject<1> for UncertainObject {
+    fn object_id(&self) -> ObjectId {
+        self.id()
+    }
+
+    fn bounding_rect(&self) -> Rect<1> {
+        let (lo, hi) = self.region();
+        Rect::interval(lo, hi)
+    }
+}
+
+/// An in-memory database of 1-D uncertain objects over the shared
+/// persistent store (path-copying R-tree + id map — see [`crate::store`]).
+/// `Clone` is O(1) and shares all structure until one handle is updated.
+#[derive(Debug, Clone)]
 pub struct UncertainDb {
-    objects: Vec<UncertainObject>,
-    tree: RTree<usize, 1>,
+    store: IndexedStore<UncertainObject, 1>,
     config: EngineConfig,
 }
 
@@ -77,7 +94,7 @@ impl DistanceModel for UncertainDb {
     type Query = f64;
 
     fn total_objects(&self) -> usize {
-        self.objects.len()
+        self.store.len()
     }
 
     fn check_query(&self, q: &f64) -> Result<()> {
@@ -89,15 +106,11 @@ impl DistanceModel for UncertainDb {
 
     fn filter(&self, q: &f64, k: usize) -> Result<Filtered> {
         let start = Instant::now();
-        let (cands, _) = if k <= 1 {
-            self.tree.pnn_candidates(&[*q])
-        } else {
-            self.tree.pnn_candidates_k(&[*q], k)
-        };
+        let (cands, _) = self.store.candidates_k(&[*q], k.max(1));
         let filter_time = start.elapsed();
         let mut items = Vec::with_capacity(cands.len());
         for c in cands {
-            let o = &self.objects[*c.item];
+            let o = c.item;
             let dist = DistanceDistribution::from_pdf(o.pdf(), *q)?
                 .with_max_bins(self.config.max_distance_bins)?;
             items.push((o.id(), dist));
@@ -112,22 +125,16 @@ impl DistanceModel for UncertainDb {
     fn cache_key(&self, q: &f64) -> Option<u128> {
         Some(crate::cache::point_key_1d(*q))
     }
+
+    fn query_coords(&self, q: &f64) -> Option<Vec<f64>> {
+        Some(vec![*q])
+    }
 }
 
-/// One [`UncertainDb`] is one shard: it owns its objects and its own
-/// R-tree, so a [`ShardedDb`] of these partitions the index along with the
-/// data. The single-shard case is just `shards = 1`.
-impl ShardableModel for UncertainDb {
+/// Copy-on-write successors via the persistent store: O(log n) per
+/// update, never a rebuild.
+impl CowModel for UncertainDb {
     type Object = UncertainObject;
-    type Config = EngineConfig;
-
-    fn shard_config(&self) -> EngineConfig {
-        self.config
-    }
-
-    fn shard_objects(&self) -> Vec<UncertainObject> {
-        self.objects.clone()
-    }
 
     fn object_id(object: &UncertainObject) -> ObjectId {
         object.id()
@@ -138,8 +145,49 @@ impl ShardableModel for UncertainDb {
         Extent::new(vec![lo], vec![hi])
     }
 
+    fn contains_id(&self, id: ObjectId) -> bool {
+        self.store.contains(id)
+    }
+
+    fn with_inserted(&self, object: UncertainObject) -> Result<Self> {
+        Ok(Self {
+            store: self.store.with_inserted(object)?,
+            config: self.config,
+        })
+    }
+
+    fn with_removed(&self, id: ObjectId) -> (Self, Option<UncertainObject>) {
+        let (store, removed) = self.store.with_removed(id);
+        (
+            Self {
+                store,
+                config: self.config,
+            },
+            removed,
+        )
+    }
+}
+
+/// One [`UncertainDb`] is one shard: it owns its objects and its own
+/// R-tree, so a [`ShardedDb`] of these partitions the index along with the
+/// data. The single-shard case is just `shards = 1`.
+impl ShardableModel for UncertainDb {
+    type Config = EngineConfig;
+
+    fn shard_config(&self) -> EngineConfig {
+        self.config
+    }
+
+    fn shard_objects(&self) -> Vec<UncertainObject> {
+        self.store.objects()
+    }
+
     fn build_shard(objects: Vec<UncertainObject>, config: &EngineConfig) -> Result<Self> {
         Self::with_config(objects, *config)
+    }
+
+    fn model_extent(&self) -> Option<Extent> {
+        self.store.extent()
     }
 
     fn pipeline_config(&self) -> PipelineConfig {
@@ -155,7 +203,7 @@ impl UncertainDb {
 
     /// Partition `objects` into a domain-sharded database
     /// ([`ShardedDb`]): each shard owns its own R-tree, queries fan out
-    /// only to overlapping shards, and updates rebuild only the owning
+    /// only to overlapping shards, and updates path-copy only the owning
     /// shard. `shards = 1` is equivalent to an unsharded build.
     pub fn build_sharded(
         objects: Vec<UncertainObject>,
@@ -164,44 +212,39 @@ impl UncertainDb {
         ShardedDb::build(objects, EngineConfig::default(), shards)
     }
 
+    /// As [`build_sharded`](Self::build_sharded) with an explicit
+    /// partitioning scheme (equal-width slabs or equal-count quantiles —
+    /// see [`ShardBalance`]).
+    pub fn build_sharded_with(
+        objects: Vec<UncertainObject>,
+        shards: usize,
+        balance: ShardBalance,
+    ) -> Result<ShardedDb<UncertainDb>> {
+        ShardedDb::build_with(objects, EngineConfig::default(), shards, balance)
+    }
+
     /// Build with explicit configuration.
     pub fn with_config(objects: Vec<UncertainObject>, config: EngineConfig) -> Result<Self> {
-        let mut ids: Vec<u64> = objects.iter().map(|o| o.id().0).collect();
-        ids.sort_unstable();
-        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
-            return Err(CoreError::DuplicateObjectId(w[0]));
-        }
-        let tree = RTree::bulk_load_with(
-            objects
-                .iter()
-                .enumerate()
-                .map(|(idx, o)| {
-                    let (lo, hi) = o.region();
-                    (Rect::interval(lo, hi), idx)
-                })
-                .collect(),
-            config.rtree_params,
-        );
         Ok(Self {
-            objects,
-            tree,
+            store: IndexedStore::build(objects, config.rtree_params)?,
             config,
         })
     }
 
     /// Number of stored objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.store.len()
     }
 
     /// Is the database empty?
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.store.is_empty()
     }
 
-    /// The stored objects.
-    pub fn objects(&self) -> &[UncertainObject] {
-        &self.objects
+    /// Materialize the stored objects (deterministic order; O(n) — the
+    /// query and update paths never call this).
+    pub fn objects(&self) -> Vec<UncertainObject> {
+        self.store.objects()
     }
 
     /// Engine configuration.
@@ -209,52 +252,29 @@ impl UncertainDb {
         &self.config
     }
 
-    /// The underlying R-tree over uncertainty regions (crate-internal:
-    /// used by the range-query module).
-    pub(crate) fn tree(&self) -> &RTree<usize, 1> {
-        &self.tree
+    /// The underlying persistent store (crate-internal: used by the
+    /// range-query module).
+    pub(crate) fn store(&self) -> &IndexedStore<UncertainObject, 1> {
+        &self.store
     }
 
-    /// Insert a new object (dynamic R-tree insertion; the sensor-network
-    /// use case streams new readings into the database). Fails on a
+    /// Insert a new object in place (path-copies the root-to-leaf path;
+    /// other clones of this handle keep the old snapshot). Fails on a
     /// duplicate id.
     pub fn insert(&mut self, object: UncertainObject) -> Result<()> {
-        if self.objects.iter().any(|o| o.id() == object.id()) {
-            return Err(CoreError::DuplicateObjectId(object.id().0));
-        }
-        let (lo, hi) = object.region();
-        let idx = self.objects.len();
-        self.objects.push(object);
-        self.tree.insert(Rect::interval(lo, hi), idx);
-        Ok(())
+        self.store.insert(object)
     }
 
-    /// Remove an object by id, returning it if present. Uses the R-tree's
-    /// condense-tree deletion; the vacated slot is backfilled by moving the
-    /// last object (its index entry is re-keyed accordingly).
+    /// Remove an object by id in place, returning it if present
+    /// (condense-tree deletion, path-copied).
     pub fn remove(&mut self, id: ObjectId) -> Option<UncertainObject> {
-        let idx = self.objects.iter().position(|o| o.id() == id)?;
-        let (lo, hi) = self.objects[idx].region();
-        self.tree
-            .remove_one(&Rect::interval(lo, hi), |&i| i == idx)
-            .expect("index entry exists for stored object");
-        let removed = self.objects.swap_remove(idx);
-        if idx < self.objects.len() {
-            // The former last object now lives at `idx`: re-key its entry.
-            let (mlo, mhi) = self.objects[idx].region();
-            let moved_from = self.objects.len();
-            self.tree
-                .remove_one(&Rect::interval(mlo, mhi), |&i| i == moved_from)
-                .expect("index entry exists for moved object");
-            self.tree.insert(Rect::interval(mlo, mhi), idx);
-        }
-        Some(removed)
+        self.store.remove(id)
     }
 
     /// The extent of all uncertainty regions `[min, max]`, or `None` if
     /// empty.
     pub fn domain(&self) -> Option<(f64, f64)> {
-        self.tree.mbr().map(|r| (r.min()[0], r.max()[0]))
+        self.store.mbr().map(|r| (r.min()[0], r.max()[0]))
     }
 
     /// Execute a C-PNN query with the given strategy (one trip through the

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use cpnn_pdf::HistogramPdf;
-use cpnn_rtree::{RTree, Rect};
+use cpnn_rtree::{Params, Rect};
 
 use crate::distance::DistanceDistribution;
 use crate::distance2d::{circle_distance_distribution, CircleObject};
@@ -24,7 +24,8 @@ use crate::error::{CoreError, Result};
 use crate::geometry2d::{rect_distance_cdf, Rect2};
 use crate::object::ObjectId;
 use crate::pipeline::{self, DistanceModel, Filtered, PipelineConfig, QuerySpec};
-use crate::shard::{Extent, ShardableModel, ShardedDb};
+use crate::shard::{Extent, ShardBalance, ShardableModel, ShardedDb};
+use crate::store::{CowModel, IndexedStore, StoredObject};
 
 /// A 2-D uncertain object: an id plus a uniform uncertainty region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,11 +135,24 @@ impl Default for Engine2dConfig {
     }
 }
 
-/// An in-memory database of 2-D uncertain objects.
-#[derive(Debug)]
+/// A 2-D object is stored under its conservative bounding box.
+impl StoredObject<2> for Object2d {
+    fn object_id(&self) -> ObjectId {
+        self.id()
+    }
+
+    fn bounding_rect(&self) -> Rect<2> {
+        self.bounding_box()
+    }
+}
+
+/// An in-memory database of 2-D uncertain objects over the shared
+/// persistent store (path-copying bbox R-tree + id map — see
+/// [`crate::store`]). `Clone` is O(1); insert/remove are O(log n) path
+/// copies, exactly like the 1-D database.
+#[derive(Debug, Clone)]
 pub struct UncertainDb2d {
-    objects: Vec<Object2d>,
-    tree: RTree<usize, 2>,
+    store: IndexedStore<Object2d, 2>,
     config: Engine2dConfig,
 }
 
@@ -150,43 +164,42 @@ impl UncertainDb2d {
 
     /// Build with explicit configuration.
     pub fn with_config(objects: Vec<Object2d>, config: Engine2dConfig) -> Result<Self> {
-        let mut ids: Vec<u64> = objects.iter().map(|o| o.id().0).collect();
-        ids.sort_unstable();
-        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
-            return Err(CoreError::DuplicateObjectId(w[0]));
-        }
-        let tree = RTree::bulk_load(
-            objects
-                .iter()
-                .enumerate()
-                .map(|(idx, o)| (o.bounding_box(), idx))
-                .collect(),
-        );
         Ok(Self {
-            objects,
-            tree,
+            store: IndexedStore::build(objects, Params::default())?,
             config,
         })
     }
 
     /// Number of stored objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.store.len()
     }
 
     /// Is the database empty?
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.store.is_empty()
     }
 
-    /// The stored objects.
-    pub fn objects(&self) -> &[Object2d] {
-        &self.objects
+    /// Materialize the stored objects (deterministic order; O(n)).
+    pub fn objects(&self) -> Vec<Object2d> {
+        self.store.objects()
     }
 
     /// Engine configuration.
     pub fn config(&self) -> &Engine2dConfig {
         &self.config
+    }
+
+    /// Insert a new object in place (O(log n) path copy). Fails on a
+    /// duplicate id. New with the persistent store: the 2-D database now
+    /// has the same dynamic-update surface as the 1-D one.
+    pub fn insert(&mut self, object: Object2d) -> Result<()> {
+        self.store.insert(object)
+    }
+
+    /// Remove an object by id in place, returning it if present.
+    pub fn remove(&mut self, id: ObjectId) -> Option<Object2d> {
+        self.store.remove(id)
     }
 
     /// Partition `objects` into a domain-sharded 2-D database: bbox tiles
@@ -197,6 +210,16 @@ impl UncertainDb2d {
         shards: usize,
     ) -> Result<ShardedDb<UncertainDb2d>> {
         ShardedDb::build(objects, Engine2dConfig::default(), shards)
+    }
+
+    /// As [`build_sharded`](Self::build_sharded) with an explicit
+    /// partitioning scheme (see [`ShardBalance`]).
+    pub fn build_sharded_with(
+        objects: Vec<Object2d>,
+        shards: usize,
+        balance: ShardBalance,
+    ) -> Result<ShardedDb<UncertainDb2d>> {
+        ShardedDb::build_with(objects, Engine2dConfig::default(), shards, balance)
     }
 
     /// C-PNN over 2-D objects: the unified verify → refine pipeline, as in
@@ -241,19 +264,12 @@ impl UncertainDb2d {
     }
 }
 
-/// One [`UncertainDb2d`] is one shard (its own bbox R-tree); a
-/// [`ShardedDb`] of these tiles the plane along the widest axis.
-impl ShardableModel for UncertainDb2d {
+/// Copy-on-write successors via the persistent store — the seam that
+/// gives the 2-D database the same serving-layer update surface
+/// ([`crate::server::QueryServer::insert`] and the write-coalescing lane)
+/// as the 1-D one.
+impl CowModel for UncertainDb2d {
     type Object = Object2d;
-    type Config = Engine2dConfig;
-
-    fn shard_config(&self) -> Engine2dConfig {
-        self.config
-    }
-
-    fn shard_objects(&self) -> Vec<Object2d> {
-        self.objects.clone()
-    }
 
     fn object_id(object: &Object2d) -> ObjectId {
         object.id()
@@ -264,8 +280,48 @@ impl ShardableModel for UncertainDb2d {
         Extent::new(bbox.min().to_vec(), bbox.max().to_vec())
     }
 
+    fn contains_id(&self, id: ObjectId) -> bool {
+        self.store.contains(id)
+    }
+
+    fn with_inserted(&self, object: Object2d) -> Result<Self> {
+        Ok(Self {
+            store: self.store.with_inserted(object)?,
+            config: self.config,
+        })
+    }
+
+    fn with_removed(&self, id: ObjectId) -> (Self, Option<Object2d>) {
+        let (store, removed) = self.store.with_removed(id);
+        (
+            Self {
+                store,
+                config: self.config,
+            },
+            removed,
+        )
+    }
+}
+
+/// One [`UncertainDb2d`] is one shard (its own bbox R-tree); a
+/// [`ShardedDb`] of these tiles the plane along the widest axis.
+impl ShardableModel for UncertainDb2d {
+    type Config = Engine2dConfig;
+
+    fn shard_config(&self) -> Engine2dConfig {
+        self.config
+    }
+
+    fn shard_objects(&self) -> Vec<Object2d> {
+        self.store.objects()
+    }
+
     fn build_shard(objects: Vec<Object2d>, config: &Engine2dConfig) -> Result<Self> {
         Self::with_config(objects, *config)
+    }
+
+    fn model_extent(&self) -> Option<Extent> {
+        self.store.extent()
     }
 }
 
@@ -273,7 +329,7 @@ impl DistanceModel for UncertainDb2d {
     type Query = [f64; 2];
 
     fn total_objects(&self) -> usize {
-        self.objects.len()
+        self.store.len()
     }
 
     fn check_query(&self, q: &[f64; 2]) -> Result<()> {
@@ -289,12 +345,8 @@ impl DistanceModel for UncertainDb2d {
         // region far, so the bbox horizon over-estimates and never wrongly
         // prunes), then exact pruning with true region distances against
         // the k-th smallest far point.
-        let (coarse, _) = if k <= 1 {
-            self.tree.pnn_candidates(q)
-        } else {
-            self.tree.pnn_candidates_k(q, k)
-        };
-        let mut survivors: Vec<&Object2d> = coarse.iter().map(|c| &self.objects[*c.item]).collect();
+        let (coarse, _) = self.store.candidates_k(q, k.max(1));
+        let mut survivors: Vec<&Object2d> = coarse.iter().map(|c| c.item).collect();
         let mut fars: Vec<f64> = survivors.iter().map(|o| o.far(*q)).collect();
         let horizon = crate::candidate::k_horizon(&mut fars, k);
         survivors.retain(|o| o.near(*q) <= horizon);
@@ -319,6 +371,10 @@ impl DistanceModel for UncertainDb2d {
 
     fn cache_key(&self, q: &[f64; 2]) -> Option<u128> {
         Some(crate::cache::point_key_2d(*q))
+    }
+
+    fn query_coords(&self, q: &[f64; 2]) -> Option<Vec<f64>> {
+        Some(q.to_vec())
     }
 }
 

@@ -31,12 +31,22 @@
 //! ## Sharding
 //!
 //! [`shard::ShardedDb`] partitions any [`shard::ShardableModel`] by
-//! domain: each shard owns its own R-tree, a query fans out only to
-//! shards overlapping its candidate horizon, and the merged candidates
-//! run the shared verify/refine flow once (results are identical to
-//! unsharded evaluation — property-tested). `insert`/`remove` rebuild
-//! only the owning shard, which is what makes [`server::QueryServer`]
-//! updates O(shard) instead of O(database).
+//! domain (equal-width slabs or equal-count quantiles —
+//! [`shard::ShardBalance`]): each shard owns its own R-tree, a query
+//! fans out only to shards overlapping its candidate horizon, and the
+//! merged candidates run the shared verify/refine flow once (results
+//! are identical to unsharded evaluation — property-tested).
+//! `insert`/`remove` path-copy only the owning shard.
+//!
+//! ## Persistent storage
+//!
+//! Storage is copy-on-write all the way down: objects live in the
+//! leaves of a persistent path-copying R-tree, with a persistent id map
+//! alongside ([`store::IndexedStore`] over [`cpnn_rtree::SpatialIndex`]).
+//! Any [`store::CowModel`] — the 1-D/2-D databases and [`ShardedDb`] —
+//! produces an O(log n) successor snapshot per update instead of a
+//! rebuild, and old handles keep answering for exactly their historical
+//! contents (property-tested in `tests/proptest_persistent.rs`).
 //!
 //! ## Execution modes
 //!
@@ -45,8 +55,12 @@
 //!   concurrently across scoped worker threads;
 //! * **serving** — [`server::QueryServer`] keeps a persistent worker pool
 //!   behind a submission queue, streaming responses per request while
-//!   `insert`/`remove` swap immutable database snapshots underneath the
-//!   stream (every response cites the snapshot version that answered it).
+//!   `insert`/`remove` swap immutable, path-copied database snapshots
+//!   underneath the stream (every response cites the snapshot version
+//!   that answered it); bursty writers queue on the write-coalescing
+//!   lane ([`server::QueryServer::queue_insert`] +
+//!   [`server::QueryServer::flush_writes`]) and publish a whole burst as
+//!   one swap.
 //!
 //! ## Caching
 //!
@@ -54,9 +68,12 @@
 //! init entirely: [`cache::VerifyCache`] — a per-thread LRU enabled via
 //! [`PipelineConfig`]'s `cache` knob and hung off [`QueryScratch`] —
 //! memoizes candidate sets, distance distributions, and subregion tables
-//! by quantized query point, invalidated whenever the serving snapshot
-//! version moves. Verify/refine always re-run, so cached and uncached
-//! evaluation agree bit-for-bit (property-tested).
+//! by quantized query point. Snapshot swaps invalidate it
+//! *incrementally*: only entries whose candidate horizon intersects an
+//! updated region drop ([`cache::VerifyCache::advance_version`]); the
+//! rest keep serving hits across versions. Verify/refine always re-run,
+//! so cached and uncached evaluation agree bit-for-bit
+//! (property-tested).
 //!
 //! ## Entry point
 //!
@@ -89,6 +106,7 @@ pub mod error;
 pub mod exact;
 pub mod framework;
 pub mod geometry2d;
+pub mod idmap;
 pub mod knn;
 pub mod montecarlo;
 pub mod object;
@@ -98,6 +116,7 @@ pub mod range;
 pub mod refine;
 pub mod server;
 pub mod shard;
+pub mod store;
 pub mod subregion;
 pub mod verifiers;
 
@@ -121,6 +140,7 @@ pub use object::{ObjectId, UncertainObject};
 pub use pipeline::{DistanceModel, PipelineConfig, QueryScratch, QuerySpec};
 pub use range::RangeAnswer;
 pub use refine::RefinementOrder;
-pub use server::{QueryServer, Served, ServerStats, Snapshot, Ticket};
-pub use shard::{Extent, ShardPoint, ShardableModel, ShardedDb};
+pub use server::{FlushReport, QueryServer, Served, ServerStats, Snapshot, Ticket, UpdateOutcome};
+pub use shard::{Extent, ShardBalance, ShardPoint, ShardableModel, ShardedDb};
+pub use store::{CowModel, IndexedStore, StoredObject};
 pub use subregion::SubregionTable;

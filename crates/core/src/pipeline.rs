@@ -294,6 +294,17 @@ pub trait DistanceModel {
         let _ = q;
         None
     }
+
+    /// The raw coordinates of a query point, or `None` when the model
+    /// cannot expose them. Used only to let cached verification state
+    /// survive *incremental* invalidation ([`VerifyCache::advance_version`]):
+    /// entries without coordinates are dropped conservatively whenever a
+    /// region-scoped invalidation runs, so the default costs correctness
+    /// nothing.
+    fn query_coords(&self, q: &Self::Query) -> Option<Vec<f64>> {
+        let _ = q;
+        None
+    }
 }
 
 /// Reusable per-query state: the verification buffers and, when caching
@@ -359,6 +370,24 @@ impl QueryScratch {
         self.snapshot_version = version;
         if let Some(cache) = self.cache.as_mut() {
             cache.set_version(version);
+        }
+    }
+
+    /// Pin a newer snapshot version with the regions the intervening
+    /// updates touched: cached entries provably unaffected by every
+    /// region survive, the rest drop
+    /// ([`VerifyCache::advance_version`]). `None` regions — the updates'
+    /// footprint is unknown — fall back to the full clear of
+    /// [`set_snapshot_version`](Self::set_snapshot_version).
+    pub fn advance_snapshot(&mut self, version: u64, regions: Option<&[crate::shard::Extent]>) {
+        match regions {
+            Some(regions) => {
+                self.snapshot_version = version;
+                if let Some(cache) = self.cache.as_mut() {
+                    cache.advance_version(version, regions);
+                }
+            }
+            None => self.set_snapshot_version(version),
         }
     }
 
@@ -443,8 +472,13 @@ pub fn cpnn_with<M: DistanceModel + ?Sized>(
             stats.init_time = init_time;
             let cands = Arc::new(cands);
             if let Some((point, k)) = slot {
+                let coords = model.query_coords(&q_eval);
                 if let Some(cache) = scratch.cache_mut(&cfg.cache) {
-                    cache.insert(point, k, CachedQuery::new(Arc::clone(&cands)));
+                    cache.insert(
+                        point,
+                        k,
+                        CachedQuery::for_query(Arc::clone(&cands), coords, k),
+                    );
                 }
             }
             (cands, None)

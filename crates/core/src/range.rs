@@ -35,11 +35,10 @@ impl UncertainDb {
             return Err(CoreError::InvalidThreshold(threshold));
         }
         // Filtering: only objects whose uncertainty region overlaps the
-        // range can have non-zero probability.
+        // range can have non-zero probability. The store's index holds the
+        // objects themselves, so the hits come back directly.
         let mut out: Vec<RangeAnswer> = Vec::new();
-        let tree = self.tree();
-        for (_, &idx) in tree.search_intersecting(&Rect::interval(lo, hi)) {
-            let obj = &self.objects()[idx];
+        for (_, obj) in self.store().intersecting(&Rect::interval(lo, hi)) {
             let p = obj.pdf().mass_between(lo, hi);
             if p >= threshold {
                 out.push(RangeAnswer {

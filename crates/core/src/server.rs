@@ -19,13 +19,28 @@
 //!   verification/refinement buffers across queries);
 //! * **snapshot-swap updates** — the database lives behind an [`Arc`] in
 //!   a versioned [`Snapshot`]. Writers never mutate it in place: an
-//!   [`update`](QueryServer::update) builds a *new* model
-//!   (copy-on-write — see [`QueryServer::insert`] /
-//!   [`QueryServer::remove`] for the 1-D database) and swaps the `Arc`
-//!   atomically. A worker pins the snapshot it dequeued a job with, so
-//!   every response is evaluated against exactly one consistent database
-//!   version — reads never block on writes and never observe a half-applied
-//!   update (property-tested in `tests/proptest_server.rs`).
+//!   [`update`](QueryServer::update) builds a *new* model and swaps the
+//!   `Arc` atomically. For any [`CowModel`] (the 1-D/2-D databases and
+//!   [`ShardedDb`]) the successor is a **path copy** —
+//!   [`QueryServer::insert`] / [`QueryServer::remove`] are O(log n)
+//!   structural edits, never rebuilds. A worker pins the snapshot it
+//!   dequeued a job with, so every response is evaluated against exactly
+//!   one consistent database version — reads never block on writes and
+//!   never observe a half-applied update (property-tested in
+//!   `tests/proptest_server.rs`).
+//! * **write-coalescing lane** — bursty writers enqueue updates without
+//!   publishing ([`queue_insert`](QueryServer::queue_insert) /
+//!   [`queue_remove`](QueryServer::queue_remove), each returning a
+//!   [`Ticket`]); [`flush_writes`](QueryServer::flush_writes) drains the
+//!   whole burst into **one** snapshot publish — one version bump, one
+//!   cache-invalidation pass, N applied updates. Per-op outcomes resolve
+//!   through the tickets at flush time.
+//! * **incremental cache invalidation** — every publish records the
+//!   regions it touched in a bounded journal; workers re-pinning onto a
+//!   newer snapshot drop only the cached verification state whose
+//!   candidate horizon intersects those regions
+//!   ([`crate::cache::VerifyCache::advance_version`]) instead of clearing
+//!   their whole cache.
 //!
 //! Results for a given snapshot version are bitwise identical to a
 //! sequential [`crate::pipeline::cpnn`] run at any thread count: each
@@ -67,18 +82,26 @@
 //! assert_eq!(stats.served, 2);
 //! ```
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use crate::engine::UncertainDb;
 use crate::error::Result;
-use crate::object::{ObjectId, UncertainObject};
+use crate::object::ObjectId;
 use crate::pipeline::{
     cpnn_with, CpnnResult, DistanceModel, PipelineConfig, QueryScratch, QuerySpec,
 };
-use crate::shard::{ShardPoint, ShardableModel, ShardedDb};
+use crate::shard::Extent;
+#[cfg(doc)]
+use crate::shard::ShardedDb;
+use crate::store::CowModel;
+
+/// How many published versions the region journal remembers. A worker
+/// that fell further behind than this simply clears its whole cache — the
+/// journal bounds memory, not correctness.
+const JOURNAL_CAP: usize = 128;
 
 /// A versioned, immutable database snapshot.
 ///
@@ -152,13 +175,45 @@ impl<T> Ticket<T> {
 pub struct ServerStats {
     /// Individual query responses sent (micro-batch members count one each).
     pub served: u64,
-    /// Snapshot swaps applied.
+    /// Snapshot swaps applied (a coalesced burst counts once).
     pub updates: u64,
+    /// Write-lane bursts published by [`QueryServer::flush_writes`] (each
+    /// is one snapshot swap covering one or more applied updates).
+    pub coalesced_batches: u64,
+    /// Individual updates applied through the write lane (members of
+    /// coalesced batches; direct [`QueryServer::insert`]/[`remove`](QueryServer::remove)
+    /// calls are not counted here — they are their own swaps).
+    pub applied_updates: u64,
     /// Verification-cache hits across all workers (0 unless the server's
     /// [`PipelineConfig`] enabled the cache; see [`crate::cache`]).
     pub cache_hits: u64,
     /// Verification-cache misses across all workers.
     pub cache_misses: u64,
+}
+
+/// Outcome of one queued write, resolved when its burst is flushed.
+#[derive(Debug)]
+pub struct UpdateOutcome {
+    /// Per-op result (e.g. a duplicate-id insert fails while the rest of
+    /// its burst still applies).
+    pub result: Result<()>,
+    /// The snapshot version this op is visible in (for a failed op: the
+    /// version current when its burst published).
+    pub snapshot_version: u64,
+    /// How many ops shared the burst (1 = no coalescing happened).
+    pub batch: usize,
+}
+
+/// What [`QueryServer::flush_writes`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Ops drained from the queue.
+    pub queued: usize,
+    /// Ops that applied successfully.
+    pub applied: usize,
+    /// The version the burst published under, `None` when nothing was
+    /// queued or every op failed (no swap happened).
+    pub published: Option<u64>,
 }
 
 enum Job<M: DistanceModel> {
@@ -188,8 +243,16 @@ struct Shared<M> {
     /// Serializes writers so copy-on-write rebuilds never race (readers are
     /// unaffected).
     writer: Mutex<()>,
+    /// Bounded history of `(version, regions touched by that publish)`.
+    /// `None` regions mean the footprint is unknown (an arbitrary
+    /// [`QueryServer::update`] closure) — workers crossing such a version
+    /// fall back to a full cache clear. Entries are pushed *before* the
+    /// version atomic moves, so any observed version is already journaled.
+    journal: Mutex<VecDeque<(u64, Option<Vec<Extent>>)>>,
     served: AtomicU64,
     updates: AtomicU64,
+    coalesced_batches: AtomicU64,
+    applied_updates: AtomicU64,
     /// Per-worker verification-cache hits/misses, flushed after every job
     /// so [`QueryServer::stats`] reads are current.
     cache_hits: AtomicU64,
@@ -203,6 +266,64 @@ impl<M> Shared<M> {
             .expect("snapshot lock unpoisoned")
             .clone()
     }
+
+    /// Swap `next` in and publish its version. Caller must hold the
+    /// writer lock; `regions` is this publish's update footprint for the
+    /// journal (`None` = unknown, forces full cache clears downstream).
+    fn publish(&self, next: Snapshot<M>, regions: Option<Vec<Extent>>) {
+        let version = next.version;
+        // Journal *before* swapping the snapshot in: a worker can pin
+        // whatever sits behind `current` the moment the swap lands (it
+        // re-pins on any version movement, not just this one), so the
+        // journal entry must already be there — otherwise the worker's
+        // regions_between lookup would miss and force a spurious full
+        // cache clear.
+        let mut journal = self.journal.lock().expect("journal lock unpoisoned");
+        journal.push_back((version, regions));
+        while journal.len() > JOURNAL_CAP {
+            journal.pop_front();
+        }
+        drop(journal);
+        let mut current = self.current.lock().expect("snapshot lock unpoisoned");
+        debug_assert_eq!(
+            current.version + 1,
+            version,
+            "writers are serialized, so the base cannot move underneath us"
+        );
+        *current = next;
+        drop(current);
+        // Publish last: a worker that observes the new version finds both
+        // the snapshot and its journal entry.
+        self.version.store(version, Ordering::Release);
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The concatenated update regions for versions `(old, new]`, or
+    /// `None` when any of them is missing from the journal or has an
+    /// unknown footprint (→ the caller must fully clear its cache).
+    fn regions_between(&self, old: u64, new: u64) -> Option<Vec<Extent>> {
+        let journal = self.journal.lock().expect("journal lock unpoisoned");
+        let mut out = Vec::new();
+        for v in old + 1..=new {
+            match journal.iter().find(|(ver, _)| *ver == v) {
+                Some((_, Some(regions))) => out.extend(regions.iter().cloned()),
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+/// A queued write's application: current model in, successor model plus
+/// the regions the write touched out.
+type ApplyWrite<M> = Box<dyn FnOnce(&M) -> Result<(M, Vec<Extent>)> + Send>;
+
+/// One queued write: a copy-on-write application returning the successor
+/// model plus the regions it touched, and the reply channel its
+/// [`UpdateOutcome`] resolves through at flush time.
+struct QueuedWrite<M> {
+    apply: ApplyWrite<M>,
+    reply: Sender<UpdateOutcome>,
 }
 
 /// A long-lived query-serving worker pool over an immutable, swappable
@@ -214,6 +335,9 @@ pub struct QueryServer<M: DistanceModel> {
     tx: Option<Sender<Job<M>>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// The write-coalescing lane: queued (unpublished) updates, drained
+    /// into one snapshot publish by [`flush_writes`](Self::flush_writes).
+    queued: Mutex<Vec<QueuedWrite<M>>>,
 }
 
 impl<M> QueryServer<M>
@@ -242,8 +366,11 @@ where
             }),
             version: AtomicU64::new(0),
             writer: Mutex::new(()),
+            journal: Mutex::new(VecDeque::new()),
             served: AtomicU64::new(0),
             updates: AtomicU64::new(0),
+            coalesced_batches: AtomicU64::new(0),
+            applied_updates: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
         });
@@ -261,6 +388,7 @@ where
             tx: Some(tx),
             workers,
             threads,
+            queued: Mutex::new(Vec::new()),
         }
     }
 
@@ -296,7 +424,11 @@ where
             .expect("serving queue open while server alive");
         Ticket(ticket)
     }
+}
 
+/// Update, flush, and lifecycle surface — available for any model (no
+/// `Send`/`Sync` bounds: nothing here crosses a thread).
+impl<M: DistanceModel> QueryServer<M> {
     /// Swap in a new snapshot built from the current one (copy-on-write).
     ///
     /// `rebuild` receives the current model and returns its replacement;
@@ -304,35 +436,104 @@ where
     /// is returned. Writers are serialized against each other; readers are
     /// never blocked — in-flight queries keep the snapshot they pinned and
     /// finish against it.
+    ///
+    /// The update's footprint is unknown to the server, so workers
+    /// crossing this version clear their verification caches entirely;
+    /// [`insert`](Self::insert)/[`remove`](Self::remove) record their
+    /// touched regions and invalidate incrementally instead.
     pub fn update<F>(&self, rebuild: F) -> Result<Snapshot<M>>
     where
         F: FnOnce(&M) -> Result<M>,
     {
+        self.update_tracked(|model| rebuild(model).map(|next| (next, None)))
+    }
+
+    /// [`update`](Self::update) with a known region footprint: `rebuild`
+    /// additionally reports which regions it touched, which lets workers
+    /// invalidate their caches incrementally.
+    fn update_tracked<F>(&self, rebuild: F) -> Result<Snapshot<M>>
+    where
+        F: FnOnce(&M) -> Result<(M, Option<Vec<Extent>>)>,
+    {
         let _writers = self.shared.writer.lock().expect("writer lock unpoisoned");
         let base = self.shared.pin();
+        let (model, regions) = rebuild(&base.model)?;
         let next = Snapshot {
             version: base.version + 1,
-            model: Arc::new(rebuild(&base.model)?),
+            model: Arc::new(model),
         };
-        let swapped = next.clone();
-        let mut current = self
-            .shared
-            .current
-            .lock()
-            .expect("snapshot lock unpoisoned");
-        debug_assert_eq!(
-            current.version, base.version,
-            "writers are serialized, so the base cannot move underneath us"
-        );
-        *current = next;
-        drop(current);
-        // Publish after the swap: a worker that observes the new version
-        // will find (at least) that snapshot behind the lock.
-        self.shared
-            .version
-            .store(swapped.version, Ordering::Release);
-        self.shared.updates.fetch_add(1, Ordering::Relaxed);
-        Ok(swapped)
+        self.shared.publish(next.clone(), regions);
+        Ok(next)
+    }
+
+    /// Drain every queued write (see [`queue_insert`](Self::queue_insert))
+    /// into **one** snapshot publish: ops apply in queue order onto a
+    /// single successor model, the swap happens once, and every op's
+    /// [`Ticket`] resolves with its [`UpdateOutcome`]. An op that fails
+    /// (e.g. a duplicate-id insert) reports its error without blocking the
+    /// rest of the burst. No-op (and no version bump) when nothing is
+    /// queued or every op failed.
+    pub fn flush_writes(&self) -> FlushReport {
+        // Take the writer lock *before* draining the queue, so a flush is
+        // linearizable: by the time any flush_writes returns, every write
+        // queued before the call is published (possibly by a concurrent
+        // flusher that held the lock — and therefore finished — first).
+        let _writers = self.shared.writer.lock().expect("writer lock unpoisoned");
+        let burst: Vec<QueuedWrite<M>> =
+            std::mem::take(&mut *self.queued.lock().expect("write queue unpoisoned"));
+        let total = burst.len();
+        if total == 0 {
+            return FlushReport {
+                queued: 0,
+                applied: 0,
+                published: None,
+            };
+        }
+        let base = self.shared.pin();
+        let mut acc: Option<M> = None;
+        let mut regions: Vec<Extent> = Vec::new();
+        let mut applied = 0usize;
+        let mut replies: Vec<(Sender<UpdateOutcome>, Result<()>)> = Vec::with_capacity(total);
+        for write in burst {
+            let current: &M = acc.as_ref().unwrap_or(&base.model);
+            match (write.apply)(current) {
+                Ok((next, touched)) => {
+                    acc = Some(next);
+                    regions.extend(touched);
+                    applied += 1;
+                    replies.push((write.reply, Ok(())));
+                }
+                Err(e) => replies.push((write.reply, Err(e))),
+            }
+        }
+        let published = acc.map(|model| {
+            let next = Snapshot {
+                version: base.version + 1,
+                model: Arc::new(model),
+            };
+            self.shared.publish(next, Some(regions));
+            self.shared
+                .coalesced_batches
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .applied_updates
+                .fetch_add(applied as u64, Ordering::Relaxed);
+            base.version + 1
+        });
+        let version = published.unwrap_or(base.version);
+        for (reply, result) in replies {
+            // A dropped ticket (fire-and-forget writer) is fine.
+            let _ = reply.send(UpdateOutcome {
+                result,
+                snapshot_version: version,
+                batch: total,
+            });
+        }
+        FlushReport {
+            queued: total,
+            applied,
+            published,
+        }
     }
 
     /// Counters so far (also returned by [`shutdown`](Self::shutdown)).
@@ -340,14 +541,18 @@ where
         ServerStats {
             served: self.shared.served.load(Ordering::Relaxed),
             updates: self.shared.updates.load(Ordering::Relaxed),
+            coalesced_batches: self.shared.coalesced_batches.load(Ordering::Relaxed),
+            applied_updates: self.shared.applied_updates.load(Ordering::Relaxed),
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.shared.cache_misses.load(Ordering::Relaxed),
         }
     }
 
-    /// Close the queue, drain every pending job, join the workers, and
-    /// report totals. Dropping the server does the same without the report.
+    /// Flush any queued writes, close the queue, drain every pending job,
+    /// join the workers, and report totals. Dropping the server does the
+    /// same without the report.
     pub fn shutdown(mut self) -> ServerStats {
+        self.flush_writes();
         self.join_workers();
         self.stats()
     }
@@ -368,9 +573,11 @@ where
 
 impl<M: DistanceModel> Drop for QueryServer<M> {
     fn drop(&mut self) {
-        // `join_workers` inlined: Drop cannot rely on the Send/Sync bounds
-        // of the inherent impl, but dropping the sender and joining needs
-        // neither.
+        // Resolve queued write tickets (flush needs no Send/Sync bounds),
+        // then close the queue and join. `join_workers` is inlined: Drop
+        // cannot rely on the Send/Sync bounds of the inherent impl, but
+        // dropping the sender and joining needs neither.
+        self.flush_writes();
         drop(self.tx.take());
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -378,57 +585,72 @@ impl<M: DistanceModel> Drop for QueryServer<M> {
     }
 }
 
-impl QueryServer<UncertainDb> {
-    /// Copy-on-write insert: rebuilds the 1-D database with `object` added
-    /// and swaps it in. Fails on a duplicate id (the snapshot is untouched).
-    pub fn insert(&self, object: UncertainObject) -> Result<Snapshot<UncertainDb>> {
-        self.update(move |db| {
-            let mut objects = db.objects().to_vec();
-            objects.push(object);
-            UncertainDb::with_config(objects, *db.config())
-        })
-    }
-
-    /// Copy-on-write remove: rebuilds the 1-D database without `id` and
-    /// swaps it in. Removing an absent id still swaps (contents unchanged,
-    /// version advanced).
-    pub fn remove(&self, id: ObjectId) -> Result<Snapshot<UncertainDb>> {
-        self.update(move |db| {
-            let objects: Vec<UncertainObject> = db
-                .objects()
-                .iter()
-                .filter(|o| o.id() != id)
-                .cloned()
-                .collect();
-            UncertainDb::with_config(objects, *db.config())
-        })
-    }
-}
-
-/// Per-shard copy-on-write updates for a server over a [`ShardedDb`]:
-/// the snapshot holds one `Arc` per shard, so `insert`/`remove` rebuild
-/// **only the owning shard** — O(shard) instead of O(database) — while
-/// every untouched shard `Arc` is shared between the old and new
-/// snapshot. Snapshot-atomicity guarantees are unchanged: readers pin a
-/// whole `ShardedDb` version and never observe a half-swapped shard set
-/// (property-tested in `tests/proptest_shard.rs`).
-impl<M> QueryServer<ShardedDb<M>>
+/// Update surface for any [`CowModel`] — the 1-D/2-D databases (O(log n)
+/// store path copies) and [`ShardedDb`] (path copy of the owning shard
+/// only, all other shard `Arc`s shared between snapshots). Snapshot
+/// atomicity is unchanged: readers pin a whole model version and never
+/// observe a half-applied update (property-tested in
+/// `tests/proptest_server.rs` / `tests/proptest_shard.rs`).
+impl<M> QueryServer<M>
 where
-    M: ShardableModel + Send + Sync + 'static,
-    M::Query: ShardPoint + Send + 'static,
-    M::Config: Send + Sync + 'static,
+    M: DistanceModel + CowModel + Send + Sync + 'static,
+    M::Query: Send + 'static,
+    M::Object: Send + 'static,
 {
-    /// Copy-on-write insert touching only the owning shard. Fails on a
-    /// duplicate id anywhere in the database (the snapshot is untouched).
-    pub fn insert(&self, object: M::Object) -> Result<Snapshot<ShardedDb<M>>> {
-        self.update(move |db| db.with_inserted(object))
+    /// Copy-on-write insert: path-copies the structures around `object`
+    /// and swaps the successor in immediately (its own version bump).
+    /// Fails on a duplicate id (the snapshot is untouched). For bursty
+    /// writers prefer [`queue_insert`](Self::queue_insert) +
+    /// [`flush_writes`](Self::flush_writes).
+    pub fn insert(&self, object: M::Object) -> Result<Snapshot<M>> {
+        let region = M::object_extent(&object);
+        self.update_tracked(move |db| {
+            db.with_inserted(object)
+                .map(|next| (next, Some(vec![region])))
+        })
     }
 
-    /// Copy-on-write remove touching only the shard that stores `id`.
-    /// Removing an absent id still swaps (contents unchanged, version
-    /// advanced), mirroring the unsharded server.
-    pub fn remove(&self, id: ObjectId) -> Result<Snapshot<ShardedDb<M>>> {
-        self.update(move |db| Ok(db.with_removed(id)))
+    /// Copy-on-write remove: as [`insert`](Self::insert). Removing an
+    /// absent id still swaps (contents unchanged, version advanced), and
+    /// records an empty footprint so caches survive untouched.
+    pub fn remove(&self, id: ObjectId) -> Result<Snapshot<M>> {
+        self.update_tracked(move |db| {
+            let (next, removed) = db.with_removed(id);
+            let regions = removed.as_ref().map(M::object_extent).into_iter().collect();
+            Ok((next, Some(regions)))
+        })
+    }
+
+    /// Queue an insert on the write-coalescing lane **without**
+    /// publishing. The returned ticket resolves when a
+    /// [`flush_writes`](Self::flush_writes) drains the burst (shutdown and
+    /// drop flush too, so tickets never dangle).
+    pub fn queue_insert(&self, object: M::Object) -> Ticket<UpdateOutcome> {
+        let region = M::object_extent(&object);
+        self.queue_write(Box::new(move |db: &M| {
+            db.with_inserted(object).map(|next| (next, vec![region]))
+        }))
+    }
+
+    /// Queue a remove on the write-coalescing lane; see
+    /// [`queue_insert`](Self::queue_insert).
+    pub fn queue_remove(&self, id: ObjectId) -> Ticket<UpdateOutcome> {
+        self.queue_write(Box::new(move |db: &M| {
+            let (next, removed) = db.with_removed(id);
+            Ok((
+                next,
+                removed.as_ref().map(M::object_extent).into_iter().collect(),
+            ))
+        }))
+    }
+
+    fn queue_write(&self, apply: ApplyWrite<M>) -> Ticket<UpdateOutcome> {
+        let (reply, ticket) = mpsc::channel();
+        self.queued
+            .lock()
+            .expect("write queue unpoisoned")
+            .push(QueuedWrite { apply, reply });
+        Ticket(ticket)
     }
 }
 
@@ -452,13 +674,21 @@ where
             Err(_) => return, // queue closed and drained: shutdown
         };
         if shared.version.load(Ordering::Acquire) != pinned.version {
+            let old = pinned.version;
             pinned = shared.pin();
+            // Pin the evaluated version on the scratch *before* evaluating:
+            // no response is ever served from state computed against a
+            // version other than the one it cites. When the journal knows
+            // the full region footprint of every crossed version, the
+            // worker's verification cache is invalidated *incrementally* —
+            // only entries whose candidate horizon intersects an updated
+            // region drop; otherwise (journal gap or an untracked update)
+            // the cache clears entirely.
+            let regions = shared.regions_between(old, pinned.version);
+            scratch.advance_snapshot(pinned.version, regions.as_deref());
+        } else {
+            scratch.set_snapshot_version(pinned.version);
         }
-        // Pin the evaluated version on the scratch *before* evaluating:
-        // a snapshot swap since the last job invalidates the worker's
-        // verification cache, so no response is ever served from state
-        // computed against a version other than the one it cites.
-        scratch.set_snapshot_version(pinned.version);
         match job {
             Job::One { q, spec, reply } => {
                 let result = cpnn_with(&*pinned.model, &q, &spec, cfg, &mut scratch);
@@ -510,8 +740,10 @@ fn flush_cache_counters<M>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{EngineConfig, UncertainDb};
+    use crate::object::UncertainObject;
     use crate::pipeline::{cpnn, Strategy};
+    use crate::shard::ShardedDb;
 
     fn db(n: u64) -> UncertainDb {
         let objects: Vec<UncertainObject> = (0..n)

@@ -7,12 +7,16 @@
 //! point, Sec. III / IV-A), so a query only ever needs the shards whose
 //! extents intersect that horizon. Concretely:
 //!
-//! * **partitioning** — objects are assigned to `N` equal-width slabs of
-//!   the build-time domain along its widest axis (1-D: domain intervals;
+//! * **partitioning** — objects are assigned to `N` slabs of the
+//!   build-time domain along its widest axis (1-D: domain intervals;
 //!   2-D: bounding-box tiles), keyed by the center of their uncertainty
-//!   region. Each shard is a complete [`ShardableModel`] — it owns its own
-//!   objects *and its own R-tree* — so the single-shard case is literally
-//!   `shards = 1`, with no second code path.
+//!   region. Slab boundaries come from either scheme of [`ShardBalance`]:
+//!   equal-**width** slabs (the default) or equal-**count** quantiles of
+//!   the object centers, which keeps shard populations balanced under
+//!   clustered data (Long Beach clustering makes the widest equal-width
+//!   shard ~2.4× the mean). Each shard is a complete [`ShardableModel`] —
+//!   it owns its own objects *and its own R-tree* — so the single-shard
+//!   case is literally `shards = 1`, with no second code path.
 //! * **fan-out** — [`ShardedDb::overlapping`] selects the shards a query
 //!   must visit (a static horizon bound from shard MBRs), and
 //!   [`crate::pipeline::fan_out_filter`] merges their survivor sets while
@@ -21,11 +25,12 @@
 //!   identical to unsharded evaluation (see the equivalence argument on
 //!   [`fan_out_filter`](crate::pipeline::fan_out_filter) and
 //!   `tests/proptest_shard.rs`).
-//! * **per-shard copy-on-write** — every shard sits behind an [`Arc`];
-//!   [`ShardedDb::with_inserted`] / [`with_removed`](ShardedDb::with_removed)
-//!   rebuild *only the owning shard* and share the rest, which is what
-//!   turns [`crate::server::QueryServer`] updates from O(database rebuild)
-//!   into O(shard rebuild).
+//! * **per-shard path-copying** — every shard sits behind an [`Arc`];
+//!   [`CowModel::with_inserted`] / [`CowModel::with_removed`] **path-copy
+//!   only the owning shard** (O(log |shard|) via the persistent store —
+//!   see [`crate::store`]) and share every other shard `Arc`, which is
+//!   what turns [`crate::server::QueryServer`] updates from rebuilds into
+//!   structural edits.
 //!
 //! ```
 //! use cpnn_core::{CpnnQuery, ObjectId, ShardedDb, Strategy, UncertainDb, UncertainObject};
@@ -48,6 +53,7 @@ use crate::engine::{CpnnQuery, CpnnResult, PnnResult, Strategy};
 use crate::error::{CoreError, Result};
 use crate::object::ObjectId;
 use crate::pipeline::{self, DistanceModel, Filtered, PipelineConfig, QuerySpec};
+use crate::store::CowModel;
 
 /// Axis-aligned extent (a minimum bounding box) of a set of objects, in
 /// the model's native dimension — the only geometry sharding needs.
@@ -134,71 +140,74 @@ impl ShardPoint for [f64; 2] {
     }
 }
 
-/// A [`DistanceModel`] that a [`ShardedDb`] can partition by domain: it
-/// exposes its stored objects with axis-aligned extents and can rebuild
-/// itself over any subset (each shard is one such rebuild, with its own
+/// Dimension-erased coordinates (the verification cache stores query
+/// points this way for incremental invalidation).
+impl ShardPoint for &[f64] {
+    fn coord(&self, axis: usize) -> f64 {
+        self[axis]
+    }
+}
+
+/// How slab boundaries along the partitioning axis are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardBalance {
+    /// Equal-width slabs of the build-time domain (the original scheme).
+    /// Simple and stable, but clustered data skews shard populations.
+    #[default]
+    Width,
+    /// Equal-count slabs: boundaries at the quantiles of the object
+    /// centers along the partitioning axis, so every shard starts with
+    /// (nearly) the same number of objects regardless of clustering.
+    Quantile,
+}
+
+impl ShardBalance {
+    /// Parse a CLI name (`width` | `quantile`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "width" => Some(Self::Width),
+            "quantile" => Some(Self::Quantile),
+            _ => None,
+        }
+    }
+}
+
+/// A [`DistanceModel`] that a [`ShardedDb`] can partition by domain: a
+/// [`CowModel`] (copy-on-write successors, id membership, per-object
+/// extents) that additionally exposes its stored objects and can rebuild
+/// itself over any subset (each shard is one such build, with its own
 /// index).
 ///
 /// Implementations: [`crate::engine::UncertainDb`] (1-D intervals) and
 /// [`crate::engine2d::UncertainDb2d`] (2-D bounding boxes).
-pub trait ShardableModel: DistanceModel + Sized {
-    /// The stored-object type.
-    type Object: Clone;
+pub trait ShardableModel: DistanceModel + CowModel {
     /// Tuning configuration, shared by every shard.
     type Config: Clone;
 
-    /// The model's configuration (propagated to each shard on rebuild).
+    /// The model's configuration (propagated to each shard on build).
     fn shard_config(&self) -> Self::Config;
-    /// A copy of the stored objects (used for shard rebuilds).
+    /// A copy of the stored objects (used for shard builds/re-shards).
     fn shard_objects(&self) -> Vec<Self::Object>;
-    /// An object's identifier.
-    fn object_id(object: &Self::Object) -> ObjectId;
-    /// An object's axis-aligned extent (its uncertainty-region bbox).
-    fn object_extent(object: &Self::Object) -> Extent;
     /// Build one shard — a complete model with its own index — over
     /// `objects`.
     fn build_shard(objects: Vec<Self::Object>, config: &Self::Config) -> Result<Self>;
+    /// The exact extent of the stored objects (`None` when empty) — kept
+    /// current by the persistent index across updates, so shard routing
+    /// never works from stale bounds.
+    fn model_extent(&self) -> Option<Extent>;
     /// The pipeline-level slice of the model's configuration.
     fn pipeline_config(&self) -> PipelineConfig {
         PipelineConfig::default()
     }
 }
 
-/// One shard: a full model plus two things cached for routing — the MBR
-/// of its members (`None` when empty) and their sorted ids, so membership
-/// checks during updates are O(log |shard|) instead of a linear object
-/// scan (which would put an O(|T|) term back into every per-shard update).
-#[derive(Debug)]
-struct Shard<M> {
-    model: M,
-    extent: Option<Extent>,
-    ids: Vec<u64>,
-}
-
-impl<M: ShardableModel> Shard<M> {
-    fn build(objects: Vec<M::Object>, config: &M::Config) -> Result<Self> {
-        let extent = objects
-            .iter()
-            .map(M::object_extent)
-            .reduce(|a, b| a.union(&b));
-        let mut ids: Vec<u64> = objects.iter().map(|o| M::object_id(o).0).collect();
-        ids.sort_unstable();
-        let model = M::build_shard(objects, config)?;
-        Ok(Self { model, extent, ids })
-    }
-
-    fn contains(&self, id: ObjectId) -> bool {
-        self.ids.binary_search(&id.0).is_ok()
-    }
-}
-
 /// A domain-partitioned database of uncertain objects: `N` shards, each a
 /// complete [`ShardableModel`] behind an [`Arc`]. See the [module
-/// docs](self) for the partitioning scheme, fan-out, and per-shard
-/// copy-on-write semantics.
+/// docs](self) for the partitioning schemes, fan-out, and per-shard
+/// path-copying semantics.
 #[derive(Debug)]
 pub struct ShardedDb<M: ShardableModel> {
-    shards: Vec<Arc<Shard<M>>>,
+    shards: Vec<Arc<M>>,
     /// Partitioning axis: the widest axis of the build-time domain.
     axis: usize,
     /// `shards.len() + 1` ascending slab boundaries along `axis`; inserts
@@ -224,6 +233,16 @@ impl<M: ShardableModel> ShardedDb<M> {
     /// build one model per slab. `shards = 0` is treated as 1; fails on
     /// duplicate object ids (checked across the whole database).
     pub fn build(objects: Vec<M::Object>, config: M::Config, shards: usize) -> Result<Self> {
+        Self::build_with(objects, config, shards, ShardBalance::Width)
+    }
+
+    /// Partition with an explicit balancing scheme (see [`ShardBalance`]).
+    pub fn build_with(
+        objects: Vec<M::Object>,
+        config: M::Config,
+        shards: usize,
+        balance: ShardBalance,
+    ) -> Result<Self> {
         let n = shards.max(1);
         let mut ids: Vec<u64> = objects.iter().map(|o| M::object_id(o).0).collect();
         ids.sort_unstable();
@@ -244,16 +263,46 @@ impl<M: ShardableModel> ShardedDb<M> {
             }
             None => (0, 0.0, 0.0),
         };
-        let width = (hi - lo).max(0.0);
-        let bounds: Vec<f64> = (0..=n)
-            .map(|i| {
-                if i == n {
-                    hi
-                } else {
-                    lo + width * i as f64 / n as f64
+        let bounds = match balance {
+            ShardBalance::Width => {
+                let width = (hi - lo).max(0.0);
+                (0..=n)
+                    .map(|i| {
+                        if i == n {
+                            hi
+                        } else {
+                            lo + width * i as f64 / n as f64
+                        }
+                    })
+                    .collect()
+            }
+            ShardBalance::Quantile => {
+                // Interior boundaries at the object-center quantiles: slab
+                // i holds (roughly) centers of rank [i·|T|/N, (i+1)·|T|/N).
+                let mut centers: Vec<f64> = objects
+                    .iter()
+                    .map(|o| M::object_extent(o).center(axis))
+                    .collect();
+                centers.sort_by(f64::total_cmp);
+                let mut bounds = Vec::with_capacity(n + 1);
+                bounds.push(lo);
+                for i in 1..n {
+                    let rank = (i * centers.len()) / n;
+                    bounds.push(centers.get(rank).copied().unwrap_or(hi));
                 }
-            })
-            .collect();
+                bounds.push(hi);
+                // Quantiles of clustered data can repeat; keep the
+                // boundary list non-decreasing so slab routing stays a
+                // partition point (duplicate boundaries yield empty slabs,
+                // which the fan-out skips for free).
+                for i in 1..bounds.len() {
+                    if bounds[i] < bounds[i - 1] {
+                        bounds[i] = bounds[i - 1];
+                    }
+                }
+                bounds
+            }
+        };
         let mut buckets: Vec<Vec<M::Object>> = (0..n).map(|_| Vec::new()).collect();
         for o in objects {
             let slab = slab_of(&bounds, M::object_extent(&o).center(axis));
@@ -261,7 +310,7 @@ impl<M: ShardableModel> ShardedDb<M> {
         }
         let shards = buckets
             .into_iter()
-            .map(|b| Shard::build(b, &config).map(Arc::new))
+            .map(|b| M::build_shard(b, &config).map(Arc::new))
             .collect::<Result<Vec<_>>>()?;
         Ok(Self {
             shards,
@@ -271,11 +320,16 @@ impl<M: ShardableModel> ShardedDb<M> {
         })
     }
 
-    /// Re-shard an existing model's objects into `shards` slabs, keeping
-    /// its configuration. `shards = 1` wraps the same contents in a
-    /// single shard.
+    /// Re-shard an existing model's objects into `shards` equal-width
+    /// slabs, keeping its configuration. `shards = 1` wraps the same
+    /// contents in a single shard.
     pub fn from_model(model: &M, shards: usize) -> Result<Self> {
         Self::build(model.shard_objects(), model.shard_config(), shards)
+    }
+
+    /// Re-shard with an explicit balancing scheme.
+    pub fn from_model_with(model: &M, shards: usize, balance: ShardBalance) -> Result<Self> {
+        Self::build_with(model.shard_objects(), model.shard_config(), shards, balance)
     }
 
     /// Number of shards (always at least 1; empty shards are kept so slab
@@ -286,15 +340,12 @@ impl<M: ShardableModel> ShardedDb<M> {
 
     /// Objects stored per shard, in slab order.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| s.model.total_objects())
-            .collect()
+        self.shards.iter().map(|s| s.total_objects()).collect()
     }
 
     /// Total objects across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.model.total_objects()).sum()
+        self.shards.iter().map(|s| s.total_objects()).sum()
     }
 
     /// Is the database empty?
@@ -305,12 +356,12 @@ impl<M: ShardableModel> ShardedDb<M> {
     /// The shard models, in slab order (the shard-aware batch executor
     /// filters against them directly).
     pub fn shard_model(&self, shard: usize) -> &M {
-        &self.shards[shard].model
+        &self.shards[shard]
     }
 
     /// The pipeline configuration the shards evaluate under.
     pub fn pipeline_config(&self) -> PipelineConfig {
-        self.shards[0].model.pipeline_config()
+        self.shards[0].pipeline_config()
     }
 
     /// Union of all shard extents (the database's domain MBR), `None`
@@ -318,7 +369,7 @@ impl<M: ShardableModel> ShardedDb<M> {
     pub fn extent(&self) -> Option<Extent> {
         self.shards
             .iter()
-            .filter_map(|s| s.extent.clone())
+            .filter_map(|s| s.model_extent())
             .reduce(|a, b| a.union(&b))
     }
 
@@ -327,53 +378,27 @@ impl<M: ShardableModel> ShardedDb<M> {
         slab_of(&self.bounds, M::object_extent(object).center(self.axis))
     }
 
-    /// Insert an object, rebuilding only the owning shard (the other
-    /// shard `Arc`s are untouched). Fails on a duplicate id anywhere in
-    /// the database.
+    /// Insert an object in place, path-copying only the owning shard (the
+    /// other shard `Arc`s are untouched; clones of this handle keep the
+    /// old snapshot). Fails on a duplicate id anywhere in the database.
     pub fn insert(&mut self, object: M::Object) -> Result<()> {
         let id = M::object_id(&object);
-        if self.shards.iter().any(|s| s.contains(id)) {
+        if self.shards.iter().any(|s| s.contains_id(id)) {
             return Err(CoreError::DuplicateObjectId(id.0));
         }
         let target = self.route(&object);
-        let mut objects = self.shards[target].model.shard_objects();
-        objects.push(object);
-        self.shards[target] = Arc::new(Shard::build(objects, &self.config)?);
+        self.shards[target] = Arc::new(self.shards[target].with_inserted(object)?);
         Ok(())
     }
 
-    /// Remove an object by id, rebuilding only the shard that stored it.
-    /// Returns the removed object, or `None` if the id was absent.
+    /// Remove an object by id in place, path-copying only the shard that
+    /// stored it. Returns the removed object, or `None` if the id was
+    /// absent.
     pub fn remove(&mut self, id: ObjectId) -> Option<M::Object> {
-        let shard = self.shards.iter().position(|s| s.contains(id))?;
-        let mut objects = self.shards[shard].model.shard_objects();
-        let pos = objects.iter().position(|o| M::object_id(o) == id)?;
-        let removed = objects.remove(pos);
-        self.shards[shard] = Arc::new(
-            Shard::build(objects, &self.config)
-                .expect("a shard rebuilds from a subset of its own objects"),
-        );
-        Some(removed)
-    }
-
-    /// Copy-on-write insert: a new `ShardedDb` sharing every untouched
-    /// shard `Arc`, with only the owning shard rebuilt — the snapshot the
-    /// [`crate::server::QueryServer`] swaps in on
-    /// [`insert`](crate::server::QueryServer::insert).
-    pub fn with_inserted(&self, object: M::Object) -> Result<Self> {
-        let mut next = self.clone();
-        next.insert(object)?;
-        Ok(next)
-    }
-
-    /// Copy-on-write remove: as [`with_inserted`](Self::with_inserted),
-    /// rebuilding only the shard that stored `id`. Removing an absent id
-    /// returns an unchanged (but distinct) database, mirroring
-    /// [`crate::server::QueryServer::remove`]'s swap semantics.
-    pub fn with_removed(&self, id: ObjectId) -> Self {
-        let mut next = self.clone();
-        next.remove(id);
-        next
+        let shard = self.shards.iter().position(|s| s.contains_id(id))?;
+        let (next, removed) = self.shards[shard].with_removed(id);
+        self.shards[shard] = Arc::new(next);
+        removed
     }
 
     /// The shards a query must visit, as `(mindist, shard)` pairs sorted
@@ -398,9 +423,8 @@ impl<M: ShardableModel> ShardedDb<M> {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| {
-                s.extent
-                    .as_ref()
-                    .map(|e| (e.mindist(q), e.maxdist(q), s.model.total_objects(), i))
+                s.model_extent()
+                    .map(|e| (e.mindist(q), e.maxdist(q), s.total_objects(), i))
             })
             .collect();
         let mut by_far: Vec<(f64, usize)> = info.iter().map(|&(_, far, c, _)| (far, c)).collect();
@@ -424,6 +448,43 @@ impl<M: ShardableModel> ShardedDb<M> {
     }
 }
 
+/// Copy-on-write successors touching only the owning shard: the
+/// [`CowModel`] seam over a sharded database — what
+/// [`crate::server::QueryServer::insert`]/[`remove`](crate::server::QueryServer::remove)
+/// and the write-coalescing lane swap in.
+impl<M: ShardableModel> CowModel for ShardedDb<M> {
+    type Object = M::Object;
+
+    fn object_id(object: &M::Object) -> ObjectId {
+        M::object_id(object)
+    }
+
+    fn object_extent(object: &M::Object) -> Extent {
+        M::object_extent(object)
+    }
+
+    fn contains_id(&self, id: ObjectId) -> bool {
+        self.shards.iter().any(|s| s.contains_id(id))
+    }
+
+    /// A new `ShardedDb` sharing every untouched shard `Arc`, with only
+    /// the owning shard path-copied.
+    fn with_inserted(&self, object: M::Object) -> Result<Self> {
+        let mut next = self.clone();
+        next.insert(object)?;
+        Ok(next)
+    }
+
+    /// As [`with_inserted`](Self::with_inserted); removing an absent id
+    /// returns an unchanged (but distinct) database, mirroring
+    /// [`crate::server::QueryServer::remove`]'s swap semantics.
+    fn with_removed(&self, id: ObjectId) -> (Self, Option<M::Object>) {
+        let mut next = self.clone();
+        let removed = next.remove(id);
+        (next, removed)
+    }
+}
+
 impl<M> DistanceModel for ShardedDb<M>
 where
     M: ShardableModel,
@@ -436,7 +497,7 @@ where
     }
 
     fn check_query(&self, q: &M::Query) -> Result<()> {
-        self.shards[0].model.check_query(q)
+        self.shards[0].check_query(q)
     }
 
     /// The fan-out step: select overlapping shards, filter each through
@@ -447,11 +508,8 @@ where
         let start = Instant::now();
         let selected = self.overlapping(q, k);
         let select_time = start.elapsed();
-        let mut filtered = pipeline::fan_out_filter(
-            selected.iter().map(|&(d, i)| (d, &self.shards[i].model)),
-            q,
-            k,
-        )?;
+        let mut filtered =
+            pipeline::fan_out_filter(selected.iter().map(|&(d, i)| (d, &*self.shards[i])), q, k)?;
         filtered.filter_time += select_time;
         Ok(filtered)
     }
@@ -460,11 +518,15 @@ where
     /// exactly as the shard model does (equal keys ⇒ equal merged filter
     /// output, by the fan-out equivalence).
     fn quantize_query(&self, q: &M::Query, quantum: f64) -> M::Query {
-        self.shards[0].model.quantize_query(q, quantum)
+        self.shards[0].quantize_query(q, quantum)
     }
 
     fn cache_key(&self, q: &M::Query) -> Option<u128> {
-        self.shards[0].model.cache_key(q)
+        self.shards[0].cache_key(q)
+    }
+
+    fn query_coords(&self, q: &M::Query) -> Option<Vec<f64>> {
+        self.shards[0].query_coords(q)
     }
 }
 
@@ -592,6 +654,64 @@ mod tests {
     }
 
     #[test]
+    fn quantile_sharding_matches_unsharded_too() {
+        let objs = objects(60);
+        let flat = UncertainDb::build(objs.clone()).unwrap();
+        for shards in [2, 5] {
+            let sharded = ShardedDb::<UncertainDb>::build_with(
+                objs.clone(),
+                Default::default(),
+                shards,
+                ShardBalance::Quantile,
+            )
+            .unwrap();
+            for q in [-5.0, 13.7, 50.2, 140.0] {
+                let query = CpnnQuery::new(q, 0.3, 0.01);
+                let a = flat.cpnn(&query, Strategy::Verified).unwrap();
+                let b = sharded.cpnn(&query, Strategy::Verified).unwrap();
+                assert_equivalent(&a, &b, &format!("q = {q}, {shards} quantile shards"));
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_sharding_balances_clustered_data() {
+        // Heavy cluster near 0, sparse tail: equal-width slabs dump almost
+        // everything into shard 0; quantile slabs stay balanced.
+        let objs: Vec<UncertainObject> = (0..120)
+            .map(|i| {
+                let lo = if i < 100 {
+                    (i as f64) * 0.01 // dense cluster in [0, 1]
+                } else {
+                    (i - 99) as f64 * 50.0 // sparse tail out to 1000+
+                };
+                UncertainObject::uniform(ObjectId(i), lo, lo + 0.5).unwrap()
+            })
+            .collect();
+        let width = ShardedDb::<UncertainDb>::build(objs.clone(), Default::default(), 4).unwrap();
+        let quant = ShardedDb::<UncertainDb>::build_with(
+            objs,
+            Default::default(),
+            4,
+            ShardBalance::Quantile,
+        )
+        .unwrap();
+        let wmax = *width.shard_sizes().iter().max().unwrap();
+        let qmax = *quant.shard_sizes().iter().max().unwrap();
+        let mean = 120.0 / 4.0;
+        assert!(
+            wmax as f64 > 2.0 * mean,
+            "width slabs should be skewed here, max {wmax}"
+        );
+        assert!(
+            (qmax as f64) < 1.5 * mean,
+            "quantile slabs should be balanced, max {qmax} (sizes {:?})",
+            quant.shard_sizes()
+        );
+        assert_eq!(quant.len(), 120);
+    }
+
+    #[test]
     fn sharded_matches_unsharded_knn() {
         let objs = objects(40);
         let flat = UncertainDb::build(objs.clone()).unwrap();
@@ -657,7 +777,7 @@ mod tests {
     }
 
     #[test]
-    fn insert_rebuilds_only_the_owning_shard() {
+    fn insert_path_copies_only_the_owning_shard() {
         let mut db = ShardedDb::<UncertainDb>::build(objects(40), Default::default(), 4).unwrap();
         let before: Vec<*const UncertainDb> =
             (0..4).map(|s| db.shard_model(s) as *const _).collect();
@@ -666,7 +786,7 @@ mod tests {
         let after: Vec<*const UncertainDb> =
             (0..4).map(|s| db.shard_model(s) as *const _).collect();
         let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
-        assert_eq!(changed, 1, "exactly one shard rebuilt");
+        assert_eq!(changed, 1, "exactly one shard replaced");
         assert_eq!(db.len(), 41);
         // The inserted object is findable.
         let res = db.pnn(1.5).unwrap();
@@ -777,5 +897,15 @@ mod tests {
         let e1 = Extent::new(vec![1.0], vec![3.0]);
         assert_eq!(e1.mindist(&0.0), 1.0);
         assert_eq!(e1.maxdist(&0.0), 3.0);
+    }
+
+    #[test]
+    fn shard_balance_parses_cli_names() {
+        assert_eq!(ShardBalance::parse("width"), Some(ShardBalance::Width));
+        assert_eq!(
+            ShardBalance::parse("quantile"),
+            Some(ShardBalance::Quantile)
+        );
+        assert_eq!(ShardBalance::parse("zipf"), None);
     }
 }

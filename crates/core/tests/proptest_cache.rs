@@ -173,7 +173,10 @@ proptest! {
 
     /// Property 3: cache-enabled serving under interleaved updates — every
     /// response matches sequential uncached evaluation against exactly the
-    /// snapshot version it cites (no stale hits survive a COW swap).
+    /// snapshot version it cites. Updates now invalidate worker caches
+    /// *incrementally* (only entries whose candidate horizon intersects
+    /// the updated region drop), so this is also the stale-bounds safety
+    /// proof for region-scoped invalidation.
     #[test]
     fn server_cache_never_serves_stale_snapshots(
         objs in objects_1d(12),
@@ -229,6 +232,70 @@ proptest! {
             stats.cache_hits + stats.cache_misses >= stats.served,
             "every query consults the cache"
         );
+    }
+
+    /// Property 3b: the same stale-bounds safety when updates flow through
+    /// the write-coalescing lane — whole bursts publish as one version
+    /// with one (incremental) invalidation pass, and every response still
+    /// matches sequential evaluation against the version it cites.
+    #[test]
+    fn server_cache_never_serves_stale_bounds_with_coalesced_bursts(
+        objs in objects_1d(12),
+        points in prop::collection::vec(-60.0f64..60.0, 4..14),
+        threads in 1usize..4,
+        burst in 1usize..4,
+    ) {
+        use cpnn_core::server::QueryServer;
+        let base = objs.len() as u64;
+        let db = UncertainDb::build(objs).unwrap();
+        let cfg = PipelineConfig {
+            cache: CacheConfig::new(64, 0.0),
+            ..Default::default()
+        };
+        let uncached_cfg = PipelineConfig::default();
+        let spec = QuerySpec::nn(0.3, 0.01, EvalStrategy::Verified);
+        // `models[v]` mirrors the contents the server publishes as
+        // version v (each burst = one version): the persistent store makes
+        // keeping every historical handle free.
+        let mut models = vec![db.clone()];
+        let mut mirror = db.clone();
+        let server = QueryServer::start(db, threads, cfg);
+
+        let mut tickets = Vec::new();
+        let mut update_tickets = Vec::new();
+        let mut fresh: u64 = 0;
+        for (i, &q) in points.iter().enumerate() {
+            tickets.push((q, server.submit(q, spec)));
+            tickets.push((q, server.submit(q, spec)));
+            // Queue a small burst, publish it in one coalesced flush.
+            if i % 2 == 0 {
+                for _ in 0..burst {
+                    fresh += 1;
+                    let object =
+                        UncertainObject::uniform(ObjectId(base + fresh), q - 1.0, q + 1.0)
+                            .unwrap();
+                    mirror.insert(object.clone()).unwrap();
+                    update_tickets.push(server.queue_insert(object));
+                }
+                let report = server.flush_writes();
+                prop_assert_eq!(report.applied, burst);
+                prop_assert!(report.published.is_some());
+                models.push(mirror.clone());
+            }
+        }
+        for (i, (q, ticket)) in tickets.into_iter().enumerate() {
+            let served = ticket.wait();
+            let v = served.snapshot_version as usize;
+            prop_assert!(v < models.len(), "unknown version {}", v);
+            let want = cpnn(&models[v], &q, &spec, &uncached_cfg).unwrap();
+            let got = served.result.unwrap();
+            assert_same(&got, &want, &format!("query {i} at v{v}, T = {threads}"))?;
+        }
+        for t in update_tickets {
+            prop_assert!(t.wait().result.is_ok());
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.served, 2 * points.len() as u64);
     }
 
     /// Property 4: sharded batch with caching on (whole-query work units)
@@ -291,6 +358,64 @@ fn in_place_mutation_invalidates_cached_scratch() {
     db.remove(ObjectId(3)).unwrap();
     let back = cpnn_with(&db, &0.0, &spec, &cfg, &mut scratch).unwrap();
     assert_eq!(back.answers, before.answers);
+}
+
+/// Non-proptest regression: incremental invalidation keeps cached entries
+/// whose candidate horizon the update provably cannot touch — a far-away
+/// insert still hits, a nearby insert drops the entry (and the fresh
+/// answer is correct, never stale).
+#[test]
+fn incremental_invalidation_preserves_unaffected_entries() {
+    use cpnn_core::server::QueryServer;
+    // Tight cluster near 0; queries at 0 have a small candidate horizon.
+    let objects: Vec<UncertainObject> = (0..8)
+        .map(|i| {
+            UncertainObject::uniform(ObjectId(i), i as f64 * 0.5, i as f64 * 0.5 + 0.4).unwrap()
+        })
+        .collect();
+    let db = UncertainDb::build(objects).unwrap();
+    let cfg = PipelineConfig {
+        cache: CacheConfig::new(32, 0.0),
+        ..Default::default()
+    };
+    let spec = QuerySpec::nn(0.3, 0.01, EvalStrategy::Verified);
+    let server = QueryServer::start(db, 1, cfg);
+    let warm = server.submit(0.0, spec).wait();
+    let baseline = warm.result.unwrap();
+
+    // A far-away insert (mindist from q=0 is ~1000, way past the cluster
+    // horizon of ~4): the worker advances incrementally and the entry
+    // survives — the repeat is a HIT, with identical answers.
+    server
+        .insert(UncertainObject::uniform(ObjectId(500), 1000.0, 1001.0).unwrap())
+        .unwrap();
+    let again = server.submit(0.0, spec).wait();
+    assert_eq!(again.snapshot_version, 1);
+    let again = again.result.unwrap();
+    assert_eq!(again.answers, baseline.answers);
+    assert_eq!(again.reports, baseline.reports);
+    let stats = server.stats();
+    assert_eq!(
+        (stats.cache_hits, stats.cache_misses),
+        (1, 1),
+        "entry survived the far-away update"
+    );
+
+    // A nearby insert (inside the horizon) must drop the entry — and the
+    // fresh answer reflects the new object, never the stale bounds.
+    server
+        .insert(UncertainObject::uniform(ObjectId(501), 0.01, 0.05).unwrap())
+        .unwrap();
+    let after = server.submit(0.0, spec).wait();
+    assert_eq!(after.snapshot_version, 2);
+    let after = after.result.unwrap();
+    assert_eq!(after.answers, vec![ObjectId(501)]);
+    let stats = server.shutdown();
+    assert_eq!(
+        (stats.cache_hits, stats.cache_misses),
+        (1, 2),
+        "entry dropped by the nearby update"
+    );
 }
 
 /// Non-proptest regression: an `Arc`-shared database plus two scratches

@@ -5,6 +5,8 @@
 //! same way. Produces a tree with ~100% leaf fill, which is what the paper's
 //! static Long Beach workload wants.
 
+use std::sync::Arc;
+
 use crate::node::{Bounded, Child, LeafEntry, Node, Params};
 
 /// Build a packed tree from `records`, returning the root node.
@@ -27,7 +29,7 @@ pub fn str_bulk_load<T, const D: usize>(
             .into_iter()
             .map(|node| Child {
                 rect: node.mbr().expect("packed nodes are non-empty"),
-                node: Box::new(node),
+                node: Arc::new(node),
             })
             .collect();
         level = str_partition(children, cap, 0)

@@ -1,0 +1,126 @@
+//! The [`SpatialIndex`] seam: what the query engines need from an index.
+//!
+//! The 1-D interval database and the 2-D bbox database used to carry their
+//! own copies of the index plumbing (bulk build, candidate filtering,
+//! incremental change). This trait is the single seam both now share:
+//! **bulk-load** for the initial build, **path-copying** for incremental
+//! change, and the PNN candidate filter for queries. [`RTree`] is the
+//! canonical implementation; the trait exists so storage layers
+//! (`cpnn-core`'s `IndexedStore`) are written once, against the seam.
+
+use crate::filter::{Candidate, FilterStats};
+use crate::geometry::Rect;
+use crate::node::Params;
+use crate::tree::RTree;
+
+/// A persistent spatial index over `(Rect<D>, T)` records.
+///
+/// Implementations are **snapshots**: `Clone` must be cheap (structural
+/// sharing) and [`with_inserted`](SpatialIndex::with_inserted) /
+/// [`with_removed`](SpatialIndex::with_removed) must return new handles
+/// that leave `self` untouched — the copy-on-write contract the serving
+/// layer's snapshot swaps are built on.
+pub trait SpatialIndex<T, const D: usize>: Clone + Sized {
+    /// Build a packed index from `(rect, item)` pairs (the initial-build
+    /// path: O(n log n) once, instead of n incremental inserts).
+    fn build(items: Vec<(Rect<D>, T)>, params: Params) -> Self;
+
+    /// Number of stored records.
+    fn len(&self) -> usize;
+
+    /// Is the index empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Minimum bounding rectangle of everything stored, `None` when empty.
+    fn mbr(&self) -> Option<Rect<D>>;
+
+    /// Path-copying insert: a new snapshot containing the record, sharing
+    /// all untouched structure with `self`.
+    fn with_inserted(&self, rect: Rect<D>, item: T) -> Self;
+
+    /// Path-copying remove of the first record with this exact `rect` for
+    /// which `pred` holds. Returns the new snapshot and the removed item
+    /// (`self` unchanged either way).
+    fn with_removed(&self, rect: &Rect<D>, pred: &mut dyn FnMut(&T) -> bool) -> (Self, Option<T>);
+
+    /// The PNN filtering phase: candidates that may be among the `k`
+    /// nearest of `q` (prune by the `k`-th smallest far point).
+    fn candidates_k(&self, q: &[f64; D], k: usize) -> (Vec<Candidate<'_, T, D>>, FilterStats);
+
+    /// All records whose rects intersect `query`.
+    fn intersecting(&self, query: &Rect<D>) -> Vec<(&Rect<D>, &T)>;
+
+    /// Visit every record (deterministic order).
+    fn for_each_record(&self, f: &mut dyn FnMut(&Rect<D>, &T));
+}
+
+impl<T: Clone, const D: usize> SpatialIndex<T, D> for RTree<T, D> {
+    fn build(items: Vec<(Rect<D>, T)>, params: Params) -> Self {
+        RTree::bulk_load_with(items, params)
+    }
+
+    fn len(&self) -> usize {
+        RTree::len(self)
+    }
+
+    fn mbr(&self) -> Option<Rect<D>> {
+        RTree::mbr(self)
+    }
+
+    fn with_inserted(&self, rect: Rect<D>, item: T) -> Self {
+        RTree::with_inserted(self, rect, item)
+    }
+
+    fn with_removed(&self, rect: &Rect<D>, pred: &mut dyn FnMut(&T) -> bool) -> (Self, Option<T>) {
+        RTree::with_removed(self, rect, |t| pred(t))
+    }
+
+    fn candidates_k(&self, q: &[f64; D], k: usize) -> (Vec<Candidate<'_, T, D>>, FilterStats) {
+        self.pnn_candidates_k(q, k)
+    }
+
+    fn intersecting(&self, query: &Rect<D>) -> Vec<(&Rect<D>, &T)> {
+        self.search_intersecting(query)
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(&Rect<D>, &T)) {
+        self.for_each(|r, t| f(r, t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exercise the engines' usage pattern through the trait object seam.
+    fn roundtrip<I: SpatialIndex<u64, 1>>() {
+        let idx = I::build(
+            (0..50)
+                .map(|i| (Rect::interval(i as f64, i as f64 + 0.5), i))
+                .collect(),
+            Params::default(),
+        );
+        assert_eq!(idx.len(), 50);
+        let grown = idx.with_inserted(Rect::interval(7.1, 7.2), 999);
+        assert_eq!(idx.len(), 50, "original snapshot untouched");
+        assert_eq!(grown.len(), 51);
+        let (shrunk, removed) = grown.with_removed(&Rect::interval(7.1, 7.2), &mut |&i| i == 999);
+        assert_eq!(removed, Some(999));
+        assert_eq!(shrunk.len(), 50);
+        let (cands, stats) = shrunk.candidates_k(&[7.25], 1);
+        assert!(!cands.is_empty());
+        assert!(stats.fmin.is_finite());
+        let mut seen = 0usize;
+        shrunk.for_each_record(&mut |_, _| seen += 1);
+        assert_eq!(seen, 50);
+        assert!(shrunk.mbr().is_some());
+        assert!(!shrunk.intersecting(&Rect::interval(3.0, 4.0)).is_empty());
+    }
+
+    #[test]
+    fn rtree_satisfies_the_seam() {
+        roundtrip::<RTree<u64, 1>>();
+    }
+}

@@ -8,12 +8,19 @@
 //!
 //! * [`Rect`] — axis-aligned rectangles in const-generic dimension `D`, with
 //!   the `min_dist` / `max_dist` metrics the pruning rule is built on;
-//! * [`RTree`] — Guttman R-tree (quadratic split, least-enlargement
-//!   insertion, condense-tree deletion) plus STR bulk loading;
+//! * [`RTree`] — a **persistent** (path-copying) Guttman R-tree: quadratic
+//!   split, least-enlargement insertion, condense-tree deletion, STR bulk
+//!   loading. Every node sits behind an `Arc`, so a handle is an immutable
+//!   snapshot, `Clone` is O(1), and [`RTree::with_inserted`] /
+//!   [`RTree::with_removed`] produce a new snapshot in O(log n) node
+//!   copies while readers pinned to the old handle are never torn;
 //! * range search, best-first nearest-neighbor / k-NN search;
 //! * [`RTree::pnn_candidates`] — the paper's filtering phase: a single
 //!   best-first traversal that returns the candidate set
-//!   `{ Xi : min_dist(q, Ui) ≤ fmin }` where `fmin = min_k max_dist(q, Uk)`.
+//!   `{ Xi : min_dist(q, Ui) ≤ fmin }` where `fmin = min_k max_dist(q, Uk)`;
+//! * [`SpatialIndex`] — the seam the storage layers program against
+//!   (bulk-load for the initial build, path-copying for incremental
+//!   change), with [`RTree`] as the canonical implementation.
 //!
 //! The tree is generic over dimension; the paper's experiments are 1-D
 //! (intervals) and the 2-D extension indexes circles' bounding boxes.
@@ -23,6 +30,7 @@
 mod bulk;
 mod filter;
 mod geometry;
+mod index;
 mod nn;
 mod node;
 mod split;
@@ -30,5 +38,6 @@ mod tree;
 
 pub use filter::{Candidate, FilterStats};
 pub use geometry::Rect;
+pub use index::SpatialIndex;
 pub use node::Params;
 pub use tree::RTree;

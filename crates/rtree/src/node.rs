@@ -1,4 +1,14 @@
 //! Tree node representation and fan-out parameters.
+//!
+//! Nodes are **persistent**: every child pointer is an [`Arc`], so a tree
+//! handle is an immutable snapshot and "mutation" is path-copying — an
+//! update clones only the nodes on the root-to-leaf path it touches and
+//! shares every other subtree with the previous snapshot (see
+//! [`crate::RTree::with_inserted`]). Cloning a [`Node`] is therefore the
+//! path-copy primitive: an internal node clone is `O(fan-out)` `Arc`
+//! bumps, a leaf clone copies its records.
+
+use std::sync::Arc;
 
 use crate::geometry::Rect;
 
@@ -46,12 +56,24 @@ pub struct LeafEntry<T, const D: usize> {
 }
 
 /// An internal-node slot: the child subtree plus its cached MBR.
+///
+/// Cloning a `Child` never clones the subtree — it bumps the [`Arc`]
+/// refcount, which is what makes path-copying cheap.
 #[derive(Debug)]
 pub struct Child<T, const D: usize> {
     /// Cached minimum bounding rectangle of `node`.
     pub rect: Rect<D>,
-    /// The child subtree.
-    pub node: Box<Node<T, D>>,
+    /// The (shared, immutable) child subtree.
+    pub node: Arc<Node<T, D>>,
+}
+
+impl<T, const D: usize> Clone for Child<T, D> {
+    fn clone(&self) -> Self {
+        Self {
+            rect: self.rect,
+            node: Arc::clone(&self.node),
+        }
+    }
 }
 
 /// A tree node: either a leaf of records or an internal node of children.
@@ -61,6 +83,17 @@ pub enum Node<T, const D: usize> {
     Leaf(Vec<LeafEntry<T, D>>),
     /// Internal node holding child subtrees.
     Internal(Vec<Child<T, D>>),
+}
+
+/// The path-copy primitive: cloning an internal node shares all its
+/// subtrees (`Arc` bumps); cloning a leaf copies its records.
+impl<T: Clone, const D: usize> Clone for Node<T, D> {
+    fn clone(&self) -> Self {
+        match self {
+            Node::Leaf(entries) => Node::Leaf(entries.clone()),
+            Node::Internal(children) => Node::Internal(children.clone()),
+        }
+    }
 }
 
 /// Anything with a bounding rectangle — lets the split and bulk-load
@@ -127,15 +160,18 @@ impl<T, const D: usize> Node<T, D> {
             Node::Internal(v) => 1 + v.iter().map(|c| c.node.node_count()).sum::<usize>(),
         }
     }
+}
 
-    /// Drain every leaf record in the subtree into `out` (used by deletion's
-    /// condense step to reinsert orphans).
-    pub fn drain_records(self, out: &mut Vec<LeafEntry<T, D>>) {
+impl<T: Clone, const D: usize> Node<T, D> {
+    /// Copy every leaf record in the subtree into `out` (used by deletion's
+    /// condense step to reinsert orphans — the subtree itself may still be
+    /// shared with older snapshots, so records are cloned, never drained).
+    pub fn collect_records(&self, out: &mut Vec<LeafEntry<T, D>>) {
         match self {
-            Node::Leaf(mut v) => out.append(&mut v),
+            Node::Leaf(v) => out.extend(v.iter().cloned()),
             Node::Internal(v) => {
                 for c in v {
-                    c.node.drain_records(out);
+                    c.node.collect_records(out);
                 }
             }
         }

@@ -1,21 +1,47 @@
-//! The public [`RTree`] type: dynamic insertion, deletion, bulk loading,
-//! range search, nearest-neighbor search and the PNN candidate filter.
+//! The public [`RTree`] type: a **persistent** (path-copying) R-tree with
+//! dynamic insertion, deletion, bulk loading, range search,
+//! nearest-neighbor search and the PNN candidate filter.
+//!
+//! Every node sits behind an [`Arc`]; a tree handle is an immutable
+//! snapshot. [`RTree::with_inserted`] / [`RTree::with_removed`] return a
+//! *new* handle that clones only the root-to-leaf path the update touches
+//! (classic Guttman ChooseSubtree / CondenseTree adapted to shared
+//! ownership) and shares every untouched subtree with the old snapshot —
+//! an update is `O(height × fan-out)` work, not a rebuild, and readers
+//! holding the old handle are never torn. The in-place [`RTree::insert`] /
+//! [`RTree::remove_one`] are thin wrappers that replace `self` with the
+//! path-copied successor.
+
+use std::sync::Arc;
 
 use crate::bulk::str_bulk_load;
 use crate::geometry::Rect;
 use crate::node::{Child, LeafEntry, Node, Params};
 use crate::split::quadratic_split;
 
-/// An in-memory R-tree over items of type `T` in `D` dimensions.
+/// An in-memory persistent R-tree over items of type `T` in `D` dimensions.
 ///
 /// This is the substrate for the paper's filtering phase — the original used
 /// Hadjieleftheriou's spatial index library \[18\]; this one is built from
-/// scratch with Guttman quadratic splits and STR bulk loading.
+/// scratch with Guttman quadratic splits, STR bulk loading, and
+/// path-copying updates. Cloning a tree is two refcount bumps — the clone
+/// and the original share every node until one of them is updated.
 #[derive(Debug)]
 pub struct RTree<T, const D: usize> {
-    root: Node<T, D>,
+    root: Arc<Node<T, D>>,
     len: usize,
     params: Params,
+}
+
+/// Cheap: clones the root `Arc`, not the tree.
+impl<T, const D: usize> Clone for RTree<T, D> {
+    fn clone(&self) -> Self {
+        Self {
+            root: Arc::clone(&self.root),
+            len: self.len,
+            params: self.params,
+        }
+    }
 }
 
 impl<T, const D: usize> Default for RTree<T, D> {
@@ -28,7 +54,7 @@ impl<T, const D: usize> RTree<T, D> {
     /// An empty tree with the given fan-out parameters.
     pub fn new(params: Params) -> Self {
         Self {
-            root: Node::empty(),
+            root: Arc::new(Node::empty()),
             len: 0,
             params,
         }
@@ -47,7 +73,7 @@ impl<T, const D: usize> RTree<T, D> {
             .map(|(rect, item)| LeafEntry { rect, item })
             .collect();
         Self {
-            root: str_bulk_load(records, &params),
+            root: Arc::new(str_bulk_load(records, &params)),
             len,
             params,
         }
@@ -73,6 +99,11 @@ impl<T, const D: usize> RTree<T, D> {
         self.root.node_count()
     }
 
+    /// The tree's fan-out parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
     /// Root MBR, or `None` when empty.
     pub fn mbr(&self) -> Option<Rect<D>> {
         self.root.mbr()
@@ -83,63 +114,9 @@ impl<T, const D: usize> RTree<T, D> {
         &self.root
     }
 
-    /// Insert an item with its bounding rectangle.
-    pub fn insert(&mut self, rect: Rect<D>, item: T) {
-        let entry = LeafEntry { rect, item };
-        if let Some(sibling) = insert_rec(&mut self.root, entry, &self.params) {
-            // Root split: grow the tree by one level.
-            let old_root = std::mem::replace(&mut self.root, Node::empty());
-            let left = Child {
-                rect: old_root.mbr().expect("split root is non-empty"),
-                node: Box::new(old_root),
-            };
-            let right = Child {
-                rect: sibling.mbr().expect("split sibling is non-empty"),
-                node: Box::new(sibling),
-            };
-            self.root = Node::Internal(vec![left, right]);
-        }
-        self.len += 1;
-    }
-
-    /// Remove one item whose stored rect equals `rect` and for which `pred`
-    /// returns true. Returns the removed item, if found.
-    ///
-    /// Underfull nodes along the path are dissolved and their records
-    /// reinserted (Guttman's condense-tree).
-    pub fn remove_one<F: FnMut(&T) -> bool>(&mut self, rect: &Rect<D>, mut pred: F) -> Option<T> {
-        let mut orphans: Vec<LeafEntry<T, D>> = Vec::new();
-        let removed = remove_rec(&mut self.root, rect, &mut pred, &self.params, &mut orphans);
-        if removed.is_some() {
-            self.len -= 1;
-            // Collapse a root with a single child.
-            loop {
-                match &mut self.root {
-                    Node::Internal(children) if children.len() == 1 => {
-                        let child = children.pop().expect("one child");
-                        self.root = *child.node;
-                    }
-                    _ => break,
-                }
-            }
-            for orphan in orphans {
-                // Reinsert orphans through the normal path (len unchanged:
-                // they were never counted as removed).
-                if let Some(sibling) = insert_rec(&mut self.root, orphan, &self.params) {
-                    let old_root = std::mem::replace(&mut self.root, Node::empty());
-                    let left = Child {
-                        rect: old_root.mbr().expect("non-empty"),
-                        node: Box::new(old_root),
-                    };
-                    let right = Child {
-                        rect: sibling.mbr().expect("non-empty"),
-                        node: Box::new(sibling),
-                    };
-                    self.root = Node::Internal(vec![left, right]);
-                }
-            }
-        }
-        removed
+    /// Do two handles share their root (i.e. are they the same snapshot)?
+    pub fn same_snapshot(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.root, &other.root)
     }
 
     /// Collect references to all items whose rects intersect `query`.
@@ -149,7 +126,8 @@ impl<T, const D: usize> RTree<T, D> {
         out
     }
 
-    /// Visit every `(rect, item)` pair in the tree (arbitrary order).
+    /// Visit every `(rect, item)` pair in the tree (deterministic
+    /// depth-first order).
     pub fn for_each<F: FnMut(&Rect<D>, &T)>(&self, mut f: F) {
         fn walk<T, const D: usize, F: FnMut(&Rect<D>, &T)>(node: &Node<T, D>, f: &mut F) {
             match node {
@@ -188,11 +166,12 @@ impl<T, const D: usize> RTree<T, D> {
                     Ok(1)
                 }
                 Node::Internal(children) => {
+                    // No minimum-fill check for internal nodes: STR bulk
+                    // loading under-fills interiors by construction, and
+                    // deletion tolerates sparse internals instead of
+                    // dissolving whole subtrees (see `remove_rec`).
                     if children.is_empty() {
                         return Err("empty internal node".into());
-                    }
-                    if !is_root && children.len() < params.min_entries {
-                        return Err(format!("internal underfull: {}", children.len()));
                     }
                     if children.len() > params.max_entries {
                         return Err(format!("internal overfull: {}", children.len()));
@@ -224,43 +203,146 @@ impl<T, const D: usize> RTree<T, D> {
     }
 }
 
-/// Recursive insert; returns a split-off sibling if this node overflowed.
-fn insert_rec<T, const D: usize>(
-    node: &mut Node<T, D>,
+impl<T: Clone, const D: usize> RTree<T, D> {
+    /// Path-copying insert: a new tree handle containing `item`, sharing
+    /// every subtree off the insertion path with `self` (which is
+    /// unchanged). `O(height × fan-out)` node copies.
+    pub fn with_inserted(&self, rect: Rect<D>, item: T) -> Self {
+        let entry = LeafEntry { rect, item };
+        let (new_root, sibling) = insert_rec(&self.root, entry, &self.params);
+        let root = match sibling {
+            None => Arc::new(new_root),
+            Some(sibling) => Arc::new(grow_root(new_root, sibling)),
+        };
+        Self {
+            root,
+            len: self.len + 1,
+            params: self.params,
+        }
+    }
+
+    /// Path-copying remove: a new tree handle without the first item whose
+    /// stored rect equals `rect` and for which `pred` returns true, plus
+    /// the removed item (cloned — the old snapshot still owns its copy).
+    /// If nothing matches, the returned handle shares the entire tree with
+    /// `self`.
+    ///
+    /// Underfull nodes along the path are dissolved and their records
+    /// reinserted (Guttman's condense-tree, adapted to shared ownership:
+    /// dissolved subtrees are *copied out*, never drained, because older
+    /// snapshots may still reference them).
+    pub fn with_removed<F: FnMut(&T) -> bool>(
+        &self,
+        rect: &Rect<D>,
+        mut pred: F,
+    ) -> (Self, Option<T>) {
+        let mut orphans: Vec<LeafEntry<T, D>> = Vec::new();
+        let Some((replacement, removed)) =
+            remove_rec(&self.root, rect, &mut pred, &self.params, &mut orphans)
+        else {
+            return (self.clone(), None);
+        };
+        let mut root = match replacement {
+            Some(node) => Arc::new(node),
+            None => Arc::new(Node::empty()),
+        };
+        // Collapse a root chain with single children.
+        loop {
+            let collapsed = match &*root {
+                Node::Internal(children) if children.len() == 1 => Arc::clone(&children[0].node),
+                _ => break,
+            };
+            root = collapsed;
+        }
+        let mut next = Self {
+            root,
+            len: self.len - 1,
+            params: self.params,
+        };
+        for orphan in orphans {
+            // Reinsert orphans through the normal path (len unchanged:
+            // they were never counted as removed).
+            let (new_root, sibling) = insert_rec(&next.root, orphan, &next.params);
+            next.root = match sibling {
+                None => Arc::new(new_root),
+                Some(sibling) => Arc::new(grow_root(new_root, sibling)),
+            };
+        }
+        (next, Some(removed))
+    }
+
+    /// Insert an item with its bounding rectangle (in place: replaces this
+    /// handle with the path-copied successor — other clones of the old
+    /// handle are unaffected).
+    pub fn insert(&mut self, rect: Rect<D>, item: T) {
+        *self = self.with_inserted(rect, item);
+    }
+
+    /// Remove one item whose stored rect equals `rect` and for which `pred`
+    /// returns true. Returns the removed item, if found. In-place twin of
+    /// [`with_removed`](Self::with_removed).
+    pub fn remove_one<F: FnMut(&T) -> bool>(&mut self, rect: &Rect<D>, pred: F) -> Option<T> {
+        let (next, removed) = self.with_removed(rect, pred);
+        if removed.is_some() {
+            *self = next;
+        }
+        removed
+    }
+}
+
+/// A split root: grow the tree by one level over the two halves.
+fn grow_root<T, const D: usize>(left: Node<T, D>, right: Node<T, D>) -> Node<T, D> {
+    let left = Child {
+        rect: left.mbr().expect("split half is non-empty"),
+        node: Arc::new(left),
+    };
+    let right = Child {
+        rect: right.mbr().expect("split half is non-empty"),
+        node: Arc::new(right),
+    };
+    Node::Internal(vec![left, right])
+}
+
+/// Recursive path-copying insert: returns the copied node and, if it
+/// overflowed, a split-off sibling. `node` itself is never mutated.
+fn insert_rec<T: Clone, const D: usize>(
+    node: &Node<T, D>,
     entry: LeafEntry<T, D>,
     params: &Params,
-) -> Option<Node<T, D>> {
+) -> (Node<T, D>, Option<Node<T, D>>) {
     match node {
         Node::Leaf(entries) => {
+            let mut entries = entries.clone();
             entries.push(entry);
             if entries.len() > params.max_entries {
-                let all = std::mem::take(entries);
-                let (a, b) = quadratic_split(all, params.min_entries);
-                *entries = a;
-                Some(Node::Leaf(b))
+                let (a, b) = quadratic_split(entries, params.min_entries);
+                (Node::Leaf(a), Some(Node::Leaf(b)))
             } else {
-                None
+                (Node::Leaf(entries), None)
             }
         }
         Node::Internal(children) => {
             let idx = choose_subtree(children, &entry.rect);
-            children[idx].rect = children[idx].rect.union(&entry.rect);
-            if let Some(sibling) = insert_rec(&mut children[idx].node, entry, params) {
-                // The split shrank the original child's extent: recompute.
-                children[idx].rect = children[idx].node.mbr().expect("split child is non-empty");
+            let (new_child, sibling) = insert_rec(&children[idx].node, entry, params);
+            // Path copy: clone the child list (Arc bumps), then replace the
+            // slot on the insertion path with its updated copy.
+            let mut children = children.clone();
+            children[idx] = Child {
+                rect: new_child.mbr().expect("inserted child is non-empty"),
+                node: Arc::new(new_child),
+            };
+            if let Some(sibling) = sibling {
                 let rect = sibling.mbr().expect("split sibling is non-empty");
                 children.push(Child {
                     rect,
-                    node: Box::new(sibling),
+                    node: Arc::new(sibling),
                 });
                 if children.len() > params.max_entries {
-                    let all = std::mem::take(children);
-                    let (a, b) = quadratic_split(all, params.min_entries);
-                    *children = a;
-                    return Some(Node::Internal(b));
+                    let (a, b) = quadratic_split(children, params.min_entries);
+                    return (Node::Internal(a), Some(Node::Internal(b)));
                 }
             }
-            None
+            (Node::Internal(children), None)
         }
     }
 }
@@ -305,36 +387,73 @@ fn search_rec<'a, T, const D: usize>(
     }
 }
 
-/// Recursive delete with condense. Returns the removed item; underfull
-/// children are dissolved into `orphans`.
-fn remove_rec<T, const D: usize, F: FnMut(&T) -> bool>(
-    node: &mut Node<T, D>,
+/// Recursive path-copying delete with condense. Returns `None` when
+/// nothing matched; otherwise the copied replacement node (`None` if this
+/// node dissolved entirely) plus the removed item. Underfull children are
+/// dissolved into `orphans` (their records *copied*, since the subtree may
+/// be shared with older snapshots).
+fn remove_rec<T: Clone, const D: usize, F: FnMut(&T) -> bool>(
+    node: &Node<T, D>,
     rect: &Rect<D>,
     pred: &mut F,
     params: &Params,
     orphans: &mut Vec<LeafEntry<T, D>>,
-) -> Option<T> {
+) -> Option<(Option<Node<T, D>>, T)> {
     match node {
         Node::Leaf(entries) => {
             let pos = entries
                 .iter()
                 .position(|e| e.rect == *rect && pred(&e.item))?;
-            Some(entries.remove(pos).item)
+            let removed = entries[pos].item.clone();
+            let remaining: Vec<LeafEntry<T, D>> = entries
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pos)
+                .map(|(_, e)| e.clone())
+                .collect();
+            Some((Some(Node::Leaf(remaining)), removed))
         }
         Node::Internal(children) => {
-            for i in 0..children.len() {
-                if !children[i].rect.contains_rect(rect) && !children[i].rect.intersects(rect) {
+            for (i, child) in children.iter().enumerate() {
+                // The target entry's rect is stored verbatim, so every
+                // ancestor MBR *contains* it — containment (not mere
+                // intersection) prunes here, which keeps deletion cost at
+                // O(log n) even on densely overlapping data.
+                if !child.rect.contains_rect(rect) {
                     continue;
                 }
-                if let Some(item) = remove_rec(&mut children[i].node, rect, pred, params, orphans) {
-                    if children[i].node.slot_count() < params.min_entries {
-                        // Dissolve the underfull child; reinsert its records.
-                        let child = children.swap_remove(i);
-                        child.node.drain_records(orphans);
-                    } else if let Some(mbr) = children[i].node.mbr() {
-                        children[i].rect = mbr;
+                if let Some((replacement, item)) =
+                    remove_rec(&child.node, rect, pred, params, orphans)
+                {
+                    let mut children = children.clone();
+                    match replacement {
+                        // Dissolve an underfull *leaf* and reinsert its
+                        // few records (copied — the shared original keeps
+                        // its own). Underfull *internal* nodes are kept:
+                        // dissolving one would reinsert a whole subtree —
+                        // O(n) churn per delete on bad luck — so sparse
+                        // internals are tolerated instead, exactly like
+                        // STR bulk loading under-fills interior nodes.
+                        Some(new_child @ Node::Leaf(_))
+                            if new_child.slot_count() < params.min_entries =>
+                        {
+                            new_child.collect_records(orphans);
+                            children.swap_remove(i);
+                        }
+                        Some(new_child) => {
+                            children[i] = Child {
+                                rect: new_child.mbr().expect("filled child has an MBR"),
+                                node: Arc::new(new_child),
+                            };
+                        }
+                        None => {
+                            children.swap_remove(i);
+                        }
                     }
-                    return Some(item);
+                    if children.is_empty() {
+                        return Some((None, item));
+                    }
+                    return Some((Some(Node::Internal(children)), item));
                 }
             }
             None
@@ -352,6 +471,21 @@ mod tests {
             t.insert(Rect::interval(lo, hi), i);
         }
         t
+    }
+
+    /// Collect the raw node pointers of every node in the tree.
+    fn node_ptrs(t: &RTree<usize, 1>) -> Vec<*const Node<usize, 1>> {
+        fn walk(node: &Arc<Node<usize, 1>>, out: &mut Vec<*const Node<usize, 1>>) {
+            out.push(Arc::as_ptr(node));
+            if let Node::Internal(children) = &**node {
+                for c in children {
+                    walk(&c.node, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&t.root, &mut out);
+        out
     }
 
     #[test]
@@ -466,5 +600,121 @@ mod tests {
         t.for_each(|_, &i| seen.push(i));
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn with_inserted_leaves_the_original_untouched() {
+        let ranges: Vec<(f64, f64)> = (0..64)
+            .map(|i| (i as f64 * 4.0, i as f64 * 4.0 + 3.0))
+            .collect();
+        let old = interval_tree(&ranges);
+        let new = old.with_inserted(Rect::interval(13.0, 14.0), 999);
+        assert_eq!(old.len(), 64);
+        assert_eq!(new.len(), 65);
+        old.check_invariants().unwrap();
+        new.check_invariants().unwrap();
+        let probe = Rect::interval(13.2, 13.8);
+        assert!(!old
+            .search_intersecting(&probe)
+            .iter()
+            .any(|(_, &i)| i == 999));
+        assert!(new
+            .search_intersecting(&probe)
+            .iter()
+            .any(|(_, &i)| i == 999));
+    }
+
+    #[test]
+    fn path_copy_shares_all_off_path_subtrees() {
+        // 4096 records at fan-out 16 → height ≥ 3: an update must copy at
+        // most one path of nodes, sharing everything else.
+        let ranges: Vec<(f64, f64)> = (0..4096)
+            .map(|i| {
+                let x = ((i * 37) % 16384) as f64;
+                (x, x + 2.0)
+            })
+            .collect();
+        let old = interval_tree(&ranges);
+        assert!(old.height() >= 3, "height {}", old.height());
+        let new = old.with_inserted(Rect::interval(100.0, 101.0), 9999);
+        let old_nodes: std::collections::HashSet<_> = node_ptrs(&old).into_iter().collect();
+        let new_nodes = node_ptrs(&new);
+        let fresh = new_nodes.iter().filter(|p| !old_nodes.contains(*p)).count();
+        // Only the root-to-leaf insertion path (± one split) is new.
+        assert!(
+            fresh <= new.height() + 2,
+            "{fresh} fresh nodes for a height-{} tree",
+            new.height()
+        );
+        assert!(fresh >= new.height().min(2), "no path was copied at all?");
+
+        // And a remove shares the same way (condense may add a few more
+        // copied nodes through orphan reinsertion).
+        let (after, removed) = new.with_removed(&Rect::interval(100.0, 101.0), |&i| i == 9999);
+        assert_eq!(removed, Some(9999));
+        let new_set: std::collections::HashSet<_> = node_ptrs(&new).into_iter().collect();
+        let fresh_after = node_ptrs(&after)
+            .iter()
+            .filter(|p| !new_set.contains(*p))
+            .count();
+        assert!(
+            fresh_after <= 3 * after.height(),
+            "{fresh_after} fresh nodes after remove (height {})",
+            after.height()
+        );
+    }
+
+    #[test]
+    fn old_snapshots_answer_after_later_updates() {
+        let ranges: Vec<(f64, f64)> = (0..128)
+            .map(|i| (i as f64 * 3.0, i as f64 * 3.0 + 2.0))
+            .collect();
+        let v0 = interval_tree(&ranges);
+        let mut snapshots = vec![v0.clone()];
+        let mut cur = v0;
+        for i in 0..40 {
+            cur = if i % 3 == 2 {
+                let victim = i * 2;
+                let rect = Rect::interval(victim as f64 * 3.0, victim as f64 * 3.0 + 2.0);
+                let (next, removed) = cur.with_removed(&rect, |&id| id == victim);
+                assert_eq!(removed, Some(victim));
+                next
+            } else {
+                cur.with_inserted(
+                    Rect::interval(1000.0 + i as f64, 1001.0 + i as f64),
+                    500 + i,
+                )
+            };
+            snapshots.push(cur.clone());
+        }
+        // The original snapshot still answers exactly as a fresh build.
+        let fresh = interval_tree(&ranges);
+        for q in [(0.0, 10.0), (100.0, 130.0), (1000.0, 1050.0)] {
+            let rect = Rect::interval(q.0, q.1);
+            let norm = |t: &RTree<usize, 1>| {
+                let mut v: Vec<usize> = t
+                    .search_intersecting(&rect)
+                    .into_iter()
+                    .map(|(_, &i)| i)
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(norm(&snapshots[0]), norm(&fresh), "q = {q:?}");
+        }
+        for s in &snapshots {
+            s.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn clone_is_the_same_snapshot_until_updated() {
+        let t = interval_tree(&[(0.0, 1.0), (2.0, 3.0)]);
+        let c = t.clone();
+        assert!(t.same_snapshot(&c));
+        let u = c.with_inserted(Rect::interval(5.0, 6.0), 7);
+        assert!(!t.same_snapshot(&u));
+        assert_eq!(t.len(), 2);
+        assert_eq!(u.len(), 3);
     }
 }

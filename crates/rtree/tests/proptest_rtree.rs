@@ -110,6 +110,61 @@ proptest! {
         prop_assert!(tree.is_empty());
     }
 
+    /// Persistent snapshots: an interleaved insert/remove sequence applied
+    /// through path-copying handles must (a) agree with brute force on the
+    /// final contents and (b) leave every intermediate snapshot answering
+    /// exactly for its own historical contents.
+    #[test]
+    fn path_copied_snapshots_answer_their_history(
+        ranges in intervals(100),
+        extra in prop::collection::vec((-100.0f64..100.0, 0.01f64..20.0), 1..30),
+        q_lo in -120.0f64..120.0,
+    ) {
+        let tree = build(&ranges);
+        // live[id] = rect currently stored under id (ids: base set 0..n,
+        // inserts n..n+extra).
+        let mut live: Vec<Option<(f64, f64)>> = ranges.iter().map(|r| Some(*r)).collect();
+        let mut snapshots = vec![(tree.clone(), live.clone())];
+        let mut cur = tree;
+        for (j, &(lo, w)) in extra.iter().enumerate() {
+            let id = ranges.len() + j;
+            cur = cur.with_inserted(Rect::interval(lo, lo + w), id);
+            live.push(Some((lo, lo + w)));
+            // Every third step also removes the oldest still-live entry.
+            if j % 3 == 2 {
+                if let Some(victim) = live.iter().position(|r| r.is_some()) {
+                    let (vlo, vhi) = live[victim].unwrap();
+                    let (next, removed) =
+                        cur.with_removed(&Rect::interval(vlo, vhi), |&i| i == victim);
+                    prop_assert_eq!(removed, Some(victim));
+                    cur = next;
+                    live[victim] = None;
+                }
+            }
+            snapshots.push((cur.clone(), live.clone()));
+        }
+        let query = Rect::interval(q_lo, q_lo + 15.0);
+        for (v, (snap, contents)) in snapshots.iter().enumerate() {
+            prop_assert!(snap.check_invariants().is_ok(), "version {}", v);
+            let mut got: Vec<usize> = snap
+                .search_intersecting(&query)
+                .into_iter()
+                .map(|(_, &i)| i)
+                .collect();
+            got.sort_unstable();
+            let want: Vec<usize> = contents
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| {
+                    r.and_then(|(lo, hi)| {
+                        (lo <= q_lo + 15.0 && q_lo <= hi).then_some(i)
+                    })
+                })
+                .collect();
+            prop_assert_eq!(got, want, "version {} diverged from its history", v);
+        }
+    }
+
     #[test]
     fn two_dimensional_search_matches_brute_force(
         boxes in prop::collection::vec(

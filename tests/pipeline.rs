@@ -171,13 +171,12 @@ fn min_query_on_workload_matches_leftmost_mass() {
     // The top answer's region must start at (or before) every far point.
     let (top_id, top_p) = res.probabilities[0];
     assert!(top_p > 0.0);
-    let top_obj = db
-        .objects()
+    let objects = db.objects();
+    let top_obj = objects
         .iter()
         .find(|o| o.id() == top_id)
         .expect("answer exists");
-    let fmin = db
-        .objects()
+    let fmin = objects
         .iter()
         .map(|o| o.region().1)
         .fold(f64::INFINITY, f64::min);
