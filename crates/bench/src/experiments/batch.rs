@@ -3,10 +3,14 @@
 //! unchanged (identical answers at every thread count — the parity tests
 //! assert this); what this experiment measures is how close the executor
 //! gets to linear wall-clock scaling on the machine it runs on.
+//!
+//! The database size |T| is swept too (4k and 8k in quick mode, 8k and the
+//! full 53,144 otherwise), so the series files carry directly comparable
+//! throughput numbers across PRs at fixed |T| rows.
 
 use cpnn_core::Strategy;
 
-use crate::experiments::{longbeach_db, DEFAULT_DELTA, DEFAULT_P};
+use crate::experiments::{longbeach_db_sized, DEFAULT_DELTA, DEFAULT_P};
 use crate::harness::run_queries_batched;
 use crate::report::Table;
 use cpnn_datagen::query_points;
@@ -31,43 +35,60 @@ pub fn thread_sweep() -> Vec<usize> {
     counts
 }
 
-/// Run the experiment. Columns: threads, wall-clock ms for the whole batch,
-/// throughput (queries/s), and speedup over one thread.
+/// Database sizes to sweep at the given mode.
+pub fn size_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![4_000, 8_000]
+    } else {
+        vec![8_000, 53_144]
+    }
+}
+
+/// Run the experiment. Columns: |T|, threads, wall-clock ms for the whole
+/// batch, throughput (queries/s), and speedup over one thread at that |T|.
 pub fn run(quick: bool) -> Table {
-    let db = longbeach_db(quick);
     let n_queries = if quick { 2_000 } else { 10_000 };
+    let reps = 3;
     let queries = query_points(0xBA7C4, n_queries);
     let mut table = Table::new(
         "Batch",
         &format!("Batch-executor scaling on a {n_queries}-query VR workload"),
-        &["threads", "wall (ms)", "queries/s", "speedup"],
+        &["|T|", "threads", "wall (ms)", "queries/s", "speedup"],
     );
     table.note(format!(
-        "{} queries, |T| = {}, P = {DEFAULT_P}, Δ = {DEFAULT_DELTA}, strategy VR, {} core(s)",
+        "{} queries, P = {DEFAULT_P}, Δ = {DEFAULT_DELTA}, strategy VR, {} core(s), best of {reps} runs per row",
         n_queries,
-        db.len(),
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     ));
-    let mut base_wall = None;
-    for threads in thread_sweep() {
-        let s = run_queries_batched(
-            &db,
-            &queries,
-            DEFAULT_P,
-            DEFAULT_DELTA,
-            Strategy::Verified,
-            threads,
-        );
-        let wall = s.wall_time.as_secs_f64() * 1e3;
-        let base = *base_wall.get_or_insert(wall);
-        table.push_row(vec![
-            threads.to_string(),
-            format!("{wall:.1}"),
-            format!("{:.0}", s.throughput()),
-            format!("{:.2}x", base / wall.max(1e-9)),
-        ]);
+    for size in size_sweep(quick) {
+        let db = longbeach_db_sized(size);
+        let mut base_wall = None;
+        for threads in thread_sweep() {
+            let s = (0..reps)
+                .map(|_| {
+                    run_queries_batched(
+                        &db,
+                        &queries,
+                        DEFAULT_P,
+                        DEFAULT_DELTA,
+                        Strategy::Verified,
+                        threads,
+                    )
+                })
+                .min_by_key(|s| s.wall_time)
+                .expect("at least one rep");
+            let wall = s.wall_time.as_secs_f64() * 1e3;
+            let base = *base_wall.get_or_insert(wall);
+            table.push_row(vec![
+                size.to_string(),
+                threads.to_string(),
+                format!("{wall:.1}"),
+                format!("{:.0}", s.throughput()),
+                format!("{:.2}x", base / wall.max(1e-9)),
+            ]);
+        }
     }
     table
 }

@@ -16,6 +16,7 @@ pub mod serve;
 pub mod shard;
 pub mod table3;
 pub mod update;
+pub mod verify;
 
 use cpnn_core::UncertainDb;
 use cpnn_datagen::{longbeach::longbeach_with, query_points, LongBeachConfig};
@@ -29,8 +30,13 @@ pub const DEFAULT_DELTA: f64 = 0.01;
 /// (8k objects instead of 53,144) without changing the candidate-set
 /// density that drives the per-query work.
 pub fn longbeach_db(quick: bool) -> UncertainDb {
+    longbeach_db_sized(if quick { 8_000 } else { 53_144 })
+}
+
+/// Long Beach analog database at an explicit cardinality (for |T| sweeps).
+pub fn longbeach_db_sized(count: usize) -> UncertainDb {
     let cfg = LongBeachConfig {
-        count: if quick { 8_000 } else { 53_144 },
+        count,
         ..LongBeachConfig::default()
     };
     UncertainDb::build(longbeach_with(0xC0FFEE, cfg)).expect("valid generated data")

@@ -1,0 +1,132 @@
+//! Verification-kernel micro-benchmark — beyond the paper: the column-major
+//! kernels of `cpnn_core::verifiers::kernels` against the retained legacy
+//! path (`cpnn_core::verifiers::reference` + the naive scalar integrands),
+//! across a |C| × M grid.
+//!
+//! Both paths run the *same* verify → refine pipeline (RS, L-SR, U-SR, then
+//! incremental refinement at an ambiguous threshold P = 1/|C| so refinement
+//! actually integrates); their verdicts and bounds are bit-identical
+//! (`tests/proptest_kernels.rs`), so whatever separates the timings is pure
+//! implementation: SoA column scans and allocation-free scratch reuse vs.
+//! row-major strided access with per-subregion allocations.
+//!
+//! M is swept independently of |C| by duplicating near endpoints: with
+//! group size g, only ⌈|C|/g⌉ distinct near points (hence proportionally
+//! fewer left subregions) exist at the same candidate count.
+
+use std::time::{Duration, Instant};
+
+use cpnn_core::classify::Classifier;
+use cpnn_core::exact::subregion_qualification;
+use cpnn_core::framework::{default_verifiers, run_verification_into};
+use cpnn_core::refine::incremental_refine_with;
+use cpnn_core::verifiers::reference::reference_verifiers;
+use cpnn_core::verifiers::{kernels, VerificationState, Verifier};
+use cpnn_core::{CandidateSet, ObjectId, RefinementOrder, SubregionTable, UncertainObject};
+
+use crate::report::{ms, Table};
+
+/// `c` mutually overlapping uniforms; near points repeat in groups of `g`,
+/// shrinking M (the subregion count) without changing |C|.
+fn candidate_set(c: usize, g: usize) -> CandidateSet {
+    let objects: Vec<UncertainObject> = (0..c)
+        .map(|i| {
+            let lo = 1.0 + 0.05 * (i / g) as f64;
+            UncertainObject::uniform(ObjectId(i as u64), lo, lo + 50.0).expect("valid region")
+        })
+        .collect();
+    CandidateSet::build(&objects, 0.0, 0).expect("valid candidate set")
+}
+
+/// One full verify → refine pass; `reps` repetitions, best (minimum) time.
+/// The state is reused across reps — exactly how the pipeline's
+/// `QueryScratch` runs it — so the kernel path is measured at its
+/// allocation-free steady state and the legacy path at its best case too.
+fn time_pass(
+    table: &SubregionTable,
+    classifier: &Classifier,
+    chain: &[Box<dyn Verifier>],
+    state: &mut VerificationState,
+    reps: usize,
+    mut qual: impl FnMut(usize, usize, &mut kernels::KernelScratch) -> f64,
+) -> Duration {
+    let mut stages = Vec::new();
+    let mut best = Duration::MAX;
+    // One untimed warm-up grows every buffer to its high-water mark.
+    for rep in 0..=reps {
+        state.reset(table);
+        stages.clear();
+        let start = Instant::now();
+        run_verification_into(table, classifier, chain, state, &mut stages);
+        incremental_refine_with(
+            table,
+            classifier,
+            state,
+            RefinementOrder::DescendingMass,
+            &mut qual,
+        );
+        let elapsed = start.elapsed();
+        if rep > 0 {
+            best = best.min(elapsed);
+        }
+    }
+    best
+}
+
+/// Run the kernel-vs-legacy grid. Columns: |C|, M, legacy and kernel best
+/// pass times, and the kernel speedup (legacy / kernel).
+pub fn run(quick: bool) -> Table {
+    let sizes: Vec<usize> = if quick {
+        vec![16, 64, 128]
+    } else {
+        vec![16, 64, 128, 256]
+    };
+    let groups = [1usize, 4];
+    let reps = if quick { 15 } else { 40 };
+    let mut table = Table::new(
+        "Verify",
+        "verification-kernel vs legacy-path time per query (verify + refine)",
+        &["|C|", "M", "legacy (ms)", "kernel (ms)", "kernel speedup"],
+    );
+    table.note(format!(
+        "best of {reps} passes; chain RS, L-SR, U-SR + incremental refinement at P = 1/|C|, Δ = 0.01; \
+         legacy = verifiers::reference + naive integrand, kernel = verifiers::kernels"
+    ));
+    for &c in &sizes {
+        for &g in &groups {
+            let cands = candidate_set(c, g);
+            let sub = SubregionTable::build(&cands);
+            let classifier = Classifier::new(1.0 / c as f64, 0.01).expect("valid classifier");
+            let mut state = VerificationState::new(&sub);
+            let legacy_chain = reference_verifiers();
+            let legacy = time_pass(
+                &sub,
+                &classifier,
+                &legacy_chain,
+                &mut state,
+                reps,
+                |i, j, _| subregion_qualification(&sub, i, j),
+            );
+            let kernel_chain = default_verifiers();
+            let kernel = time_pass(
+                &sub,
+                &classifier,
+                &kernel_chain,
+                &mut state,
+                reps,
+                |i, j, s| kernels::nn_qualification(&sub, i, j, s),
+            );
+            table.push_row(vec![
+                c.to_string(),
+                sub.subregion_count().to_string(),
+                ms(legacy),
+                ms(kernel),
+                format!(
+                    "{:.2}x",
+                    legacy.as_secs_f64() / kernel.as_secs_f64().max(1e-12)
+                ),
+            ]);
+        }
+    }
+    table
+}

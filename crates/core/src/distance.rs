@@ -27,18 +27,50 @@ impl DistanceDistribution {
     /// with bin edges at the folded images of the source bin edges.
     pub fn from_pdf(pdf: &HistogramPdf, q: f64) -> Result<Self> {
         let (lo, hi) = pdf.support();
-        let mut breaks: Vec<f64> = pdf.edges().iter().map(|&e| (e - q).abs()).collect();
-        if q >= lo && q <= hi {
-            breaks.push(0.0);
+        let edges = pdf.edges();
+        // The folded breakpoints `|e − q|` form two sorted runs over the
+        // ascending edges — strictly descending while `e < q`, ascending
+        // from there — so merging the runs yields them sorted in O(n)
+        // instead of a comparison sort. All values are non-negative
+        // (`abs` never produces −0.0), so ties are bitwise equal and the
+        // merged value sequence is exactly what sorting produced.
+        let split = edges.partition_point(|&e| e < q);
+        let n_edges = edges.len();
+        let inside = q >= lo && q <= hi;
+        // Largest breakpoint = what `breaks.last()` was after the old sort.
+        let scale = (edges[0] - q)
+            .abs()
+            .max((edges[n_edges - 1] - q).abs())
+            .max(1.0);
+        let mut merged: Vec<f64> = Vec::with_capacity(n_edges + 1);
+        let push = |merged: &mut Vec<f64>, v: f64| match merged.last() {
+            Some(&last) if v - last <= 1e-12 * scale => {}
+            _ => merged.push(v),
+        };
+        if inside {
+            // 0 is the global minimum of `|e − q|`, so it merges in first.
+            push(&mut merged, 0.0);
         }
-        breaks.sort_by(f64::total_cmp);
-        // Merge numerically identical breakpoints.
-        let scale = breaks.last().copied().unwrap_or(1.0).max(1.0);
-        let mut merged: Vec<f64> = Vec::with_capacity(breaks.len());
-        for b in breaks {
-            match merged.last() {
-                Some(&last) if b - last <= 1e-12 * scale => {}
-                _ => merged.push(b),
+        // `a` walks edges[..split] top-down (values ascending), `b` walks
+        // edges[split..] bottom-up (values ascending).
+        let (mut a, mut b) = (split, split);
+        while a > 0 || b < n_edges {
+            let va = if a > 0 {
+                (edges[a - 1] - q).abs()
+            } else {
+                f64::INFINITY
+            };
+            let vb = if b < n_edges {
+                (edges[b] - q).abs()
+            } else {
+                f64::INFINITY
+            };
+            if va <= vb {
+                push(&mut merged, va);
+                a -= 1;
+            } else {
+                push(&mut merged, vb);
+                b += 1;
             }
         }
         debug_assert!(merged.len() >= 2, "degenerate distance support");
@@ -81,6 +113,14 @@ impl DistanceDistribution {
     /// Distance cdf `Di(r)` (piecewise linear, clamped to `[0, 1]`).
     pub fn cdf(&self, r: f64) -> f64 {
         self.hist.cdf(r)
+    }
+
+    /// Bulk cdf evaluation over an **ascending** slice of radii: a single
+    /// merge pass over the histogram edges, appended to `out` (cleared
+    /// first). Bit-identical to calling [`Self::cdf`] per point — see
+    /// [`HistogramPdf::cdf_many_into`].
+    pub fn cdf_many_into(&self, rs: &[f64], out: &mut Vec<f64>) {
+        self.hist.cdf_many_into(rs, out);
     }
 
     /// Distance pdf `di(r)`.
@@ -196,6 +236,18 @@ mod tests {
         let d = DistanceDistribution::from_pdf(&pdf, 0.5).unwrap();
         let same = d.clone().with_max_bins(64).unwrap();
         assert_eq!(d, same);
+    }
+
+    #[test]
+    fn cdf_many_matches_scalar_bitwise() {
+        let pdf = HistogramPdf::from_masses(vec![0.0, 2.0, 6.0], vec![0.25, 0.75]).unwrap();
+        let d = DistanceDistribution::from_pdf(&pdf, 4.0).unwrap();
+        let rs = [-1.0, 0.0, 0.5, 1.0, 2.0, 2.0, 3.7, 4.0, 9.0];
+        let mut out = Vec::new();
+        d.cdf_many_into(&rs, &mut out);
+        for (&r, &v) in rs.iter().zip(&out) {
+            assert_eq!(v.to_bits(), d.cdf(r).to_bits(), "r = {r}");
+        }
     }
 
     #[test]

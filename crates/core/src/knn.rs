@@ -36,7 +36,7 @@ use crate::error::{CoreError, Result};
 use crate::framework::{knn_verifiers, run_verification_into};
 use crate::refine::{incremental_refine_with, RefinementOrder};
 use crate::subregion::{SubregionTable, MASS_EPS};
-use crate::verifiers::{VerificationState, Verifier};
+use crate::verifiers::{kernels, VerificationState, Verifier};
 
 use cpnn_pdf::integrate::{gauss_legendre, GlOrder};
 
@@ -112,60 +112,6 @@ pub fn knn_upper_bounds(table: &SubregionTable) -> Vec<f64> {
         .collect()
 }
 
-/// Truncated Poisson-binomial state: `dp[c] = Pr[exactly c successes]` for
-/// `c ≤ limit`, with overflow mass absorbed. Supports O(limit) exclude-one
-/// *deconvolution*: removing a factor `p` inverts the convolution step
-/// `dp[c] = (1−p)·dp'[c] + p·dp'[c−1]`, i.e.
-/// `dp'[c] = (dp[c] − p·dp'[c−1]) / (1−p)` — numerically fine away from
-/// `p ≈ 1`, with a direct-recompute fallback there.
-#[derive(Debug, Clone)]
-struct PbState {
-    dp: Vec<f64>,
-}
-
-impl PbState {
-    fn new(probs: &[f64], limit: usize) -> Self {
-        let mut dp = vec![0.0; limit + 1];
-        dp[0] = 1.0;
-        for &p in probs {
-            let p = p.clamp(0.0, 1.0);
-            for c in (0..=limit).rev() {
-                let come = if c > 0 { dp[c - 1] * p } else { 0.0 };
-                dp[c] = dp[c] * (1.0 - p) + come;
-            }
-        }
-        Self { dp }
-    }
-
-    /// Tail `Pr[≤ limit successes]` with factor `i` (probability `probs[i]`)
-    /// removed.
-    fn tail_excluding(&self, probs: &[f64], i: usize) -> f64 {
-        let p = probs[i].clamp(0.0, 1.0);
-        if p > 0.999 {
-            // Deconvolution divides by (1−p): recompute directly instead.
-            let rest: Vec<f64> = probs
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, &q)| q)
-                .collect();
-            return PbState::new(&rest, self.dp.len() - 1)
-                .dp
-                .iter()
-                .sum::<f64>();
-        }
-        let q = 1.0 - p;
-        let mut prev = 0.0;
-        let mut tail = 0.0;
-        for c in 0..self.dp.len() {
-            let excl = ((self.dp[c] - p * prev) / q).clamp(0.0, 1.0);
-            tail += excl;
-            prev = excl;
-        }
-        tail.clamp(0.0, 1.0)
-    }
-}
-
 /// The subregion verifier for k-NN — the L-SR/U-SR generalization the
 /// paper leaves to future work, packaged as a [`Verifier`] so the unified
 /// pipeline ([`crate::pipeline`]) runs it through the same Fig. 5 framework
@@ -223,29 +169,40 @@ impl Verifier for KnnSubregion {
             return;
         }
         let limit = k - 1;
-        let probs_at = |j: usize| -> Vec<f64> { (0..n).map(|m| table.cdf_at(m, j)).collect() };
-        let mut probs_cur = probs_at(0);
-        let mut state_cur = PbState::new(&probs_cur, limit);
+        // The success probabilities at end-point j are exactly the SoA cdf
+        // column — no gather needed. The truncated DP states for the two
+        // active end-points live in ping-pong kernel scratch buffers; the
+        // exclude-one tails come from O(limit) deconvolution with a
+        // recompute fallback (into spare scratch) near p = 1.
+        kernels::pb_into(&mut state.kernel.dp, table.cdf_col(0), limit);
         for j in 0..l {
-            let probs_next = probs_at(j + 1);
-            let state_next = PbState::new(&probs_next, limit);
+            kernels::pb_into(&mut state.kernel.dp_next, table.cdf_col(j + 1), limit);
             for i in 0..n {
                 if state.labels[i] != Label::Unknown {
                     continue;
                 }
-                let lo = state_next.tail_excluding(&probs_next, i);
+                let lo = kernels::pb_tail_excluding(
+                    &state.kernel.dp_next,
+                    table.cdf_col(j + 1),
+                    i,
+                    &mut state.kernel.dp_spare,
+                );
                 let cell = &mut state.qij_lo[i * l + j];
                 if lo > *cell {
                     *cell = lo;
                 }
-                let hi = state_cur.tail_excluding(&probs_cur, i);
+                let hi = kernels::pb_tail_excluding(
+                    &state.kernel.dp,
+                    table.cdf_col(j),
+                    i,
+                    &mut state.kernel.dp_spare,
+                );
                 let cell = &mut state.qij_hi[i * l + j];
                 if hi < *cell {
                     *cell = hi;
                 }
             }
-            probs_cur = probs_next;
-            state_cur = state_next;
+            state.kernel.swap_pb();
         }
         for i in 0..n {
             if state.labels[i] == Label::Unknown {
@@ -340,7 +297,7 @@ pub fn constrained_knn(
         classifier,
         &mut state,
         RefinementOrder::DescendingMass,
-        |i, j| knn_subregion_qualification(table, i, j, k),
+        |i, j, scr| kernels::knn_qualification(table, i, j, k, scr),
     );
     state
         .bounds

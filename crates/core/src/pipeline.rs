@@ -41,16 +41,16 @@ use crate::candidate::CandidateSet;
 use crate::classify::{Classifier, Label};
 use crate::distance::DistanceDistribution;
 use crate::error::Result;
-use crate::exact::{basic_probabilities, exact_probabilities, subregion_qualification};
+use crate::exact::{basic_probabilities, exact_probabilities};
 use crate::framework::{
     default_verifiers, extended_verifiers, knn_verifiers, run_verification_into, StageReport,
 };
-use crate::knn::{knn_probabilities, knn_subregion_qualification, monte_carlo_knn};
+use crate::knn::{knn_probabilities, monte_carlo_knn};
 use crate::montecarlo::monte_carlo_probabilities;
 use crate::object::ObjectId;
 use crate::refine::{incremental_refine_with, RefinementOrder};
 use crate::subregion::{SubregionTable, MASS_EPS};
-use crate::verifiers::VerificationState;
+use crate::verifiers::{kernels, VerificationState};
 
 /// Evaluation strategy — the three methods compared throughout Sec. V, plus
 /// the sampling baseline of \[9\].
@@ -669,7 +669,7 @@ fn evaluate_candidates_impl(
                     &classifier,
                     &mut scratch.state,
                     cfg.refinement_order,
-                    |i, j| subregion_qualification(&table, i, j),
+                    |i, j, scr| kernels::nn_qualification(&table, i, j, scr),
                 )
             } else {
                 incremental_refine_with(
@@ -677,7 +677,7 @@ fn evaluate_candidates_impl(
                     &classifier,
                     &mut scratch.state,
                     cfg.refinement_order,
-                    |i, j| knn_subregion_qualification(&table, i, j, k),
+                    |i, j, scr| kernels::knn_qualification(&table, i, j, k, scr),
                 )
             };
             stats.refine_time = refine_start.elapsed();

@@ -10,9 +10,8 @@
 //! polynomial integrand).
 
 use crate::classify::{Classifier, Label};
-use crate::exact::subregion_qualification;
 use crate::subregion::{SubregionTable, MASS_EPS};
-use crate::verifiers::VerificationState;
+use crate::verifiers::{kernels, KernelScratch, VerificationState};
 
 /// In which order refinement visits an object's subregions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,29 +37,38 @@ pub struct RefineReport {
 }
 
 /// Refine every `Unknown` object in `state` until classified, using the
-/// 1-NN exact subregion qualification.
+/// 1-NN exact subregion qualification (kernel path).
 pub fn incremental_refine(
     table: &SubregionTable,
     classifier: &Classifier,
     state: &mut VerificationState,
     order: RefinementOrder,
 ) -> RefineReport {
-    incremental_refine_with(table, classifier, state, order, |i, j| {
-        subregion_qualification(table, i, j)
+    incremental_refine_with(table, classifier, state, order, |i, j, scr| {
+        kernels::nn_qualification(table, i, j, scr)
     })
 }
 
 /// Refine every `Unknown` object in `state` until classified, with a
-/// caller-supplied exact qualification `qual(i, j)` — the 1-NN product
-/// integral or the k-NN Poisson-binomial integral
-/// ([`crate::knn::knn_subregion_qualification`]). This is the single
-/// refinement loop every query path shares (paper Sec. IV-D).
+/// caller-supplied exact qualification `qual(i, j, scratch)` — the 1-NN
+/// product integral ([`kernels::nn_qualification`]) or the k-NN
+/// Poisson-binomial integral ([`kernels::knn_qualification`]); the naive
+/// references ([`crate::exact::subregion_qualification`],
+/// [`crate::knn::knn_subregion_qualification`]) fit by ignoring the scratch
+/// argument. This is the single refinement loop every query path shares
+/// (paper Sec. IV-D).
+///
+/// The subregion visit order is materialized in the state's kernel scratch
+/// (no allocation per object); `DescendingMass` breaks mass ties by
+/// ascending index, which is exactly the order the previous stable sort
+/// produced, so refinement trajectories — and therefore verdicts and final
+/// bounds — are unchanged.
 pub fn incremental_refine_with(
     table: &SubregionTable,
     classifier: &Classifier,
     state: &mut VerificationState,
     order: RefinementOrder,
-    qual: impl Fn(usize, usize) -> f64,
+    mut qual: impl FnMut(usize, usize, &mut KernelScratch) -> f64,
 ) -> RefineReport {
     let n = table.n_objects();
     let l = table.left_regions();
@@ -68,17 +76,26 @@ pub fn incremental_refine_with(
         per_object: vec![0; n],
         ..Default::default()
     };
+    // Take the visit-order buffer out of the scratch so the scratch itself
+    // can still be handed to `qual` inside the loop; returned at the end.
+    let mut regions = std::mem::take(&mut state.kernel.regions);
     for i in 0..n {
         if state.labels[i] != Label::Unknown {
             continue;
         }
         report.refined_objects += 1;
-        let mut regions: Vec<usize> = (0..l).filter(|&j| table.mass(i, j) > MASS_EPS).collect();
+        regions.clear();
+        regions.extend((0..l).filter(|&j| table.mass(i, j) > MASS_EPS));
         if order == RefinementOrder::DescendingMass {
-            regions.sort_by(|&a, &b| table.mass(i, b).total_cmp(&table.mass(i, a)));
+            regions.sort_unstable_by(|&a, &b| {
+                table
+                    .mass(i, b)
+                    .total_cmp(&table.mass(i, a))
+                    .then(a.cmp(&b))
+            });
         }
-        for j in regions {
-            let q = qual(i, j);
+        for &j in &regions {
+            let q = qual(i, j, &mut state.kernel);
             report.integrations += 1;
             report.per_object[i] += 1;
             state.qij_lo[i * l + j] = q;
@@ -98,6 +115,7 @@ pub fn incremental_refine_with(
             debug_assert_ne!(state.labels[i], Label::Unknown);
         }
     }
+    state.kernel.regions = regions;
     report
 }
 

@@ -27,6 +27,12 @@ pub const MASS_EPS: f64 = 1e-12;
 
 /// The subregion table: end-points plus the `(s_ij, D_i(e_j))` pairs of
 /// Fig. 7(b).
+///
+/// Storage is **column-major (subregion-major)**: every verifier inner loop
+/// walks all objects at a fixed end-point `j`, so keeping each column
+/// `D_·(e_j)` / `s_·j` contiguous turns those sweeps into unit-stride slices
+/// ([`Self::cdf_col`] / [`Self::mass_col`]) that the verification kernels
+/// consume directly.
 #[derive(Debug, Clone)]
 pub struct SubregionTable {
     /// End-points `e_1 … e_{M}`; the last entry equals `fmin`. The *left*
@@ -36,9 +42,9 @@ pub struct SubregionTable {
     endpoints: Vec<f64>,
     fmax: f64,
     n: usize,
-    /// `mass[i·L + j] = s_ij` (row-major by object).
+    /// `mass[j·n + i] = s_ij` (column-major by subregion).
     mass: Vec<f64>,
-    /// `cdf[i·(L+1) + j] = D_i(e_j)`.
+    /// `cdf[j·n + i] = D_i(e_j)` (column-major by end-point).
     cdf: Vec<f64>,
     /// `rightmost[i] = s_{i,M} = 1 − D_i(fmin)`.
     rightmost: Vec<f64>,
@@ -69,7 +75,12 @@ impl SubregionTable {
         }
 
         // Collect end-points: near points and pdf breakpoints below fmin.
-        let mut pts: Vec<f64> = Vec::new();
+        let upper: usize = candidates
+            .members()
+            .iter()
+            .map(|m| m.dist.breakpoints().len())
+            .sum();
+        let mut pts: Vec<f64> = Vec::with_capacity(upper + 1);
         for m in candidates.members() {
             for &b in m.dist.breakpoints() {
                 if b < fmin {
@@ -97,18 +108,24 @@ impl SubregionTable {
         let mut mass = vec![0.0; n * l];
         let mut cdf = vec![0.0; n * (l + 1)];
         let mut rightmost = vec![0.0; n];
+        // Per object: one sorted merge pass over the distance histogram
+        // (cdf_many_into) instead of an independent binary search per
+        // end-point, then scatter the row into the column-major arrays.
+        let mut row: Vec<f64> = Vec::with_capacity(l + 1);
         for (i, member) in candidates.members().iter().enumerate() {
-            for (j, &e) in endpoints.iter().enumerate() {
-                cdf[i * (l + 1) + j] = member.dist.cdf(e);
+            member.dist.cdf_many_into(&endpoints, &mut row);
+            for j in 0..=l {
+                cdf[j * n + i] = row[j];
             }
             for j in 0..l {
-                let s = (cdf[i * (l + 1) + j + 1] - cdf[i * (l + 1) + j]).max(0.0);
-                mass[i * l + j] = s;
+                mass[j * n + i] = (row[j + 1] - row[j]).max(0.0);
             }
-            rightmost[i] = (1.0 - cdf[i * (l + 1) + l]).max(0.0);
+            rightmost[i] = (1.0 - row[l]).max(0.0);
         }
-        let counts = (0..l)
-            .map(|j| (0..n).filter(|&i| mass[i * l + j] > MASS_EPS).count())
+        // Column-major mass makes the membership count a contiguous scan.
+        let counts = mass
+            .chunks_exact(n)
+            .map(|col| col.iter().filter(|&&s| s > MASS_EPS).count())
             .collect();
 
         Self {
@@ -154,12 +171,24 @@ impl SubregionTable {
 
     /// Subregion probability `s_ij` for left region `j`.
     pub fn mass(&self, i: usize, j: usize) -> f64 {
-        self.mass[i * self.left_regions() + j]
+        self.mass[j * self.n + i]
     }
 
     /// Distance cdf `D_i(e_j)` at end-point `j ∈ 0..=L`.
     pub fn cdf_at(&self, i: usize, j: usize) -> f64 {
-        self.cdf[i * (self.left_regions() + 1) + j]
+        self.cdf[j * self.n + i]
+    }
+
+    /// Contiguous cdf column `D_·(e_j)` for end-point `j ∈ 0..=L`: element
+    /// `i` is `D_i(e_j)`. Unit-stride input for the verification kernels.
+    pub fn cdf_col(&self, j: usize) -> &[f64] {
+        &self.cdf[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Contiguous mass column `s_·j` for left region `j ∈ 0..L`: element
+    /// `i` is `s_ij`.
+    pub fn mass_col(&self, j: usize) -> &[f64] {
+        &self.mass[j * self.n..(j + 1) * self.n]
     }
 
     /// Rightmost-subregion probability `s_{iM} = 1 − D_i(fmin)`.
@@ -238,6 +267,27 @@ mod tests {
         assert_eq!(t.count(1), 2);
         assert_eq!(t.count(2), 2);
         assert_eq!(t.count(3), 3);
+    }
+
+    #[test]
+    fn columns_agree_with_scalar_accessors() {
+        let (cands, _) = fig7_scenario();
+        let t = SubregionTable::build(&cands);
+        let n = t.n_objects();
+        for j in 0..=t.left_regions() {
+            let col = t.cdf_col(j);
+            assert_eq!(col.len(), n);
+            for (i, &c) in col.iter().enumerate() {
+                assert_eq!(c.to_bits(), t.cdf_at(i, j).to_bits(), "cdf ({i},{j})");
+            }
+        }
+        for j in 0..t.left_regions() {
+            let col = t.mass_col(j);
+            assert_eq!(col.len(), n);
+            for (i, &m) in col.iter().enumerate() {
+                assert_eq!(m.to_bits(), t.mass(i, j).to_bits(), "mass ({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::classify::Label;
 use crate::subregion::{SubregionTable, MASS_EPS};
-use crate::verifiers::{ExcludeOneProduct, VerificationState, Verifier};
+use crate::verifiers::{VerificationState, Verifier};
 
 /// The FL-SR verifier. Stateless; construct freely.
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,17 +40,22 @@ impl Verifier for FarLowerSubregion {
         if n == 0 || l == 0 {
             return;
         }
-        let mut factors = vec![0.0; n];
+        let shared = state.kernel.try_shared_products(table);
         for j in 0..l {
-            for (m, f) in factors.iter_mut().enumerate() {
-                *f = 1.0 - table.cdf_at(m, j + 1);
+            if !shared {
+                state.kernel.excl.recompute_survival(table.cdf_col(j + 1));
             }
-            let prod = ExcludeOneProduct::new(&factors);
+            let (pref, suff) = if shared {
+                state.kernel.col_parts(j + 1)
+            } else {
+                state.kernel.excl.parts()
+            };
+            let mass = table.mass_col(j);
             for i in 0..n {
-                if state.labels[i] != Label::Unknown || table.mass(i, j) <= MASS_EPS {
+                if state.labels[i] != Label::Unknown || mass[i] <= MASS_EPS {
                     continue;
                 }
-                let q = prod.excluding(i).clamp(0.0, 1.0);
+                let q = (pref[i] * suff[i + 1]).clamp(0.0, 1.0);
                 let cell = &mut state.qij_lo[i * l + j];
                 if q > *cell {
                     *cell = q;

@@ -16,12 +16,15 @@
 //! stage (Sec. IV-D) reuses.
 
 mod flsr;
+pub mod kernels;
 mod lsr;
 mod products;
+pub mod reference;
 mod rs;
 mod usr;
 
 pub use flsr::FarLowerSubregion;
+pub use kernels::KernelScratch;
 pub use lsr::LowerSubregion;
 pub use products::ExcludeOneProduct;
 pub use rs::RightmostSubregion;
@@ -47,6 +50,12 @@ pub struct VerificationState {
     pub qij_lo: Vec<f64>,
     /// `q_ij.u` flattened as `i·L + j`.
     pub qij_hi: Vec<f64>,
+    /// Reusable kernel buffers (survival factors, exclude-one products,
+    /// Poisson-binomial DP states, integrand coefficients, refinement
+    /// order). Living here means every path that reuses the state — the
+    /// per-query scratch, the batch executor's per-thread states — gets
+    /// allocation-free verify/refine loops for free.
+    pub kernel: KernelScratch,
 }
 
 impl VerificationState {
@@ -70,6 +79,9 @@ impl VerificationState {
         self.qij_lo.resize(n * l, 0.0);
         self.qij_hi.clear();
         self.qij_hi.resize(n * l, 1.0);
+        // The shared survival products describe a specific table; a reset
+        // means a new query, so force a rebuild on first verifier use.
+        self.kernel.products_ready = false;
     }
 
     /// Recompute `p_i.l = Σ_j s_ij · q_ij.l` (paper Eq. 4) and raise the

@@ -11,7 +11,10 @@
 //! subregion as the paper's `Y_j` trick.
 
 /// Prefix/suffix product table over a factor vector.
-#[derive(Debug, Clone)]
+///
+/// The `Default` value is an *empty* table (no factors recorded yet); call
+/// [`Self::recompute`] before querying it.
+#[derive(Debug, Clone, Default)]
 pub struct ExcludeOneProduct {
     /// `prefix[i] = Π_{k < i} f_k` (so `prefix[0] = 1`), length `n + 1`.
     prefix: Vec<f64>,
@@ -22,18 +25,60 @@ pub struct ExcludeOneProduct {
 impl ExcludeOneProduct {
     /// Build from the factor sequence.
     pub fn new(factors: &[f64]) -> Self {
+        let mut p = Self::default();
+        p.recompute(factors);
+        p
+    }
+
+    /// Rebuild the prefix/suffix tables in place, reusing the existing
+    /// allocations — the kernel-path replacement for constructing a fresh
+    /// product per subregion. Multiplication order matches [`Self::new`]
+    /// exactly, so the resulting products are bit-identical.
+    pub fn recompute(&mut self, factors: &[f64]) {
         let n = factors.len();
-        let mut prefix = Vec::with_capacity(n + 1);
-        prefix.push(1.0);
+        self.prefix.clear();
+        self.prefix.reserve(n + 1);
+        self.prefix.push(1.0);
+        let mut acc = 1.0;
         for &f in factors {
-            let last = *prefix.last().expect("non-empty prefix");
-            prefix.push(last * f);
+            acc *= f;
+            self.prefix.push(acc);
         }
-        let mut suffix = vec![1.0; n + 1];
+        self.suffix.clear();
+        self.suffix.resize(n + 1, 1.0);
         for i in (0..n).rev() {
-            suffix[i] = factors[i] * suffix[i + 1];
+            self.suffix[i] = factors[i] * self.suffix[i + 1];
         }
-        Self { prefix, suffix }
+    }
+
+    /// Rebuild directly from a cdf column, taking factor `i` as
+    /// `1.0 − cdf[i]` on the fly. This fuses [`super::kernels::survival_into`]
+    /// into the product pass: the same `1.0 − c` subtraction feeds the same
+    /// multiplication chain in the same order, so the resulting products are
+    /// bit-identical to `recompute(&survival_into(cdf))` — with one fewer
+    /// write-then-read sweep over the factors buffer.
+    pub fn recompute_survival(&mut self, cdf: &[f64]) {
+        let n = cdf.len();
+        self.prefix.clear();
+        self.prefix.reserve(n + 1);
+        self.prefix.push(1.0);
+        let mut acc = 1.0;
+        for &c in cdf {
+            acc *= 1.0 - c;
+            self.prefix.push(acc);
+        }
+        self.suffix.clear();
+        self.suffix.resize(n + 1, 1.0);
+        for i in (0..n).rev() {
+            self.suffix[i] = (1.0 - cdf[i]) * self.suffix[i + 1];
+        }
+    }
+
+    /// Prefix/suffix halves (`prefix[i] · suffix[i + 1]` is the exclude-one
+    /// product), for slice-based inner loops that also consume the shared
+    /// column tables of [`super::kernels::KernelScratch`].
+    pub(crate) fn parts(&self) -> (&[f64], &[f64]) {
+        (&self.prefix, &self.suffix)
     }
 
     /// Product of all factors.
@@ -105,6 +150,44 @@ mod tests {
         let p1 = ExcludeOneProduct::new(&[0.7]);
         assert_eq!(p1.excluding(0), 1.0);
         assert_eq!(p1.total(), 0.7);
+    }
+
+    #[test]
+    fn recompute_matches_new_bitwise_and_reuses_buffers() {
+        let a = [0.5, 0.9, 0.1, 1.0, 0.3];
+        let b = [0.25, 0.75];
+        let mut p = ExcludeOneProduct::default();
+        p.recompute(&a);
+        let fresh = ExcludeOneProduct::new(&a);
+        for i in 0..a.len() {
+            assert_eq!(p.excluding(i).to_bits(), fresh.excluding(i).to_bits());
+        }
+        assert_eq!(p.total().to_bits(), fresh.total().to_bits());
+        // Shrinking reuse: shorter factor list after a longer one.
+        p.recompute(&b);
+        let fresh_b = ExcludeOneProduct::new(&b);
+        assert_eq!(p.len(), 2);
+        for i in 0..b.len() {
+            assert_eq!(p.excluding(i).to_bits(), fresh_b.excluding(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn recompute_survival_matches_two_pass_bitwise() {
+        let cdf = [0.0, 0.125, 0.3, 0.5, 0.97, 1.0];
+        let factors: Vec<f64> = cdf.iter().map(|&c| 1.0 - c).collect();
+        let mut two_pass = ExcludeOneProduct::default();
+        two_pass.recompute(&factors);
+        let mut fused = ExcludeOneProduct::default();
+        fused.recompute_survival(&cdf);
+        assert_eq!(fused.len(), two_pass.len());
+        for i in 0..cdf.len() {
+            assert_eq!(
+                fused.excluding(i).to_bits(),
+                two_pass.excluding(i).to_bits()
+            );
+        }
+        assert_eq!(fused.total().to_bits(), two_pass.total().to_bits());
     }
 
     #[test]

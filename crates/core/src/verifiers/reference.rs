@@ -1,0 +1,295 @@
+//! Retained naive/legacy verifier implementations.
+//!
+//! These are the pre-kernel scalar code paths, kept verbatim: per-element
+//! `cdf_at`/`mass` accessor calls, a fresh factor `Vec` and
+//! [`ExcludeOneProduct::new`] (two more `Vec`s) per subregion, and a fresh
+//! Poisson-binomial DP per end-point. They exist for two reasons:
+//!
+//! 1. **Ground truth** — the kernel path must produce bit-identical
+//!    verdicts and bounds; the parity proptests run both chains and compare
+//!    `f64::to_bits`.
+//! 2. **The `verify` micro-bench** — kernel vs. legacy throughput across
+//!    |C| × M is measured by timing these against the kernel verifiers.
+//!
+//! Do not "optimize" this module; its value is being the unoptimized
+//! baseline.
+
+use crate::classify::Label;
+use crate::subregion::{SubregionTable, MASS_EPS};
+use crate::verifiers::{ExcludeOneProduct, VerificationState, Verifier};
+
+/// Legacy L-SR: allocates a factor vector once per apply and a fresh
+/// exclude-one product per subregion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceLowerSubregion;
+
+impl Verifier for ReferenceLowerSubregion {
+    fn name(&self) -> &'static str {
+        "L-SR"
+    }
+
+    fn apply(&self, table: &SubregionTable, state: &mut VerificationState) {
+        let n = table.n_objects();
+        let l = table.left_regions();
+        if n == 0 || l == 0 {
+            return;
+        }
+        let mut factors = vec![0.0; n];
+        for j in 0..l {
+            let cj = table.count(j);
+            if cj == 0 {
+                continue;
+            }
+            for (k, f) in factors.iter_mut().enumerate() {
+                *f = 1.0 - table.cdf_at(k, j);
+            }
+            let prod = ExcludeOneProduct::new(&factors);
+            let inv_cj = 1.0 / cj as f64;
+            for i in 0..n {
+                if state.labels[i] != Label::Unknown || table.mass(i, j) <= MASS_EPS {
+                    continue;
+                }
+                let q = (prod.excluding(i) * inv_cj).clamp(0.0, 1.0);
+                let cell = &mut state.qij_lo[i * l + j];
+                if q > *cell {
+                    *cell = q;
+                }
+            }
+        }
+        for i in 0..n {
+            if state.labels[i] == Label::Unknown {
+                state.recompute_lower(table, i);
+            }
+        }
+    }
+}
+
+/// Legacy U-SR: collects a fresh factor vector and product per end-point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceUpperSubregion;
+
+impl Verifier for ReferenceUpperSubregion {
+    fn name(&self) -> &'static str {
+        "U-SR"
+    }
+
+    fn apply(&self, table: &SubregionTable, state: &mut VerificationState) {
+        let n = table.n_objects();
+        let l = table.left_regions();
+        if n == 0 || l == 0 {
+            return;
+        }
+        let product_at = |j: usize| {
+            let factors: Vec<f64> = (0..n).map(|k| 1.0 - table.cdf_at(k, j)).collect();
+            ExcludeOneProduct::new(&factors)
+        };
+        let mut prod_cur = product_at(0);
+        for j in 0..l {
+            let prod_next = product_at(j + 1);
+            for i in 0..n {
+                if state.labels[i] != Label::Unknown || table.mass(i, j) <= MASS_EPS {
+                    continue;
+                }
+                let q = 0.5 * (prod_next.excluding(i) + prod_cur.excluding(i));
+                let lo = state.qij_lo[i * l + j];
+                let cell = &mut state.qij_hi[i * l + j];
+                if q < *cell {
+                    *cell = q.clamp(lo, 1.0);
+                }
+            }
+            prod_cur = prod_next;
+        }
+        for i in 0..n {
+            if state.labels[i] == Label::Unknown {
+                state.recompute_upper(table, i);
+            }
+        }
+    }
+}
+
+/// Legacy FL-SR.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceFarLowerSubregion;
+
+impl Verifier for ReferenceFarLowerSubregion {
+    fn name(&self) -> &'static str {
+        "FL-SR"
+    }
+
+    fn apply(&self, table: &SubregionTable, state: &mut VerificationState) {
+        let n = table.n_objects();
+        let l = table.left_regions();
+        if n == 0 || l == 0 {
+            return;
+        }
+        let mut factors = vec![0.0; n];
+        for j in 0..l {
+            for (m, f) in factors.iter_mut().enumerate() {
+                *f = 1.0 - table.cdf_at(m, j + 1);
+            }
+            let prod = ExcludeOneProduct::new(&factors);
+            for i in 0..n {
+                if state.labels[i] != Label::Unknown || table.mass(i, j) <= MASS_EPS {
+                    continue;
+                }
+                let q = prod.excluding(i).clamp(0.0, 1.0);
+                let cell = &mut state.qij_lo[i * l + j];
+                if q > *cell {
+                    *cell = q;
+                }
+            }
+        }
+        for i in 0..n {
+            if state.labels[i] == Label::Unknown {
+                state.recompute_lower(table, i);
+            }
+        }
+    }
+}
+
+/// Legacy truncated Poisson-binomial state (fresh `Vec` per end-point).
+#[derive(Debug, Clone)]
+struct PbState {
+    dp: Vec<f64>,
+}
+
+impl PbState {
+    fn new(probs: &[f64], limit: usize) -> Self {
+        let mut dp = vec![0.0; limit + 1];
+        dp[0] = 1.0;
+        for &p in probs {
+            let p = p.clamp(0.0, 1.0);
+            for c in (0..=limit).rev() {
+                let come = if c > 0 { dp[c - 1] * p } else { 0.0 };
+                dp[c] = dp[c] * (1.0 - p) + come;
+            }
+        }
+        Self { dp }
+    }
+
+    fn tail_excluding(&self, probs: &[f64], i: usize) -> f64 {
+        let p = probs[i].clamp(0.0, 1.0);
+        if p > 0.999 {
+            let rest: Vec<f64> = probs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &q)| q)
+                .collect();
+            return PbState::new(&rest, self.dp.len() - 1)
+                .dp
+                .iter()
+                .sum::<f64>();
+        }
+        let q = 1.0 - p;
+        let mut prev = 0.0;
+        let mut tail = 0.0;
+        for c in 0..self.dp.len() {
+            let excl = ((self.dp[c] - p * prev) / q).clamp(0.0, 1.0);
+            tail += excl;
+            prev = excl;
+        }
+        tail.clamp(0.0, 1.0)
+    }
+}
+
+/// Legacy k-NN subregion verifier: collects the cdf column into a fresh
+/// `Vec` per end-point and builds a fresh DP state for each.
+#[derive(Debug, Clone, Copy)]
+pub struct ReferenceKnnSubregion {
+    k: usize,
+}
+
+impl ReferenceKnnSubregion {
+    /// Verifier for the `k`-nearest-neighbor qualification (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1) }
+    }
+}
+
+impl Verifier for ReferenceKnnSubregion {
+    fn name(&self) -> &'static str {
+        "SR-k"
+    }
+
+    fn apply(&self, table: &SubregionTable, state: &mut VerificationState) {
+        let n = table.n_objects();
+        let l = table.left_regions();
+        if n == 0 || l == 0 {
+            return;
+        }
+        let k = self.k;
+        if k >= n {
+            for i in 0..n {
+                if state.labels[i] != Label::Unknown {
+                    continue;
+                }
+                for j in 0..l {
+                    state.qij_lo[i * l + j] = 1.0;
+                    state.qij_hi[i * l + j] = 1.0;
+                }
+                state.recompute_lower(table, i);
+                state.recompute_upper(table, i);
+            }
+            return;
+        }
+        let limit = k - 1;
+        let probs_at = |j: usize| -> Vec<f64> { (0..n).map(|m| table.cdf_at(m, j)).collect() };
+        let mut probs_cur = probs_at(0);
+        let mut state_cur = PbState::new(&probs_cur, limit);
+        for j in 0..l {
+            let probs_next = probs_at(j + 1);
+            let state_next = PbState::new(&probs_next, limit);
+            for i in 0..n {
+                if state.labels[i] != Label::Unknown {
+                    continue;
+                }
+                let lo = state_next.tail_excluding(&probs_next, i);
+                let cell = &mut state.qij_lo[i * l + j];
+                if lo > *cell {
+                    *cell = lo;
+                }
+                let hi = state_cur.tail_excluding(&probs_cur, i);
+                let cell = &mut state.qij_hi[i * l + j];
+                if hi < *cell {
+                    *cell = hi;
+                }
+            }
+            probs_cur = probs_next;
+            state_cur = state_next;
+        }
+        for i in 0..n {
+            if state.labels[i] == Label::Unknown {
+                state.recompute_lower(table, i);
+                state.recompute_upper(table, i);
+            }
+        }
+    }
+}
+
+/// Legacy counterpart of [`crate::framework::default_verifiers`].
+pub fn reference_verifiers() -> Vec<Box<dyn Verifier>> {
+    vec![
+        Box::new(crate::verifiers::RightmostSubregion),
+        Box::new(ReferenceLowerSubregion),
+        Box::new(ReferenceUpperSubregion),
+    ]
+}
+
+/// Legacy counterpart of [`crate::framework::extended_verifiers`].
+pub fn reference_extended_verifiers() -> Vec<Box<dyn Verifier>> {
+    vec![
+        Box::new(crate::verifiers::RightmostSubregion),
+        Box::new(ReferenceLowerSubregion),
+        Box::new(ReferenceFarLowerSubregion),
+        Box::new(ReferenceUpperSubregion),
+    ]
+}
+
+/// Legacy counterpart of [`crate::framework::knn_verifiers`].
+pub fn reference_knn_verifiers(k: usize) -> Vec<Box<dyn Verifier>> {
+    vec![
+        Box::new(crate::verifiers::RightmostSubregion),
+        Box::new(ReferenceKnnSubregion::new(k)),
+    ]
+}

@@ -16,7 +16,7 @@
 
 use crate::classify::Label;
 use crate::subregion::{SubregionTable, MASS_EPS};
-use crate::verifiers::{ExcludeOneProduct, VerificationState, Verifier};
+use crate::verifiers::{VerificationState, Verifier};
 
 /// The U-SR verifier. Stateless; construct freely.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,25 +33,45 @@ impl Verifier for UpperSubregion {
         if n == 0 || l == 0 {
             return;
         }
-        let product_at = |j: usize| {
-            let factors: Vec<f64> = (0..n).map(|k| 1.0 - table.cdf_at(k, j)).collect();
-            ExcludeOneProduct::new(&factors)
-        };
-        let mut prod_cur = product_at(0);
+        // Consecutive subregions share an end-point (the paper's Y_j /
+        // Y_{j+1} reuse): read both from the shared product table, or keep
+        // the two products in ping-pong buffers when the table is too big.
+        let shared = state.kernel.try_shared_products(table);
+        if !shared {
+            state.kernel.excl.recompute_survival(table.cdf_col(0));
+        }
         for j in 0..l {
-            let prod_next = product_at(j + 1);
+            if !shared {
+                state
+                    .kernel
+                    .excl_next
+                    .recompute_survival(table.cdf_col(j + 1));
+            }
+            let (pref_cur, suff_cur) = if shared {
+                state.kernel.col_parts(j)
+            } else {
+                state.kernel.excl.parts()
+            };
+            let (pref_next, suff_next) = if shared {
+                state.kernel.col_parts(j + 1)
+            } else {
+                state.kernel.excl_next.parts()
+            };
+            let mass = table.mass_col(j);
             for i in 0..n {
-                if state.labels[i] != Label::Unknown || table.mass(i, j) <= MASS_EPS {
+                if state.labels[i] != Label::Unknown || mass[i] <= MASS_EPS {
                     continue;
                 }
-                let q = 0.5 * (prod_next.excluding(i) + prod_cur.excluding(i));
+                let q = 0.5 * (pref_next[i] * suff_next[i + 1] + pref_cur[i] * suff_cur[i + 1]);
                 let lo = state.qij_lo[i * l + j];
                 let cell = &mut state.qij_hi[i * l + j];
                 if q < *cell {
                     *cell = q.clamp(lo, 1.0);
                 }
             }
-            prod_cur = prod_next;
+            if !shared {
+                state.kernel.swap_products();
+            }
         }
         for i in 0..n {
             if state.labels[i] == Label::Unknown {

@@ -1,0 +1,166 @@
+//! Counting-allocator proof that the verify/refine hot loops are
+//! allocation-free once the per-query scratch is warm.
+//!
+//! The kernel layer's contract is **zero heap allocations per subregion**:
+//! after one warm-up query has grown the scratch buffers, re-running
+//! verification must allocate nothing at all, and a full refinement pass
+//! must allocate only its `RefineReport::per_object` vector (one allocation
+//! per *query*, independent of |C| and M).
+//!
+//! This file contains a single test so no concurrent test can perturb the
+//! global allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cpnn_core::classify::Classifier;
+use cpnn_core::framework::{extended_verifiers, knn_verifiers, run_verification_into};
+use cpnn_core::refine::{incremental_refine_with, RefinementOrder};
+use cpnn_core::verifiers::{kernels, VerificationState};
+use cpnn_core::{CandidateSet, ObjectId, SubregionTable, UncertainObject};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A crowded candidate set: 40 mutually overlapping uniforms, ~40 left
+/// subregions, every object ambiguous near the 1/40 threshold.
+fn crowded_candidates() -> CandidateSet {
+    let objects: Vec<UncertainObject> = (0..40)
+        .map(|i| {
+            let lo = 1.0 + 0.05 * i as f64;
+            UncertainObject::uniform(ObjectId(i as u64), lo, lo + 50.0).expect("valid region")
+        })
+        .collect();
+    CandidateSet::build(&objects, 0.0, 0).expect("valid candidate set")
+}
+
+#[test]
+fn warm_verify_and_refine_do_not_allocate_per_subregion() {
+    let cands = crowded_candidates();
+    let table = SubregionTable::build(&cands);
+    assert!(table.left_regions() >= 30, "want a crowded table");
+    // Ambiguous threshold with zero tolerance: verification alone cannot
+    // resolve, so refinement integrates many subregions.
+    let classifier = Classifier::new(0.02, 0.0).unwrap();
+    let chain = extended_verifiers();
+    let knn_chain = knn_verifiers(2);
+    let mut state = VerificationState::new(&table);
+    let mut stages = Vec::new();
+
+    // ---- Warm-up: grow every scratch buffer to its high-water mark. ----
+    state.reset(&table);
+    run_verification_into(&table, &classifier, &chain, &mut state, &mut stages);
+    incremental_refine_with(
+        &table,
+        &classifier,
+        &mut state,
+        RefinementOrder::DescendingMass,
+        |i, j, scr| kernels::nn_qualification(&table, i, j, scr),
+    );
+    state.reset(&table);
+    stages.clear();
+    run_verification_into(&table, &classifier, &knn_chain, &mut state, &mut stages);
+    incremental_refine_with(
+        &table,
+        &classifier,
+        &mut state,
+        RefinementOrder::DescendingMass,
+        |i, j, scr| kernels::knn_qualification(&table, i, j, 2, scr),
+    );
+    // Also warm the full-refinement path (every object, no verification) so
+    // the visit-order buffer reaches its high-water mark.
+    state.reset(&table);
+    incremental_refine_with(
+        &table,
+        &classifier,
+        &mut state,
+        RefinementOrder::DescendingMass,
+        |i, j, scr| kernels::nn_qualification(&table, i, j, scr),
+    );
+
+    // ---- Measured: 1-NN verification must allocate nothing at all. ----
+    state.reset(&table);
+    stages.clear();
+    let before = allocations();
+    run_verification_into(&table, &classifier, &chain, &mut state, &mut stages);
+    let verify_allocs = allocations() - before;
+    assert_eq!(
+        verify_allocs, 0,
+        "warm 1-NN verification performed {verify_allocs} allocations"
+    );
+
+    // ---- Measured: refinement may allocate only its report vector. ----
+    // Refine a fresh (unverified) state so every object takes the full
+    // refinement path — hundreds of per-subregion integrations.
+    state.reset(&table);
+    let before = allocations();
+    let report = incremental_refine_with(
+        &table,
+        &classifier,
+        &mut state,
+        RefinementOrder::DescendingMass,
+        |i, j, scr| kernels::nn_qualification(&table, i, j, scr),
+    );
+    let refine_allocs = allocations() - before;
+    assert!(
+        report.integrations > 50,
+        "refinement must actually integrate (got {})",
+        report.integrations
+    );
+    assert!(
+        refine_allocs <= 1,
+        "warm refinement performed {refine_allocs} allocations over {} integrations",
+        report.integrations
+    );
+
+    // ---- Measured: same contract for the k-NN chain. ----
+    state.reset(&table);
+    stages.clear();
+    let before = allocations();
+    run_verification_into(&table, &classifier, &knn_chain, &mut state, &mut stages);
+    let knn_verify_allocs = allocations() - before;
+    assert_eq!(
+        knn_verify_allocs, 0,
+        "warm k-NN verification performed {knn_verify_allocs} allocations"
+    );
+
+    state.reset(&table);
+    let before = allocations();
+    let report = incremental_refine_with(
+        &table,
+        &classifier,
+        &mut state,
+        RefinementOrder::DescendingMass,
+        |i, j, scr| kernels::knn_qualification(&table, i, j, 2, scr),
+    );
+    let knn_refine_allocs = allocations() - before;
+    assert!(
+        knn_refine_allocs <= 1,
+        "warm k-NN refinement performed {knn_refine_allocs} allocations over {} integrations",
+        report.integrations
+    );
+}

@@ -161,8 +161,48 @@ impl HistogramPdf {
         (0..self.density.len()).map(|i| (self.edges[i], self.edges[i + 1], self.density[i]))
     }
 
+    /// Bulk cdf evaluation over an **ascending** slice of points: one merge
+    /// pass over the bin edges instead of a binary search per point.
+    ///
+    /// Appends `Pdf::cdf(x)` for each `x ∈ xs` to `out` (cleared first).
+    /// Results are bit-identical to the scalar [`Pdf::cdf`]: the same bin
+    /// index is located (last bin whose left edge is `≤ x`) and the same
+    /// interpolation expression is evaluated, so downstream consumers such
+    /// as the subregion table see identical f64 values either way.
+    ///
+    /// `xs` must be sorted ascending (`debug_assert`ed); the subregion
+    /// end-point list already is.
+    pub fn cdf_many_into(&self, xs: &[f64], out: &mut Vec<f64>) {
+        debug_assert!(
+            xs.windows(2).all(|w| w[0] <= w[1]),
+            "cdf_many_into requires ascending inputs"
+        );
+        out.clear();
+        out.reserve(xs.len());
+        let n = self.density.len();
+        let lo = self.edges[0];
+        let hi = self.edges[n];
+        // `b` is the current bin: the largest index with edges[b] <= x.
+        // Because xs ascends, it only ever moves right.
+        let mut b = 0usize;
+        for &x in xs {
+            let v = if x <= lo {
+                0.0
+            } else if x >= hi {
+                1.0
+            } else {
+                while self.edges[b + 1] <= x {
+                    b += 1;
+                }
+                (self.cdf[b] + self.density[b] * (x - self.edges[b])).clamp(0.0, 1.0)
+            };
+            out.push(v);
+        }
+    }
+
     /// Index of the bin containing `x` (bins are `[e_i, e_{i+1})`, with the
     /// final bin closed on the right). Returns `None` outside the support.
+    #[inline]
     pub fn bin_of(&self, x: f64) -> Option<usize> {
         let n = self.density.len();
         if x < self.edges[0] || x > self.edges[n] {
@@ -178,10 +218,12 @@ impl HistogramPdf {
 }
 
 impl Pdf for HistogramPdf {
+    #[inline]
     fn support(&self) -> (f64, f64) {
         (self.edges[0], *self.edges.last().expect("non-empty edges"))
     }
 
+    #[inline]
     fn density(&self, x: f64) -> f64 {
         match self.bin_of(x) {
             Some(i) => self.density[i],
@@ -189,6 +231,7 @@ impl Pdf for HistogramPdf {
         }
     }
 
+    #[inline]
     fn cdf(&self, x: f64) -> f64 {
         let n = self.density.len();
         if x <= self.edges[0] {
@@ -345,6 +388,40 @@ mod tests {
         for _ in 0..5_000 {
             let x = h.sample(&mut rng);
             assert!((10.0..=20.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn cdf_many_matches_scalar_bitwise() {
+        let h = example();
+        // Includes out-of-support points, exact edges, and interior points.
+        let xs = [
+            5.0, 9.99, 10.0, 10.5, 12.0, 12.0, 13.5, 15.0, 17.9, 18.0, 19.99, 20.0, 25.0,
+        ];
+        let mut out = Vec::new();
+        h.cdf_many_into(&xs, &mut out);
+        assert_eq!(out.len(), xs.len());
+        for (&x, &v) in xs.iter().zip(&out) {
+            assert_eq!(v.to_bits(), h.cdf(x).to_bits(), "x = {x}");
+        }
+        // Buffer reuse: second call clears and refills.
+        h.cdf_many_into(&xs[..3], &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn cdf_many_random_grids_match_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(77);
+        use rand::Rng;
+        for _ in 0..50 {
+            let h = example();
+            let mut xs: Vec<f64> = (0..40).map(|_| rng.gen_range(8.0..22.0)).collect();
+            xs.sort_by(f64::total_cmp);
+            let mut out = Vec::new();
+            h.cdf_many_into(&xs, &mut out);
+            for (&x, &v) in xs.iter().zip(&out) {
+                assert_eq!(v.to_bits(), h.cdf(x).to_bits(), "x = {x}");
+            }
         }
     }
 
