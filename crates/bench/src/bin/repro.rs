@@ -9,7 +9,7 @@
 //! repro [--quick] [--out DIR] [--bench-json FILE] [EXPERIMENT ...]
 //! ```
 //! where `EXPERIMENT` is any of `fig9 fig10 fig11 fig12 fig13 fig14 table3
-//! ablations batch serve shard knn2d cache update verify` or `all` (default). `--quick` uses a
+//! ablations batch serve shard knn2d cache update verify recovery` or `all` (default). `--quick` uses a
 //! reduced workload (same shapes, faster); `--out` selects the results
 //! directory (default `results/`); `--bench-json` overrides the
 //! timing-file path (default: the current series file, empty string
@@ -26,7 +26,7 @@ use cpnn_bench::report::Table;
 /// The PR this tree's timings belong to. The default timing file is
 /// derived from it, so each PR's trajectory lands in its own
 /// `BENCH_pr<N>.json` (override any single run with `--bench-json PATH`).
-const CURRENT_PR: u32 = 6;
+const CURRENT_PR: u32 = 7;
 
 /// The current series file: `BENCH_pr<CURRENT_PR>.json`.
 fn current_series() -> String {
@@ -58,7 +58,7 @@ fn main() {
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] [--bench-json FILE (default {})] \
                      [fig9|fig10|fig11|fig12|fig13|fig14|table3|ablations|batch|serve|shard|\
-                     knn2d|cache|update|verify|all ...]",
+                     knn2d|cache|update|verify|recovery|all ...]",
                     current_series()
                 );
                 return;
@@ -86,6 +86,7 @@ fn main() {
         "cache",
         "update",
         "verify",
+        "recovery",
     ];
     if let Some(unknown) = wanted.iter().find(|w| !KNOWN.contains(&w.as_str())) {
         eprintln!(
@@ -176,6 +177,9 @@ fn main() {
     }
     if want("verify") {
         run("verify", &experiments::verify::run, &mut produced);
+    }
+    if want("recovery") {
+        run("recovery", &experiments::recovery::run, &mut produced);
     }
 
     for (t, _) in &produced {

@@ -12,6 +12,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod knn2d;
+pub mod recovery;
 pub mod serve;
 pub mod shard;
 pub mod table3;

@@ -22,9 +22,9 @@ use std::time::Instant;
 
 use cpnn_core::persist::{load_from_path, load_objects_from_path, save_to_path};
 use cpnn_core::{
-    pipeline, BatchExecutor, CacheConfig, CpnnQuery, ObjectId, QueryServer, QuerySpec, Served,
-    ShardBalance, ShardedDb, Strategy, Ticket, UncertainDb, UncertainDb2d, UncertainObject,
-    UpdateOutcome,
+    pipeline, BatchExecutor, CacheConfig, CpnnQuery, EngineConfig, FileBackend, ObjectId,
+    QueryServer, QuerySpec, Served, ShardBalance, ShardedDb, Strategy, Ticket, UncertainDb,
+    UncertainDb2d, UncertainObject, UpdateOutcome,
 };
 use cpnn_datagen::{
     longbeach::longbeach_with, objects_2d, query_points_in, LongBeachConfig, Synthetic2dConfig,
@@ -97,11 +97,15 @@ fn print_usage() {
          \x20 range FILE --lo A --hi B --p P               probabilistic range query\n\
          \x20 serve FILE [--threads T] [--queries FILE] [--shards N] [--shard-balance B]\n\
          \x20       [--cache N] [--cache-quantum EPS]      long-lived query server: stream\n\
-         \x20                                              queries from stdin (or FILE) through\n\
+         \x20       [--data-dir DIR] [--checkpoint-every N] queries from stdin (or FILE) through\n\
          \x20                                              a worker pool; insert/remove are\n\
          \x20                                              O(log n) path-copying snapshot swaps,\n\
          \x20                                              and consecutive update lines coalesce\n\
-         \x20                                              into one swap; `serve help` for the\n\
+         \x20                                              into one swap; --data-dir makes every\n\
+         \x20                                              publish durable (checkpoint + write-\n\
+         \x20                                              ahead journal) and recovers from DIR\n\
+         \x20                                              on restart (FILE then only seeds a\n\
+         \x20                                              fresh DIR); `serve help` for the\n\
          \x20                                              protocol"
     );
 }
@@ -477,8 +481,11 @@ serve line protocol (stdin or --queries FILE; one request per line):
                             updates, then report server counters:
                             `stats served=<n> updates=<n>
                             coalesced_batches=<n> applied_updates=<n>
-                            cache_hits=<n> cache_misses=<n>` (cache
-                            counters stay 0 unless --cache is on)
+                            cache_hits=<n> cache_misses=<n>
+                            wal_records=<n> checkpoints=<n>` (cache
+                            counters stay 0 unless --cache is on;
+                            durability counters stay 0 unless
+                            --data-dir is on)
   quit                      drain pending responses, flush updates, exit
 consecutive insert/remove lines form one burst: they publish together as
 ONE snapshot swap (one version bump, one cache-invalidation pass) when
@@ -489,8 +496,13 @@ update queued before it. Relevant flags: --threads T (worker pool),
 --shards N (domain partitioning; updates path-copy only the owning
 shard), --shard-balance width|quantile (slab scheme), --cache N
 [--cache-quantum EPS] (verification-state cache; updates invalidate it
-incrementally by region). Blank lines and lines starting with `#` are
-ignored; responses stream back in submission order as
+incrementally by region), --data-dir DIR (durable storage: each burst
+appends one fsync'd write-ahead journal record BEFORE it publishes, and
+a restart pointing at the same DIR recovers checkpoint + journal tail —
+FILE then only seeds a fresh DIR), --checkpoint-every N (fold the
+journal into a fresh checkpoint every N bursts; 0 = only at startup and
+clean shutdown). Blank lines and lines starting with `#` are ignored;
+responses stream back in submission order as
 `#<n> v<version> answers=[..]`.";
 
 /// `cpnn serve FILE`: long-lived [`QueryServer`] session. Reads requests
@@ -507,25 +519,92 @@ ignored; responses stream back in submission order as
 /// updates **path-copy** only the owning shard — O(log |shard|)
 /// structural edits, never rebuilds. The single-shard case is the
 /// unsharded behavior.
+///
+/// With `--data-dir DIR` the session is durable: a
+/// [`FileBackend`] is attached before any write is accepted, so every
+/// burst appends one fsync'd write-ahead journal record *before* it
+/// publishes, and a restart pointing at the same DIR recovers
+/// checkpoint + journal tail and resumes at the pre-crash snapshot
+/// version (the positional FILE then only seeds a fresh, empty DIR).
 fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     if bag.peek_positional() == Some("help") {
         println!("{SERVE_PROTOCOL}");
         return Ok(());
     }
-    let path: PathBuf = bag.positional("dataset file")?;
+    let path: Option<PathBuf> = match bag.peek_positional() {
+        Some(_) => Some(bag.positional("dataset file")?),
+        None => None,
+    };
     let threads: usize = bag.optional("threads")?.unwrap_or(0);
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
     let balance = shard_balance_args(bag)?;
     let queries: Option<PathBuf> = bag.optional("queries")?;
     let cache = cache_args(bag)?;
+    let data_dir: Option<PathBuf> = bag.optional("data-dir")?;
+    let checkpoint_every: u64 = bag.optional("checkpoint-every")?.unwrap_or(0);
     bag.finish()?;
-    // Build the sharded store directly from the snapshot's objects — one
-    // index build total, not a flat database torn down and re-sharded.
-    let sharded = UncertainDb::build_sharded_with(load_objects_from_path(&path)?, shards, balance)?;
+
+    // Recover from the data directory when it already holds a checkpoint;
+    // otherwise seed from the positional FILE (building the sharded store
+    // directly from the snapshot's objects — one index build total, not a
+    // flat database torn down and re-sharded).
+    let mut backend = match &data_dir {
+        Some(dir) => Some(FileBackend::open(dir)?),
+        None => None,
+    };
+    let recovered = match backend.as_mut() {
+        Some(b) => b.recover::<ShardedDb<UncertainDb>>(&EngineConfig::default())?,
+        None => None,
+    };
+    let (sharded, initial_version) = match recovered {
+        Some(rec) => {
+            if let Some(off) = rec.torn_at {
+                eprintln!(
+                    "journal tail torn at byte {off}; recovered the last durable burst instead"
+                );
+            }
+            eprintln!(
+                "recovered {} objects at v{} ({} journal record(s) replayed) from {}",
+                rec.model.len(),
+                rec.version,
+                rec.records,
+                data_dir
+                    .as_ref()
+                    .expect("recovery implies data dir")
+                    .display()
+            );
+            if shards != 1 && rec.model.num_shards() != shards {
+                eprintln!(
+                    "note: --shards {shards} ignored — the recovered layout has {} shard(s) \
+                     (sharding is fixed at seed time)",
+                    rec.model.num_shards()
+                );
+            }
+            (rec.model, rec.version)
+        }
+        None => {
+            let path = path.ok_or("missing dataset file (and --data-dir holds no checkpoint)")?;
+            let db =
+                UncertainDb::build_sharded_with(load_objects_from_path(&path)?, shards, balance)?;
+            (db, 0)
+        }
+    };
     let mut pipeline = sharded.pipeline_config();
     pipeline.cache = cache;
     let num_shards = sharded.num_shards();
-    let server = QueryServer::start(sharded, threads, pipeline);
+    let server = QueryServer::start_at(sharded, initial_version, threads, pipeline);
+    if let Some(backend) = backend {
+        // Attach before accepting any write, then checkpoint immediately:
+        // a seeded database becomes durable from line one, and a recovered
+        // journal tail is folded into a fresh checkpoint (truncating the
+        // journal the replay just consumed).
+        server.attach_storage(Box::new(backend));
+        server.checkpoint_now()?;
+    }
+    let mut checkpoint_policy = CheckpointPolicy {
+        every: checkpoint_every,
+        since: 0,
+    };
     eprintln!(
         "serving on {} worker thread(s) over {} shard(s); send `quit` or EOF to stop",
         server.threads(),
@@ -571,7 +650,12 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
                 // update queued before it.
                 if !queued_updates.is_empty() {
                     drain_all(&mut pending, &mut out)?;
-                    flush_updates(&server, &mut queued_updates, &mut out)?;
+                    flush_updates(
+                        &server,
+                        &mut queued_updates,
+                        &mut checkpoint_policy,
+                        &mut out,
+                    )?;
                 }
                 // Bound the backlog: piped input can outrun the workers, and
                 // every pending ticket buffers a full response.
@@ -595,18 +679,25 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
                 // Settle earlier queries and flush queued updates first so
                 // the counters cover every request that precedes this line.
                 drain_all(&mut pending, &mut out)?;
-                flush_updates(&server, &mut queued_updates, &mut out)?;
+                flush_updates(
+                    &server,
+                    &mut queued_updates,
+                    &mut checkpoint_policy,
+                    &mut out,
+                )?;
                 let s = server.stats();
                 writeln!(
                     out,
                     "stats served={} updates={} coalesced_batches={} applied_updates={} \
-                     cache_hits={} cache_misses={}",
+                     cache_hits={} cache_misses={} wal_records={} checkpoints={}",
                     s.served,
                     s.updates,
                     s.coalesced_batches,
                     s.applied_updates,
                     s.cache_hits,
-                    s.cache_misses
+                    s.cache_misses,
+                    s.wal_records,
+                    s.checkpoints
                 )?;
             }
             Err(msg) => {
@@ -619,7 +710,12 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
             // queued update immediately (bursts still coalesce when pasted
             // as one multi-line block — the reader sees them in one gulp).
             drain_all(&mut pending, &mut out)?;
-            flush_updates(&server, &mut queued_updates, &mut out)?;
+            flush_updates(
+                &server,
+                &mut queued_updates,
+                &mut checkpoint_policy,
+                &mut out,
+            )?;
             out.flush()?;
             continue;
         }
@@ -635,9 +731,17 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    // EOF / quit: wait out the tail, then publish any trailing burst.
+    // EOF / quit: wait out the tail, then publish any trailing burst. A
+    // clean shutdown folds the journal into one final checkpoint, so the
+    // next start recovers from the checkpoint alone (no replay).
     drain_all(&mut pending, &mut out)?;
-    flush_updates(&server, &mut queued_updates, &mut out)?;
+    flush_updates(
+        &server,
+        &mut queued_updates,
+        &mut checkpoint_policy,
+        &mut out,
+    )?;
+    server.checkpoint_now()?;
     let stats = server.shutdown();
     let wall = start.elapsed();
     let cache_note = if stats.cache_hits + stats.cache_misses > 0 {
@@ -670,14 +774,46 @@ fn drain_all(
     Ok(())
 }
 
+/// When to fold the write-ahead journal into a fresh checkpoint:
+/// every `every` published bursts (`0` = never on the hot path — only
+/// the startup and clean-shutdown checkpoints bound the journal).
+struct CheckpointPolicy {
+    every: u64,
+    since: u64,
+}
+
+impl CheckpointPolicy {
+    /// Count one published burst; checkpoint when the budget is spent.
+    /// No-op without an attached backend (`checkpoint_now` returns
+    /// `None`) or with `every == 0`.
+    fn after_burst(
+        &mut self,
+        server: &QueryServer<ShardedDb<UncertainDb>>,
+    ) -> Result<(), cpnn_core::CoreError> {
+        if self.every == 0 {
+            return Ok(());
+        }
+        self.since += 1;
+        if self.since >= self.every {
+            self.since = 0;
+            server.checkpoint_now()?;
+        }
+        Ok(())
+    }
+}
+
 /// End the current update burst: publish every queued update as one
 /// snapshot swap ([`QueryServer::flush_writes`]) and print each op's
-/// outcome in queue order. No-op when nothing is queued.
+/// outcome in queue order. No-op when nothing is queued. With durable
+/// storage attached the publish appends one journal record first
+/// (inside `flush_writes`); `policy` decides when the journal gets
+/// folded into a fresh checkpoint.
 fn flush_updates(
     server: &QueryServer<ShardedDb<UncertainDb>>,
     queued: &mut Vec<Ticket<UpdateOutcome>>,
+    policy: &mut CheckpointPolicy,
     out: &mut impl std::io::Write,
-) -> Result<(), std::io::Error> {
+) -> Result<(), Box<dyn std::error::Error>> {
     if queued.is_empty() {
         return Ok(());
     }
@@ -694,6 +830,7 @@ fn flush_updates(
             Err(e) => writeln!(out, "update rejected: {e}")?,
         }
     }
+    policy.after_burst(server)?;
     Ok(())
 }
 

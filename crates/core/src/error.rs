@@ -17,6 +17,12 @@ pub enum CoreError {
     DuplicateObjectId(u64),
     /// Monte-Carlo world count must be positive.
     ZeroWorlds,
+    /// A durable-storage failure: the write-ahead journal or checkpoint
+    /// could not be written (the message carries the backend detail), or
+    /// a recovered layout failed validation. Writes that fail here are
+    /// **not** published — durability errors never leave the in-memory
+    /// and on-disk states disagreeing silently.
+    Storage(String),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +38,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidQueryPoint(q) => write!(f, "query point must be finite, got {q}"),
             CoreError::DuplicateObjectId(id) => write!(f, "duplicate object id {id}"),
             CoreError::ZeroWorlds => write!(f, "Monte-Carlo world count must be positive"),
+            CoreError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

@@ -48,6 +48,21 @@
 //! rebuild, and old handles keep answering for exactly their historical
 //! contents (property-tested in `tests/proptest_persistent.rs`).
 //!
+//! ## Durability
+//!
+//! Snapshots can outlive the process: [`persist`] defines a versioned,
+//! dimension-tagged, checksummed snapshot format (1-D, 2-D, and sharded
+//! — [`persist::PersistentModel`]), and [`storage`] composes it with a
+//! CRC'd, fsync'd **write-ahead journal** behind the
+//! [`storage::StorageBackend`] seam. A [`server::QueryServer`] with a
+//! backend [attached](server::QueryServer::attach_storage) makes every
+//! publish durable *before* it becomes visible (one journal record per
+//! coalesced burst; checkpoints truncate the journal), and
+//! [`storage::FileBackend::recover`] replays checkpoint + journal tail
+//! — surviving a crash at **any** byte of the journal — into a live
+//! database that is bit-for-bit the pre-crash state (property-tested in
+//! `tests/proptest_recovery.rs`).
+//!
 //! ## Execution modes
 //!
 //! * **one-shot** — [`UncertainDb::cpnn`] / [`pipeline::cpnn`];
@@ -116,6 +131,7 @@ pub mod range;
 pub mod refine;
 pub mod server;
 pub mod shard;
+pub mod storage;
 pub mod store;
 pub mod subregion;
 pub mod verifiers;
@@ -137,10 +153,14 @@ pub use engine2d::{Engine2dConfig, Object2d, UncertainDb2d};
 pub use error::{CoreError, Result};
 pub use geometry2d::Rect2;
 pub use object::{ObjectId, UncertainObject};
+pub use persist::{PersistentModel, SnapshotError};
 pub use pipeline::{DistanceModel, PipelineConfig, QueryScratch, QuerySpec};
 pub use range::RangeAnswer;
 pub use refine::RefinementOrder;
 pub use server::{FlushReport, QueryServer, Served, ServerStats, Snapshot, Ticket, UpdateOutcome};
 pub use shard::{Extent, ShardBalance, ShardPoint, ShardableModel, ShardedDb};
+pub use storage::{
+    CrashWriter, FileBackend, MemoryBackend, NullBackend, Recovered, StorageBackend, StorageError,
+};
 pub use store::{CowModel, IndexedStore, StoredObject};
 pub use subregion::SubregionTable;

@@ -20,7 +20,7 @@
 //! * **snapshot-swap updates** — the database lives behind an [`Arc`] in
 //!   a versioned [`Snapshot`]. Writers never mutate it in place: an
 //!   [`update`](QueryServer::update) builds a *new* model and swaps the
-//!   `Arc` atomically. For any [`CowModel`] (the 1-D/2-D databases and
+//!   `Arc` atomically. For any [`CowModel`](crate::store::CowModel) (the 1-D/2-D databases and
 //!   [`ShardedDb`]) the successor is a **path copy** —
 //!   [`QueryServer::insert`] / [`QueryServer::remove`] are O(log n)
 //!   structural edits, never rebuilds. A worker pins the snapshot it
@@ -41,6 +41,17 @@
 //!   candidate horizon intersects those regions
 //!   ([`crate::cache::VerifyCache::advance_version`]) instead of clearing
 //!   their whole cache.
+//! * **durability (opt-in)** — with a [`crate::storage::StorageBackend`]
+//!   [attached](QueryServer::attach_storage), every publish is made
+//!   durable **before** it becomes visible: coalesced bursts append one
+//!   write-ahead journal record each, arbitrary
+//!   [`update`](QueryServer::update) closures (unjournalable footprint)
+//!   checkpoint the full successor model, and
+//!   [`checkpoint_now`](QueryServer::checkpoint_now) truncates the
+//!   journal on demand. A server restarted from
+//!   [`crate::storage::FileBackend::recover`] resumes via
+//!   [`start_at`](QueryServer::start_at) with the recovered version, so
+//!   clients see one uninterrupted citation sequence across the crash.
 //!
 //! Results for a given snapshot version are bitwise identical to a
 //! sequential [`crate::pipeline::cpnn`] run at any thread count: each
@@ -88,15 +99,17 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::error::CoreError;
 use crate::error::Result;
 use crate::object::ObjectId;
+use crate::persist::PersistentModel;
 use crate::pipeline::{
     cpnn_with, CpnnResult, DistanceModel, PipelineConfig, QueryScratch, QuerySpec,
 };
 use crate::shard::Extent;
 #[cfg(doc)]
 use crate::shard::ShardedDb;
-use crate::store::CowModel;
+use crate::storage::{self, StorageBackend};
 
 /// How many published versions the region journal remembers. A worker
 /// that fell further behind than this simply clears its whole cache — the
@@ -105,8 +118,10 @@ const JOURNAL_CAP: usize = 128;
 
 /// A versioned, immutable database snapshot.
 ///
-/// Version `0` is the model the server [started](QueryServer::start) with;
-/// every successful [`QueryServer::update`] increments it by one. Holding a
+/// Version `0` is the model the server [started](QueryServer::start) with
+/// (a server [recovered](QueryServer::start_at) from durable storage
+/// starts at its pre-crash version instead); every successful
+/// [`QueryServer::update`] increments it by one. Holding a
 /// `Snapshot` keeps that database version alive (it is an [`Arc`]) without
 /// blocking the server from swapping in newer ones.
 #[derive(Debug)]
@@ -189,6 +204,14 @@ pub struct ServerStats {
     pub cache_hits: u64,
     /// Verification-cache misses across all workers.
     pub cache_misses: u64,
+    /// Write-ahead journal records appended (0 unless a storage backend
+    /// is [attached](QueryServer::attach_storage); one per durable burst
+    /// or direct insert/remove).
+    pub wal_records: u64,
+    /// Checkpoints written through the attached storage backend
+    /// (explicit [`QueryServer::checkpoint_now`] calls plus implicit
+    /// checkpoints forced by unjournalable updates).
+    pub checkpoints: u64,
 }
 
 /// Outcome of one queued write, resolved when its burst is flushed.
@@ -257,6 +280,8 @@ struct Shared<M> {
     /// so [`QueryServer::stats`] reads are current.
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    wal_records: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 impl<M> Shared<M> {
@@ -324,6 +349,10 @@ type ApplyWrite<M> = Box<dyn FnOnce(&M) -> Result<(M, Vec<Extent>)> + Send>;
 struct QueuedWrite<M> {
     apply: ApplyWrite<M>,
     reply: Sender<UpdateOutcome>,
+    /// The op pre-encoded for the write-ahead journal (encoded at queue
+    /// time, where `M::Object` is still in scope), `None` when no
+    /// backend was attached when the op was queued.
+    wal: Option<Vec<u8>>,
 }
 
 /// A long-lived query-serving worker pool over an immutable, swappable
@@ -338,6 +367,10 @@ pub struct QueryServer<M: DistanceModel> {
     /// The write-coalescing lane: queued (unpublished) updates, drained
     /// into one snapshot publish by [`flush_writes`](Self::flush_writes).
     queued: Mutex<Vec<QueuedWrite<M>>>,
+    /// Durable storage sink, when [attached](Self::attach_storage).
+    /// Written to under the writer lock, strictly *before* the publish
+    /// each write covers (write-ahead).
+    storage: Mutex<Option<Box<dyn StorageBackend<M>>>>,
 }
 
 impl<M> QueryServer<M>
@@ -352,6 +385,20 @@ where
     /// benchmarking several servers over one large database don't rebuild
     /// it).
     pub fn start(model: impl Into<Arc<M>>, threads: usize, cfg: PipelineConfig) -> Self {
+        Self::start_at(model, 0, threads, cfg)
+    }
+
+    /// As [`start`](Self::start), but the initial snapshot carries
+    /// `initial_version` instead of 0 — the entry point for serving a
+    /// database recovered from durable storage
+    /// ([`crate::storage::FileBackend::recover`]), where response
+    /// citations must continue the pre-crash version sequence.
+    pub fn start_at(
+        model: impl Into<Arc<M>>,
+        initial_version: u64,
+        threads: usize,
+        cfg: PipelineConfig,
+    ) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -361,10 +408,10 @@ where
         };
         let shared = Arc::new(Shared {
             current: Mutex::new(Snapshot {
-                version: 0,
+                version: initial_version,
                 model: model.into(),
             }),
-            version: AtomicU64::new(0),
+            version: AtomicU64::new(initial_version),
             writer: Mutex::new(()),
             journal: Mutex::new(VecDeque::new()),
             served: AtomicU64::new(0),
@@ -373,6 +420,8 @@ where
             applied_updates: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            wal_records: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::channel::<Job<M>>();
         let rx = Arc::new(Mutex::new(rx));
@@ -389,6 +438,7 @@ where
             workers,
             threads,
             queued: Mutex::new(Vec::new()),
+            storage: Mutex::new(None),
         }
     }
 
@@ -445,13 +495,16 @@ impl<M: DistanceModel> QueryServer<M> {
     where
         F: FnOnce(&M) -> Result<M>,
     {
-        self.update_tracked(|model| rebuild(model).map(|next| (next, None)))
+        self.update_tracked(|model| rebuild(model).map(|next| (next, None)), None)
     }
 
     /// [`update`](Self::update) with a known region footprint: `rebuild`
     /// additionally reports which regions it touched, which lets workers
-    /// invalidate their caches incrementally.
-    fn update_tracked<F>(&self, rebuild: F) -> Result<Snapshot<M>>
+    /// invalidate their caches incrementally. `wal_op` is the update
+    /// pre-encoded for the write-ahead journal; `None` (an arbitrary
+    /// closure whose effect cannot be journaled) forces a full checkpoint
+    /// when a storage backend is attached.
+    fn update_tracked<F>(&self, rebuild: F, wal_op: Option<Vec<u8>>) -> Result<Snapshot<M>>
     where
         F: FnOnce(&M) -> Result<(M, Option<Vec<Extent>>)>,
     {
@@ -462,8 +515,67 @@ impl<M: DistanceModel> QueryServer<M> {
             version: base.version + 1,
             model: Arc::new(model),
         };
+        // Write-ahead: durable before visible. A storage failure fails
+        // the whole update — the swap below never happens.
+        self.persist_ahead(&next, wal_op.map(|op| vec![op]))?;
         self.shared.publish(next.clone(), regions);
         Ok(next)
+    }
+
+    /// The write-ahead hook: with a backend attached, make `next` durable
+    /// — append `ops` as one journal record, or checkpoint the full model
+    /// when the ops are unknown (`None`) — before the caller publishes
+    /// it. No-op without a backend. Callers hold the writer lock.
+    fn persist_ahead(&self, next: &Snapshot<M>, ops: Option<Vec<Vec<u8>>>) -> Result<()> {
+        let mut storage = self.storage.lock().expect("storage lock unpoisoned");
+        let Some(sink) = storage.as_mut() else {
+            return Ok(());
+        };
+        let result = match &ops {
+            Some(ops) => sink.append_burst(next.version, ops).map(|()| {
+                self.shared.wal_records.fetch_add(1, Ordering::Relaxed);
+            }),
+            None => sink.checkpoint(&next.model, next.version).map(|()| {
+                self.shared.checkpoints.fetch_add(1, Ordering::Relaxed);
+            }),
+        };
+        result.map_err(|e| CoreError::Storage(e.to_string()))
+    }
+
+    /// Attach a durable storage sink: every subsequent publish becomes
+    /// durable **before** it becomes visible — coalesced bursts and
+    /// direct inserts/removes append one write-ahead journal record
+    /// each; arbitrary [`update`](Self::update) closures (unjournalable
+    /// footprint) checkpoint the full successor model instead. Attach
+    /// before accepting writes: ops queued earlier carry no journal
+    /// encoding, so their burst degrades to a full checkpoint.
+    pub fn attach_storage(&self, backend: Box<dyn StorageBackend<M>>) {
+        *self.storage.lock().expect("storage lock unpoisoned") = Some(backend);
+    }
+
+    /// Whether a storage backend is attached.
+    pub fn storage_attached(&self) -> bool {
+        self.storage
+            .lock()
+            .expect("storage lock unpoisoned")
+            .is_some()
+    }
+
+    /// Checkpoint the current snapshot through the attached backend,
+    /// which truncates its journal (recovery cost drops back to the
+    /// checkpoint read). Returns the checkpointed version, or `None`
+    /// when no backend is attached.
+    pub fn checkpoint_now(&self) -> Result<Option<u64>> {
+        let _writers = self.shared.writer.lock().expect("writer lock unpoisoned");
+        let base = self.shared.pin();
+        let mut storage = self.storage.lock().expect("storage lock unpoisoned");
+        let Some(sink) = storage.as_mut() else {
+            return Ok(None);
+        };
+        sink.checkpoint(&base.model, base.version)
+            .map_err(|e| CoreError::Storage(e.to_string()))?;
+        self.shared.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(base.version))
     }
 
     /// Drain every queued write (see [`queue_insert`](Self::queue_insert))
@@ -473,6 +585,12 @@ impl<M: DistanceModel> QueryServer<M> {
     /// (e.g. a duplicate-id insert) reports its error without blocking the
     /// rest of the burst. No-op (and no version bump) when nothing is
     /// queued or every op failed.
+    ///
+    /// With a storage backend [attached](Self::attach_storage), the
+    /// burst's applied ops are appended to the write-ahead journal as
+    /// **one** fsync'd record *before* the publish; if that append fails
+    /// the burst is not published and every op's ticket reports the
+    /// storage error.
     pub fn flush_writes(&self) -> FlushReport {
         // Take the writer lock *before* draining the queue, so a flush is
         // linearizable: by the time any flush_writes returns, every write
@@ -494,6 +612,8 @@ impl<M: DistanceModel> QueryServer<M> {
         let mut regions: Vec<Extent> = Vec::new();
         let mut applied = 0usize;
         let mut replies: Vec<(Sender<UpdateOutcome>, Result<()>)> = Vec::with_capacity(total);
+        let mut wal_ops: Vec<Vec<u8>> = Vec::with_capacity(total);
+        let mut unencoded = 0usize;
         for write in burst {
             let current: &M = acc.as_ref().unwrap_or(&base.model);
             match (write.apply)(current) {
@@ -502,24 +622,53 @@ impl<M: DistanceModel> QueryServer<M> {
                     regions.extend(touched);
                     applied += 1;
                     replies.push((write.reply, Ok(())));
+                    // The journal records exactly the ops that *applied*
+                    // (failed ops changed nothing, so replay must not see
+                    // them).
+                    match write.wal {
+                        Some(op) => wal_ops.push(op),
+                        None => unencoded += 1,
+                    }
                 }
                 Err(e) => replies.push((write.reply, Err(e))),
             }
         }
-        let published = acc.map(|model| {
+        let mut published = None;
+        if let Some(model) = acc {
             let next = Snapshot {
                 version: base.version + 1,
                 model: Arc::new(model),
             };
-            self.shared.publish(next, Some(regions));
-            self.shared
-                .coalesced_batches
-                .fetch_add(1, Ordering::Relaxed);
-            self.shared
-                .applied_updates
-                .fetch_add(applied as u64, Ordering::Relaxed);
-            base.version + 1
-        });
+            // Write-ahead: one journal record per published burst. Ops
+            // queued before a backend was attached carry no encoding; the
+            // burst then degrades to a full checkpoint (still ahead of
+            // the publish).
+            let ops = (unencoded == 0).then_some(wal_ops);
+            match self.persist_ahead(&next, ops) {
+                Ok(()) => {
+                    self.shared.publish(next, Some(regions));
+                    self.shared
+                        .coalesced_batches
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .applied_updates
+                        .fetch_add(applied as u64, Ordering::Relaxed);
+                    published = Some(base.version + 1);
+                }
+                Err(e) => {
+                    // The burst could not be made durable, so it was not
+                    // published: every op in it — including ones that
+                    // applied cleanly in memory — reports the storage
+                    // error, and the discarded successor model is dropped.
+                    applied = 0;
+                    for (_, result) in replies.iter_mut() {
+                        if result.is_ok() {
+                            *result = Err(e.clone());
+                        }
+                    }
+                }
+            }
+        }
         let version = published.unwrap_or(base.version);
         for (reply, result) in replies {
             // A dropped ticket (fire-and-forget writer) is fine.
@@ -545,6 +694,8 @@ impl<M: DistanceModel> QueryServer<M> {
             applied_updates: self.shared.applied_updates.load(Ordering::Relaxed),
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.shared.cache_misses.load(Ordering::Relaxed),
+            wal_records: self.shared.wal_records.load(Ordering::Relaxed),
+            checkpoints: self.shared.checkpoints.load(Ordering::Relaxed),
         }
     }
 
@@ -585,15 +736,18 @@ impl<M: DistanceModel> Drop for QueryServer<M> {
     }
 }
 
-/// Update surface for any [`CowModel`] — the 1-D/2-D databases (O(log n)
-/// store path copies) and [`ShardedDb`] (path copy of the owning shard
-/// only, all other shard `Arc`s shared between snapshots). Snapshot
-/// atomicity is unchanged: readers pin a whole model version and never
-/// observe a half-applied update (property-tested in
-/// `tests/proptest_server.rs` / `tests/proptest_shard.rs`).
+/// Update surface for any [`PersistentModel`] (every [`CowModel`](crate::store::CowModel) in the
+/// crate implements it) — the 1-D/2-D databases (O(log n) store path
+/// copies) and [`ShardedDb`] (path copy of the owning shard only, all
+/// other shard `Arc`s shared between snapshots). Snapshot atomicity is
+/// unchanged: readers pin a whole model version and never observe a
+/// half-applied update (property-tested in `tests/proptest_server.rs` /
+/// `tests/proptest_shard.rs`). The [`PersistentModel`] bound (rather
+/// than bare [`CowModel`](crate::store::CowModel)) lets these ops encode themselves for the
+/// write-ahead journal when a storage backend is attached.
 impl<M> QueryServer<M>
 where
-    M: DistanceModel + CowModel + Send + Sync + 'static,
+    M: DistanceModel + PersistentModel + Send + Sync + 'static,
     M::Query: Send + 'static,
     M::Object: Send + 'static,
 {
@@ -603,22 +757,34 @@ where
     /// writers prefer [`queue_insert`](Self::queue_insert) +
     /// [`flush_writes`](Self::flush_writes).
     pub fn insert(&self, object: M::Object) -> Result<Snapshot<M>> {
+        let wal = self
+            .storage_attached()
+            .then(|| storage::encode_insert_op::<M>(&object));
         let region = M::object_extent(&object);
-        self.update_tracked(move |db| {
-            db.with_inserted(object)
-                .map(|next| (next, Some(vec![region])))
-        })
+        self.update_tracked(
+            move |db| {
+                db.with_inserted(object)
+                    .map(|next| (next, Some(vec![region])))
+            },
+            wal,
+        )
     }
 
     /// Copy-on-write remove: as [`insert`](Self::insert). Removing an
     /// absent id still swaps (contents unchanged, version advanced), and
     /// records an empty footprint so caches survive untouched.
     pub fn remove(&self, id: ObjectId) -> Result<Snapshot<M>> {
-        self.update_tracked(move |db| {
-            let (next, removed) = db.with_removed(id);
-            let regions = removed.as_ref().map(M::object_extent).into_iter().collect();
-            Ok((next, Some(regions)))
-        })
+        let wal = self
+            .storage_attached()
+            .then(|| storage::encode_remove_op(id));
+        self.update_tracked(
+            move |db| {
+                let (next, removed) = db.with_removed(id);
+                let regions = removed.as_ref().map(M::object_extent).into_iter().collect();
+                Ok((next, Some(regions)))
+            },
+            wal,
+        )
     }
 
     /// Queue an insert on the write-coalescing lane **without**
@@ -626,30 +792,40 @@ where
     /// [`flush_writes`](Self::flush_writes) drains the burst (shutdown and
     /// drop flush too, so tickets never dangle).
     pub fn queue_insert(&self, object: M::Object) -> Ticket<UpdateOutcome> {
+        let wal = self
+            .storage_attached()
+            .then(|| storage::encode_insert_op::<M>(&object));
         let region = M::object_extent(&object);
-        self.queue_write(Box::new(move |db: &M| {
-            db.with_inserted(object).map(|next| (next, vec![region]))
-        }))
+        self.queue_write(
+            Box::new(move |db: &M| db.with_inserted(object).map(|next| (next, vec![region]))),
+            wal,
+        )
     }
 
     /// Queue a remove on the write-coalescing lane; see
     /// [`queue_insert`](Self::queue_insert).
     pub fn queue_remove(&self, id: ObjectId) -> Ticket<UpdateOutcome> {
-        self.queue_write(Box::new(move |db: &M| {
-            let (next, removed) = db.with_removed(id);
-            Ok((
-                next,
-                removed.as_ref().map(M::object_extent).into_iter().collect(),
-            ))
-        }))
+        let wal = self
+            .storage_attached()
+            .then(|| storage::encode_remove_op(id));
+        self.queue_write(
+            Box::new(move |db: &M| {
+                let (next, removed) = db.with_removed(id);
+                Ok((
+                    next,
+                    removed.as_ref().map(M::object_extent).into_iter().collect(),
+                ))
+            }),
+            wal,
+        )
     }
 
-    fn queue_write(&self, apply: ApplyWrite<M>) -> Ticket<UpdateOutcome> {
+    fn queue_write(&self, apply: ApplyWrite<M>, wal: Option<Vec<u8>>) -> Ticket<UpdateOutcome> {
         let (reply, ticket) = mpsc::channel();
         self.queued
             .lock()
             .expect("write queue unpoisoned")
-            .push(QueuedWrite { apply, reply });
+            .push(QueuedWrite { apply, reply, wal });
         Ticket(ticket)
     }
 }

@@ -364,6 +364,76 @@ impl<M: ShardableModel> ShardedDb<M> {
         self.shards[0].pipeline_config()
     }
 
+    /// The partitioning axis (the widest axis of the build-time domain).
+    pub fn partition_axis(&self) -> usize {
+        self.axis
+    }
+
+    /// The ascending slab boundaries along the partition axis
+    /// (`num_shards() + 1` values).
+    pub fn slab_bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// The configuration every shard was built with.
+    pub fn shard_configuration(&self) -> &M::Config {
+        &self.config
+    }
+
+    /// Reassemble a sharded database from persisted parts: the partition
+    /// `axis`, the slab boundary list (`buckets.len() + 1` finite,
+    /// non-decreasing values), and each slab's objects in slab order.
+    ///
+    /// This is the recovery entry point ([`crate::persist`] /
+    /// [`crate::storage`]): the persisted boundaries are adopted **as
+    /// is**, rather than re-derived from the recovered objects, so slab
+    /// routing after recovery is bit-identical to the pre-crash database
+    /// even when serve-lane churn has drifted the contents away from the
+    /// build-time distribution.
+    pub fn from_parts(
+        axis: usize,
+        bounds: Vec<f64>,
+        buckets: Vec<Vec<M::Object>>,
+        config: M::Config,
+    ) -> Result<Self> {
+        if buckets.is_empty() || bounds.len() != buckets.len() + 1 {
+            return Err(CoreError::Storage(format!(
+                "malformed shard layout: {} boundaries for {} shards",
+                bounds.len(),
+                buckets.len()
+            )));
+        }
+        if axis > 8 {
+            return Err(CoreError::Storage(format!(
+                "malformed shard layout: implausible partition axis {axis}"
+            )));
+        }
+        if bounds.iter().any(|b| !b.is_finite()) || bounds.windows(2).any(|w| w[1] < w[0]) {
+            return Err(CoreError::Storage(
+                "malformed shard layout: slab boundaries not finite and non-decreasing".into(),
+            ));
+        }
+        let mut ids: Vec<u64> = buckets
+            .iter()
+            .flatten()
+            .map(|o| M::object_id(o).0)
+            .collect();
+        ids.sort_unstable();
+        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CoreError::DuplicateObjectId(w[0]));
+        }
+        let shards = buckets
+            .into_iter()
+            .map(|b| M::build_shard(b, &config).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            shards,
+            axis,
+            bounds,
+            config,
+        })
+    }
+
     /// Union of all shard extents (the database's domain MBR), `None`
     /// when empty.
     pub fn extent(&self) -> Option<Extent> {
