@@ -23,8 +23,8 @@ use std::time::Instant;
 use cpnn_core::persist::{load_from_path, load_objects_from_path, save_to_path};
 use cpnn_core::{
     pipeline, BatchExecutor, CacheConfig, CpnnQuery, EngineConfig, FileBackend, ObjectId,
-    QueryServer, QuerySpec, Served, ShardBalance, ShardedDb, Strategy, Ticket, UncertainDb,
-    UncertainDb2d, UncertainObject, UpdateOutcome,
+    QueryServer, QuerySpec, Served, ShardBalance, ShardedDb, SharedCacheConfig, Strategy, Ticket,
+    UncertainDb, UncertainDb2d, UncertainObject, UpdateOutcome,
 };
 use cpnn_datagen::{
     longbeach::longbeach_with, objects_2d, query_points_in, LongBeachConfig, Synthetic2dConfig,
@@ -77,8 +77,10 @@ fn print_usage() {
          \x20 pnn FILE --q Q [--top N]                     exact qualification probabilities\n\
          \x20 cpnn FILE --q Q --p P [--delta D] [--strategy vr|basic|refine|mc] [--shards N]\n\
          \x20           [--shard-balance width|quantile] [--cache N] [--cache-quantum EPS]\n\
+         \x20           [--shared-cache N] [--cache-ttl SECS]\n\
          \x20 cpnn FILE --batch N --p P [--threads T] [--seed S] [--delta D] [--strategy S]\n\
          \x20           [--shards N] [--shard-balance B] [--cache N] [--cache-quantum EPS]\n\
+         \x20           [--shared-cache N] [--cache-ttl SECS]\n\
          \x20                                              batch over N random query points\n\
          \x20                                              (T = 0 means one per core; shards > 1\n\
          \x20                                              fans each query out across a\n\
@@ -88,15 +90,21 @@ fn print_usage() {
          \x20                                              quantile; --cache N memoizes\n\
          \x20                                              verification state for up to N query\n\
          \x20                                              points per worker, snapped to an\n\
-         \x20                                              EPS-wide grid)\n\
+         \x20                                              EPS-wide grid; --shared-cache N adds\n\
+         \x20                                              a process-wide second tier that all\n\
+         \x20                                              workers consult on local misses and\n\
+         \x20                                              memoizes verification outcomes, with\n\
+         \x20                                              optional --cache-ttl entry lifetime)\n\
          \x20 knn FILE --q Q --k K --p P [--delta D]       constrained probabilistic k-NN\n\
          \x20 knn2d --qx X --qy Y --p P [--k K] [--count N] [--seed S] [--delta D]\n\
          \x20       [--domain D] [--shards N] [--shard-balance B] [--cache N]\n\
-         \x20       [--cache-quantum EPS]                  constrained 2-D k-NN over a synthetic\n\
+         \x20       [--cache-quantum EPS] [--shared-cache N] [--cache-ttl SECS]\n\
+         \x20                                              constrained 2-D k-NN over a synthetic\n\
          \x20                                              disk/rectangle dataset on [0, D]²\n\
          \x20 range FILE --lo A --hi B --p P               probabilistic range query\n\
          \x20 serve FILE [--threads T] [--queries FILE] [--shards N] [--shard-balance B]\n\
          \x20       [--cache N] [--cache-quantum EPS]      long-lived query server: stream\n\
+         \x20       [--shared-cache N] [--cache-ttl SECS]\n\
          \x20       [--data-dir DIR] [--checkpoint-every N] queries from stdin (or FILE) through\n\
          \x20                                              a worker pool; insert/remove are\n\
          \x20                                              O(log n) path-copying snapshot swaps,\n\
@@ -206,22 +214,50 @@ fn shard_balance_args(bag: &mut ArgBag) -> Result<ShardBalance, UsageError> {
     }
 }
 
-/// Shared `--cache N` / `--cache-quantum EPS` parsing (capacity 0, the
-/// default, disables the verification-state cache).
-fn cache_args(bag: &mut ArgBag) -> Result<CacheConfig, UsageError> {
-    let capacity: usize = bag.optional("cache")?.unwrap_or(0);
+/// Shared `--cache N` / `--cache-quantum EPS` / `--shared-cache N` /
+/// `--cache-ttl SECS` parsing (capacity 0, the default, disables each
+/// tier). `--shared-cache` alone implies a per-thread L1 of the same
+/// capacity, since the shared tier is only consulted on L1 misses.
+fn cache_args(bag: &mut ArgBag) -> Result<(CacheConfig, SharedCacheConfig), UsageError> {
+    let capacity: Option<usize> = bag.optional("cache")?;
     let quantum: f64 = bag.optional("cache-quantum")?.unwrap_or(0.0);
+    let shared: usize = bag.optional("shared-cache")?.unwrap_or(0);
+    let ttl: Option<f64> = bag.optional("cache-ttl")?;
     if !(quantum.is_finite() && quantum >= 0.0) {
         return Err(UsageError(format!(
             "--cache-quantum must be a finite value >= 0, got {quantum}"
         )));
     }
+    if capacity == Some(0) && shared > 0 {
+        return Err(UsageError(
+            "--shared-cache requires the per-thread cache: drop `--cache 0`".into(),
+        ));
+    }
+    // The shared tier sits behind the per-thread tier, so enabling it
+    // without --cache defaults the per-thread capacity to match.
+    let capacity = capacity.unwrap_or(if shared > 0 { shared } else { 0 });
     if quantum > 0.0 && capacity == 0 {
         return Err(UsageError(
             "--cache-quantum has no effect without --cache N (N > 0 enables the cache)".into(),
         ));
     }
-    Ok(CacheConfig::new(capacity, quantum))
+    let mut shared_cfg = SharedCacheConfig::new(shared);
+    if let Some(secs) = ttl {
+        if shared == 0 {
+            return Err(UsageError(
+                "--cache-ttl has no effect without --shared-cache N (N > 0 enables the shared \
+                 tier)"
+                    .into(),
+            ));
+        }
+        if !(secs.is_finite() && secs >= 0.0) {
+            return Err(UsageError(format!(
+                "--cache-ttl must be a finite number of seconds >= 0, got {secs}"
+            )));
+        }
+        shared_cfg = shared_cfg.with_ttl(std::time::Duration::from_secs_f64(secs));
+    }
+    Ok((CacheConfig::new(capacity, quantum), shared_cfg))
 }
 
 fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
@@ -229,7 +265,7 @@ fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
     let balance = shard_balance_args(bag)?;
     let batch = bag.optional::<usize>("batch")?;
-    let cache = cache_args(bag)?;
+    let (cache, shared_cache) = cache_args(bag)?;
     // One storage layout, built once from the snapshot's raw objects: a
     // ShardedDb whose single-shard case *is* the unsharded database
     // (equivalence is property-tested), so there is no second code path.
@@ -243,6 +279,7 @@ fn cpnn(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut cfg = db.pipeline_config();
     cfg.cache = cache;
+    cfg.shared_cache = shared_cache;
     if let Some(count) = batch {
         return cpnn_batch(bag, &db, count, &cfg);
     }
@@ -377,12 +414,15 @@ fn print_batch_outcome(out: &cpnn_core::BatchOutcome) -> Result<(), Box<dyn std:
         s.verify_time / s.queries.max(1) as u32,
         s.refine_time / s.queries.max(1) as u32
     );
-    if s.cache_hits + s.cache_misses > 0 {
+    if s.cache_hits + s.shared_hits + s.cache_misses > 0 {
         println!(
-            "cache: {} hits / {} misses ({:.1}% hit rate)",
+            "cache: {} hits / {} shared hits / {} misses ({:.1}% hit rate, {} memo \
+             short-circuits)",
             s.cache_hits,
+            s.shared_hits,
             s.cache_misses,
-            100.0 * s.cache_hit_rate()
+            100.0 * s.cache_hit_rate(),
+            s.outcome_hits
         );
     }
     if let Some(err) = out.results.iter().filter_map(|r| r.as_ref().err()).next() {
@@ -428,7 +468,7 @@ fn knn2d(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let domain: f64 = bag.optional("domain")?.unwrap_or(1_000.0);
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
     let balance = shard_balance_args(bag)?;
-    let cache = cache_args(bag)?;
+    let (cache, shared_cache) = cache_args(bag)?;
     bag.finish()?;
     let cfg2d = Synthetic2dConfig {
         count,
@@ -446,6 +486,7 @@ fn knn2d(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let spec = QuerySpec::knn(k, p, delta, Strategy::Verified);
     let mut cfg = db.pipeline_config();
     cfg.cache = cache;
+    cfg.shared_cache = shared_cache;
     warn_snapped(&cfg.cache, &[qx, qy]);
     let res = pipeline::cpnn(&db, &[qx, qy], &spec, &cfg)?;
     println!(
@@ -482,10 +523,12 @@ serve line protocol (stdin or --queries FILE; one request per line):
                             `stats served=<n> updates=<n>
                             coalesced_batches=<n> applied_updates=<n>
                             cache_hits=<n> cache_misses=<n>
+                            shared_hits=<n> outcome_hits=<n>
                             wal_records=<n> checkpoints=<n>` (cache
                             counters stay 0 unless --cache is on;
-                            durability counters stay 0 unless
-                            --data-dir is on)
+                            shared_hits/outcome_hits stay 0 unless
+                            --shared-cache is on; durability counters
+                            stay 0 unless --data-dir is on)
   quit                      drain pending responses, flush updates, exit
 consecutive insert/remove lines form one burst: they publish together as
 ONE snapshot swap (one version bump, one cache-invalidation pass) when
@@ -496,7 +539,11 @@ update queued before it. Relevant flags: --threads T (worker pool),
 --shards N (domain partitioning; updates path-copy only the owning
 shard), --shard-balance width|quantile (slab scheme), --cache N
 [--cache-quantum EPS] (verification-state cache; updates invalidate it
-incrementally by region), --data-dir DIR (durable storage: each burst
+incrementally by region), --shared-cache N [--cache-ttl SECS] (a
+process-wide second cache tier all workers consult on local misses and
+publish fills into, with verification outcomes memoized per threshold
+band; entries admit on second sight and expire after SECS),
+--data-dir DIR (durable storage: each burst
 appends one fsync'd write-ahead journal record BEFORE it publishes, and
 a restart pointing at the same DIR recovers checkpoint + journal tail —
 FILE then only seeds a fresh DIR), --checkpoint-every N (fold the
@@ -539,7 +586,7 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     let shards: usize = bag.optional("shards")?.unwrap_or(1);
     let balance = shard_balance_args(bag)?;
     let queries: Option<PathBuf> = bag.optional("queries")?;
-    let cache = cache_args(bag)?;
+    let (cache, shared_cache) = cache_args(bag)?;
     let data_dir: Option<PathBuf> = bag.optional("data-dir")?;
     let checkpoint_every: u64 = bag.optional("checkpoint-every")?.unwrap_or(0);
     bag.finish()?;
@@ -591,6 +638,7 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut pipeline = sharded.pipeline_config();
     pipeline.cache = cache;
+    pipeline.shared_cache = shared_cache;
     let num_shards = sharded.num_shards();
     let server = QueryServer::start_at(sharded, initial_version, threads, pipeline);
     if let Some(backend) = backend {
@@ -689,13 +737,16 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
                 writeln!(
                     out,
                     "stats served={} updates={} coalesced_batches={} applied_updates={} \
-                     cache_hits={} cache_misses={} wal_records={} checkpoints={}",
+                     cache_hits={} cache_misses={} shared_hits={} outcome_hits={} \
+                     wal_records={} checkpoints={}",
                     s.served,
                     s.updates,
                     s.coalesced_batches,
                     s.applied_updates,
                     s.cache_hits,
                     s.cache_misses,
+                    s.shared_hits,
+                    s.outcome_hits,
                     s.wal_records,
                     s.checkpoints
                 )?;
@@ -744,10 +795,10 @@ fn serve(bag: &mut ArgBag) -> Result<(), Box<dyn std::error::Error>> {
     server.checkpoint_now()?;
     let stats = server.shutdown();
     let wall = start.elapsed();
-    let cache_note = if stats.cache_hits + stats.cache_misses > 0 {
+    let cache_note = if stats.cache_hits + stats.shared_hits + stats.cache_misses > 0 {
         format!(
-            ", cache {} hits / {} misses",
-            stats.cache_hits, stats.cache_misses
+            ", cache {} hits / {} shared / {} misses ({} memo short-circuits)",
+            stats.cache_hits, stats.shared_hits, stats.cache_misses, stats.outcome_hits
         )
     } else {
         String::new()

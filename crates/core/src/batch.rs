@@ -24,10 +24,10 @@
 //! workload).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, SharedVerifyCache};
 use crate::candidate::CandidateSet;
 use crate::error::Result;
 use crate::pipeline::{
@@ -312,8 +312,16 @@ impl BatchExecutor {
         let threads = self.threads.min(n.max(1));
         let wall_start = Instant::now();
         let mut cache_totals = CacheStats::default();
+        // One shared L2 tier per batch run, attached to every worker's
+        // scratch, so a hot point computed by one worker hits on all of
+        // them (inert unless both cache knobs are enabled).
+        let tier = (cfg.cache.is_enabled() && cfg.shared_cache.is_enabled())
+            .then(|| Arc::new(SharedVerifyCache::new(cfg.shared_cache)));
         let results: Vec<Result<CpnnResult>> = if threads <= 1 {
             let mut scratch = QueryScratch::new();
+            if let Some(tier) = tier.as_ref() {
+                scratch.attach_shared(Arc::clone(tier));
+            }
             let results = (0..n)
                 .map(|i| {
                     let (q, spec) = job(i);
@@ -331,6 +339,9 @@ impl BatchExecutor {
                 for _ in 0..threads {
                     scope.spawn(|| {
                         let mut scratch = QueryScratch::new();
+                        if let Some(tier) = tier.as_ref() {
+                            scratch.attach_shared(Arc::clone(tier));
+                        }
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -363,6 +374,8 @@ impl BatchExecutor {
         let mut summary = BatchSummary::aggregate(&results, threads, wall_time);
         summary.cache_hits = cache_totals.hits;
         summary.cache_misses = cache_totals.misses;
+        summary.shared_hits = cache_totals.shared_hits;
+        summary.outcome_hits = cache_totals.outcome_hits;
         BatchOutcome { results, summary }
     }
 }
@@ -416,11 +429,19 @@ pub struct BatchSummary {
     pub resolved_by_verification: usize,
     /// Total answers returned.
     pub answers: usize,
-    /// Verification-cache hits across all workers (0 unless
-    /// [`crate::PipelineConfig`]'s `cache` was enabled).
+    /// Local (per-thread) verification-cache hits across all workers (0
+    /// unless [`crate::PipelineConfig`]'s `cache` was enabled).
     pub cache_hits: u64,
-    /// Verification-cache misses across all workers.
+    /// Verification-cache misses across all workers (neither tier had
+    /// the entry).
     pub cache_misses: u64,
+    /// Local misses answered by the shared L2 tier (0 unless
+    /// `shared_cache` was enabled too), attributed to the worker that
+    /// served the reply.
+    pub shared_hits: u64,
+    /// Entry hits that replayed a memoized verification outcome,
+    /// skipping verify/refine entirely.
+    pub outcome_hits: u64,
 }
 
 impl BatchSummary {
@@ -463,14 +484,14 @@ impl BatchSummary {
         self.queries as f64 / secs
     }
 
-    /// Verification-cache hits per lookup in `[0, 1]` (0 when caching was
-    /// off or no lookups happened).
+    /// Verification-cache entry hits (either tier) per lookup in
+    /// `[0, 1]` (0 when caching was off or no lookups happened).
     pub fn cache_hit_rate(&self) -> f64 {
-        let lookups = self.cache_hits + self.cache_misses;
+        let lookups = self.cache_hits + self.shared_hits + self.cache_misses;
         if lookups == 0 {
             return 0.0;
         }
-        self.cache_hits as f64 / lookups as f64
+        (self.cache_hits + self.shared_hits) as f64 / lookups as f64
     }
 
     /// Ratio of summed per-query time to wall time — approaches the thread

@@ -78,8 +78,12 @@
 //! assert_eq!((stats.hits, stats.misses), (1, 1));
 //! ```
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::candidate::CandidateSet;
 use crate::shard::Extent;
@@ -138,10 +142,21 @@ impl Default for CacheConfig {
 /// long-running worker reports its lifetime hit rate.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the *local* (per-thread) cache.
     pub hits: u64,
-    /// Lookups that had to filter and build distributions from scratch.
+    /// Lookups that had to filter and build distributions from scratch
+    /// (neither tier had the entry).
     pub misses: u64,
+    /// Local misses answered by the shared [`SharedVerifyCache`] tier —
+    /// i.e. state another worker computed and published. Counted on the
+    /// worker that served the reply, never double-counted with `hits` or
+    /// `misses`.
+    pub shared_hits: u64,
+    /// Entry hits (local or shared) that *also* carried a memoized
+    /// verification outcome for the exact spec, short-circuiting
+    /// verify/refine entirely. Always `≤ hits + shared_hits`; counted in
+    /// addition to the entry hit, not instead of it.
+    pub outcome_hits: u64,
     /// Whole-cache clears caused by a snapshot-version change.
     pub invalidations: u64,
     /// Entries dropped by *incremental* (region-scoped) invalidation —
@@ -152,18 +167,20 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Total lookups.
+    /// Total lookups (each query counted once: local hit, shared hit, or
+    /// miss).
     pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
+        self.hits + self.shared_hits + self.misses
     }
 
-    /// Hits per lookup in `[0, 1]` (`0` before the first lookup).
+    /// Entry hits (either tier) per lookup in `[0, 1]` (`0` before the
+    /// first lookup).
     pub fn hit_rate(&self) -> f64 {
         let n = self.lookups();
         if n == 0 {
             return 0.0;
         }
-        self.hits as f64 / n as f64
+        (self.hits + self.shared_hits) as f64 / n as f64
     }
 
     /// Fold another counter set into this one (batch workers aggregate
@@ -171,6 +188,8 @@ impl CacheStats {
     pub fn accumulate(&mut self, other: &CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.shared_hits += other.shared_hits;
+        self.outcome_hits += other.outcome_hits;
         self.invalidations += other.invalidations;
         self.region_evictions += other.region_evictions;
     }
@@ -202,6 +221,59 @@ pub fn point_key_2d(q: [f64; 2]) -> u128 {
     ((q[0].to_bits() as u128) << 64) | q[1].to_bits() as u128
 }
 
+/// Bit-exact key of one memoized *verification outcome* at a cached
+/// query point: the exact threshold/tolerance band, the strategy
+/// (including Monte-Carlo world count and seed — strategies are
+/// deterministic functions of their spec), and the pipeline knobs that
+/// shape verify/refine (`refinement_order`, `basic_tolerance`,
+/// `extended_verifiers`). `k` and the snapped point are already part of
+/// the *entry* key, so they are not repeated here.
+///
+/// Keying the band **exactly** (by bit pattern) is what makes the
+/// short-circuit trivially sound: a memo hit replays the reports of a
+/// prior evaluation of the *same* candidate set under the *same* spec and
+/// config — and since every strategy is a deterministic function of
+/// (candidates, spec, config), the replayed reports are bit-for-bit what
+/// re-running verify/refine would produce (property-tested in
+/// `tests/proptest_shared_cache.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutcomeKey {
+    threshold: u64,
+    tolerance: u64,
+    /// Strategy discriminant plus Monte-Carlo parameters (zero for the
+    /// deterministic strategies).
+    strategy: (u8, u64, u64),
+    refinement: u8,
+    basic_tolerance: u64,
+    extended_verifiers: bool,
+}
+
+impl OutcomeKey {
+    /// The outcome key for evaluating `spec` under `cfg`.
+    pub fn new(spec: &crate::pipeline::QuerySpec, cfg: &crate::pipeline::PipelineConfig) -> Self {
+        use crate::pipeline::Strategy;
+        use crate::refine::RefinementOrder;
+        let strategy = match spec.strategy {
+            Strategy::Basic => (0u8, 0u64, 0u64),
+            Strategy::RefineOnly => (1, 0, 0),
+            Strategy::Verified => (2, 0, 0),
+            Strategy::MonteCarlo { worlds, seed } => (3, worlds as u64, seed),
+        };
+        let refinement = match cfg.refinement_order {
+            RefinementOrder::DescendingMass => 0u8,
+            RefinementOrder::LeftToRight => 1,
+        };
+        Self {
+            threshold: spec.threshold.to_bits(),
+            tolerance: spec.tolerance.to_bits(),
+            strategy,
+            refinement,
+            basic_tolerance: cfg.basic_tolerance.to_bits(),
+            extended_verifiers: cfg.extended_verifiers,
+        }
+    }
+}
+
 /// One memoized verification state: the candidate set (filter output +
 /// per-candidate distance distributions) and, once some strategy built
 /// it, the subregion table. Both sit behind [`Arc`]s so a hit costs two
@@ -224,7 +296,19 @@ pub struct CachedQuery {
     /// The filter's pruning horizon at this point (`INFINITY` when the
     /// candidate set covered the whole database, i.e. `|C| < k`).
     horizon: f64,
+    /// Memoized verification outcomes at this point, one per exact
+    /// (spec, config) band ([`OutcomeKey`]), oldest-first and bounded by
+    /// `OUTCOME_CAP`. They live *inside* the entry so every
+    /// invalidation rule (version, source pin, region pass, eviction)
+    /// covers them for free: an outcome is replayable exactly as long as
+    /// its candidate set is.
+    outcomes: Vec<(OutcomeKey, Arc<Vec<crate::pipeline::ObjectReport>>)>,
 }
+
+/// Distinct (spec, config) bands memoized per cached entry; real traffic
+/// reuses a handful of thresholds, so a small bound keeps entries cheap
+/// to clone while adversarial spec churn evicts oldest-first.
+const OUTCOME_CAP: usize = 8;
 
 impl CachedQuery {
     /// An entry holding filter output only (the table attaches later).
@@ -236,6 +320,7 @@ impl CachedQuery {
             table: None,
             coords: None,
             horizon: f64::INFINITY,
+            outcomes: Vec::new(),
         }
     }
 
@@ -254,6 +339,7 @@ impl CachedQuery {
             table: None,
             coords: coords.map(Vec::into_boxed_slice),
             horizon,
+            outcomes: Vec::new(),
         }
     }
 
@@ -265,6 +351,41 @@ impl CachedQuery {
     /// The memoized subregion table, if one was ever built at this point.
     pub fn table(&self) -> Option<&Arc<SubregionTable>> {
         self.table.as_ref()
+    }
+
+    /// Fill the subregion table if none is attached yet (first builder
+    /// wins; the table is a pure function of the candidate set, so any
+    /// builder's copy is interchangeable).
+    pub fn set_table(&mut self, table: Arc<SubregionTable>) {
+        if self.table.is_none() {
+            self.table = Some(table);
+        }
+    }
+
+    /// The memoized reports for an exact (spec, config) band, if this
+    /// entry has seen that band before.
+    pub fn outcome(&self, key: &OutcomeKey) -> Option<Arc<Vec<crate::pipeline::ObjectReport>>> {
+        self.outcomes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, reports)| Arc::clone(reports))
+    }
+
+    /// Memoize the reports of one evaluated (spec, config) band, evicting
+    /// the oldest band beyond `OUTCOME_CAP`. First writer wins on a
+    /// duplicate key (the reports are deterministic, so copies agree).
+    pub fn record_outcome(
+        &mut self,
+        key: OutcomeKey,
+        reports: Arc<Vec<crate::pipeline::ObjectReport>>,
+    ) {
+        if self.outcomes.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        if self.outcomes.len() >= OUTCOME_CAP {
+            self.outcomes.remove(0);
+        }
+        self.outcomes.push((key, reports));
     }
 
     /// Can this entry survive an update confined to `region`? True only
@@ -496,6 +617,503 @@ impl VerifyCache {
             }
         }
     }
+
+    /// Attach a just-evaluated verification outcome to an existing entry
+    /// (see [`CachedQuery::record_outcome`]). Ignored if the entry was
+    /// evicted in the meantime.
+    pub fn attach_outcome(
+        &mut self,
+        point: u128,
+        k: usize,
+        key: OutcomeKey,
+        reports: Arc<Vec<crate::pipeline::ObjectReport>>,
+    ) {
+        if let Some((_, entry)) = self.map.get_mut(&Key { point, k }) {
+            entry.record_outcome(key, reports);
+        }
+    }
+
+    /// Reclassify the latest counted miss as a shared-tier hit: the
+    /// pipeline counts a local miss in [`lookup`](Self::lookup) first,
+    /// then consults the L2, and calls this when the L2 answered. Keeps
+    /// `lookups()` counting every query exactly once.
+    pub fn promote_miss_to_shared_hit(&mut self) {
+        debug_assert!(self.stats.misses > 0, "no miss to promote");
+        self.stats.misses = self.stats.misses.saturating_sub(1);
+        self.stats.shared_hits += 1;
+    }
+
+    /// Count one outcome-memo hit (an entry hit whose memoized reports
+    /// short-circuited verify/refine).
+    pub fn note_outcome_hit(&mut self) {
+        self.stats.outcome_hits += 1;
+    }
+}
+
+/// Tuning for the process-wide [`SharedVerifyCache`] tier. Lives inside
+/// [`crate::PipelineConfig`] next to the per-thread `cache` knob; the
+/// tier only engages when **both** are enabled (the shared tier is an L2
+/// behind the local L1 — a local miss consults it, a local fill
+/// publishes upward).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedCacheConfig {
+    /// Total memoized query points across all segments; `0` disables the
+    /// tier entirely (the default).
+    pub capacity: usize,
+    /// Entry lifetime: a published entry older than this is expired on
+    /// lookup (and counts as a miss). `None` (the default) never expires
+    /// by age — version/region invalidation still applies. Expiry never
+    /// changes an answer, only whether the state is recomputed.
+    pub ttl: Option<Duration>,
+    /// Admit a key on its first publish attempt instead of the default
+    /// **second-sight** admission (first attempt only records the key;
+    /// the next attempt admits it). Second sight keeps adversarial
+    /// point churn — a stream of never-repeated points — from thrashing
+    /// entries that are actually hot.
+    pub admit_first_sight: bool,
+}
+
+impl SharedCacheConfig {
+    /// A shared tier of `capacity` entries with second-sight admission
+    /// and no TTL.
+    ///
+    /// ```
+    /// use cpnn_core::cache::SharedCacheConfig;
+    /// let cfg = SharedCacheConfig::new(1024);
+    /// assert!(cfg.is_enabled());
+    /// assert!(!SharedCacheConfig::disabled().is_enabled());
+    /// ```
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ttl: None,
+            admit_first_sight: false,
+        }
+    }
+
+    /// The no-tier configuration (also the [`Default`]).
+    pub fn disabled() -> Self {
+        Self {
+            capacity: 0,
+            ttl: None,
+            admit_first_sight: false,
+        }
+    }
+
+    /// Same configuration with an entry lifetime.
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Same configuration admitting entries on first sight (useful when
+    /// the workload is known-hot, and in tests that need deterministic
+    /// single-pass warming).
+    pub fn admit_immediately(mut self) -> Self {
+        self.admit_first_sight = true;
+        self
+    }
+
+    /// Does this configuration share anything at all?
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+}
+
+impl Default for SharedCacheConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Cumulative counters of a [`SharedVerifyCache`], aggregated across all
+/// segments (relaxed atomics — totals, not a consistent snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups answered from the tier.
+    pub hits: u64,
+    /// Lookups the tier could not answer (absent, wrong version, or
+    /// expired).
+    pub misses: u64,
+    /// Entries admitted into a segment.
+    pub admitted: u64,
+    /// Publish attempts deferred by second-sight admission (the key was
+    /// only recorded; its next publish admits).
+    pub deferred: u64,
+    /// Entries dropped because their TTL elapsed.
+    pub expired: u64,
+    /// Segment clears (version mismatch, backwards move, or unknown
+    /// update footprint).
+    pub invalidations: u64,
+    /// Entries dropped by incremental (region-scoped) invalidation.
+    pub region_evictions: u64,
+}
+
+/// Upper bound on lock-striped segments; the actual count never exceeds
+/// the configured capacity, so tiny tiers do not scatter one entry per
+/// lock.
+const SHARED_SEGMENTS: usize = 16;
+
+/// One lock-striped segment of the shared tier. The version and source
+/// pin are **per segment**, checked under the segment's own mutex: a
+/// publish racing an [`SharedVerifyCache::advance_version`] walk either
+/// lands before the walk reaches the segment (and is region-checked by
+/// it) or carries a stale version and is dropped — no global lock, no
+/// stale entry, in either order.
+#[derive(Debug)]
+struct Segment {
+    version: u64,
+    source: Option<usize>,
+    tick: u64,
+    map: HashMap<Key, SharedSlot>,
+    /// Second-sight admission ledger: key → tick of its recorded first
+    /// sighting. Bounded; oldest sightings are forgotten under churn.
+    seen: HashMap<Key, u64>,
+}
+
+#[derive(Debug)]
+struct SharedSlot {
+    tick: u64,
+    created: Instant,
+    entry: CachedQuery,
+}
+
+/// The process-wide L2 behind every worker's [`VerifyCache`]: a
+/// lock-striped concurrent map over the same `(snapped point bits, k)`
+/// keys, so one worker's miss warms every worker. At `T` serve threads
+/// the effective hit rate on hot-spot traffic multiplies instead of
+/// dividing by `T` — a repeat query hits no matter which worker the
+/// scheduler lands it on.
+///
+/// **Eviction** is segmented LRU: each segment evicts its own
+/// least-recently-used entry under its own mutex, so a hot segment never
+/// takes a global lock. **Invalidation** mirrors the local tier:
+/// [`advance_version`](Self::advance_version) walks the segments with
+/// the same region-journal survivor test the per-thread map uses, and
+/// the server fans it out *before* a new snapshot becomes visible (see
+/// `server.rs`), so no worker can be pinned to a version whose segments
+/// have not been walked. **Admission + TTL**
+/// ([`SharedCacheConfig`]) keep adversarial point churn from thrashing
+/// the tier.
+///
+/// ```
+/// use cpnn_core::cache::{CachedQuery, SharedCacheConfig, SharedVerifyCache};
+/// use cpnn_core::{CandidateSet, ObjectId, UncertainObject};
+/// use std::sync::Arc;
+///
+/// let objects = vec![UncertainObject::uniform(ObjectId(1), 1.0, 3.0).unwrap()];
+/// let cands = Arc::new(CandidateSet::build(&objects, 0.0, 0).unwrap());
+/// let tier = SharedVerifyCache::new(SharedCacheConfig::new(64).admit_immediately());
+///
+/// let point = cpnn_core::cache::point_key_1d(0.0);
+/// assert!(tier.lookup(point, 1, 0, 1).is_none()); // miss
+/// assert!(tier.publish(point, 1, 0, 1, CachedQuery::new(cands)));
+/// assert!(tier.lookup(point, 1, 0, 1).is_some()); // any thread hits now
+/// assert!(tier.lookup(point, 1, 9, 1).is_none()); // other versions never hit
+/// ```
+#[derive(Debug)]
+pub struct SharedVerifyCache {
+    config: SharedCacheConfig,
+    /// Per-segment entry budget (`ceil(capacity / segments)`).
+    per_segment: usize,
+    segments: Vec<Mutex<Segment>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    admitted: AtomicU64,
+    deferred: AtomicU64,
+    expired: AtomicU64,
+    invalidations: AtomicU64,
+    region_evictions: AtomicU64,
+}
+
+impl SharedVerifyCache {
+    /// A fresh tier at snapshot version 0.
+    pub fn new(config: SharedCacheConfig) -> Self {
+        Self::new_at(config, 0)
+    }
+
+    /// A fresh tier whose segments start pinned at `version` (servers
+    /// resuming from a recovered snapshot start their tier at the
+    /// recovered version).
+    pub fn new_at(config: SharedCacheConfig, version: u64) -> Self {
+        let nsegs = SHARED_SEGMENTS.min(config.capacity.max(1));
+        let per_segment = config.capacity.max(1).div_ceil(nsegs);
+        let segments = (0..nsegs)
+            .map(|_| {
+                Mutex::new(Segment {
+                    version,
+                    source: None,
+                    tick: 0,
+                    map: HashMap::new(),
+                    seen: HashMap::new(),
+                })
+            })
+            .collect();
+        Self {
+            config,
+            per_segment,
+            segments,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            region_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this tier runs under.
+    pub fn config(&self) -> &SharedCacheConfig {
+        &self.config
+    }
+
+    /// Number of lock-striped segments.
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total entries across all segments (advisory; segments are locked
+    /// one at a time).
+    pub fn len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.lock().expect("shared-cache segment poisoned").map.len())
+            .sum()
+    }
+
+    /// Is the tier empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative counters across all segments.
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            deferred: self.deferred.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            region_evictions: self.region_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn segment_of(&self, key: &Key) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.segments.len() as u64) as usize
+    }
+
+    /// Pin `seg` to (version, source). Returns `false` — caller must
+    /// bail — when the caller's version does not match the segment's.
+    /// A moved source count clears the segment (same in-place-mutation
+    /// guard as [`VerifyCache::pin_source`], striped per segment).
+    fn pin(&self, seg: &mut Segment, version: u64, total_objects: usize) -> bool {
+        if seg.version != version {
+            return false;
+        }
+        if seg.source != Some(total_objects) {
+            if seg.source.is_some() && !seg.map.is_empty() {
+                seg.map.clear();
+                seg.seen.clear();
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+            seg.source = Some(total_objects);
+        }
+        true
+    }
+
+    /// Look up the shared state for a snapped point and neighbor count,
+    /// on behalf of a caller pinned to snapshot `version` of a database
+    /// with `total_objects` objects. Counts a hit or miss; a hit clones
+    /// the entry out (two refcount bumps) and refreshes its LRU tick.
+    pub fn lookup(
+        &self,
+        point: u128,
+        k: usize,
+        version: u64,
+        total_objects: usize,
+    ) -> Option<CachedQuery> {
+        if !self.config.is_enabled() {
+            return None;
+        }
+        let key = Key { point, k };
+        let mut seg = self.segments[self.segment_of(&key)]
+            .lock()
+            .expect("shared-cache segment poisoned");
+        if !self.pin(&mut seg, version, total_objects) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if let Some(ttl) = self.config.ttl {
+            if seg
+                .map
+                .get(&key)
+                .is_some_and(|slot| slot.created.elapsed() >= ttl)
+            {
+                seg.map.remove(&key);
+                self.expired.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        seg.tick += 1;
+        let tick = seg.tick;
+        match seg.map.get_mut(&key) {
+            Some(slot) => {
+                slot.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.entry.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish freshly computed state upward. Returns whether the entry
+    /// was actually admitted: a stale `version` is dropped (the tier has
+    /// moved on), second-sight admission defers a first-seen key, and a
+    /// full segment evicts its LRU entry to make room. Republishing an
+    /// existing key replaces the entry (and refreshes its TTL clock).
+    pub fn publish(
+        &self,
+        point: u128,
+        k: usize,
+        version: u64,
+        total_objects: usize,
+        entry: CachedQuery,
+    ) -> bool {
+        if !self.config.is_enabled() {
+            return false;
+        }
+        let key = Key { point, k };
+        let mut seg = self.segments[self.segment_of(&key)]
+            .lock()
+            .expect("shared-cache segment poisoned");
+        if !self.pin(&mut seg, version, total_objects) {
+            return false;
+        }
+        seg.tick += 1;
+        let tick = seg.tick;
+        if let Some(slot) = seg.map.get_mut(&key) {
+            *slot = SharedSlot {
+                tick,
+                created: Instant::now(),
+                entry,
+            };
+            return true;
+        }
+        let admit = self.config.admit_first_sight || seg.seen.remove(&key).is_some();
+        if !admit {
+            // Record the sighting; bound the ledger by forgetting the
+            // oldest sightings under churn.
+            if seg.seen.len() >= self.per_segment.saturating_mul(4).max(8) {
+                if let Some(oldest) = seg.seen.iter().min_by_key(|(_, t)| **t).map(|(k, _)| *k) {
+                    seg.seen.remove(&oldest);
+                }
+            }
+            seg.seen.insert(key, tick);
+            self.deferred.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if seg.map.len() >= self.per_segment {
+            if let Some(oldest) = seg
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.tick)
+                .map(|(k, _)| *k)
+            {
+                seg.map.remove(&oldest);
+            }
+        }
+        seg.map.insert(
+            key,
+            SharedSlot {
+                tick,
+                created: Instant::now(),
+                entry,
+            },
+        );
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Attach a just-built subregion table to a shared entry (no-op if
+    /// the entry is absent or the caller's version is stale).
+    pub fn attach_table(&self, point: u128, k: usize, version: u64, table: Arc<SubregionTable>) {
+        let key = Key { point, k };
+        let mut seg = self.segments[self.segment_of(&key)]
+            .lock()
+            .expect("shared-cache segment poisoned");
+        if seg.version != version {
+            return;
+        }
+        if let Some(slot) = seg.map.get_mut(&key) {
+            slot.entry.set_table(table);
+        }
+    }
+
+    /// Attach a just-evaluated verification outcome to a shared entry
+    /// (no-op if the entry is absent or the caller's version is stale).
+    pub fn attach_outcome(
+        &self,
+        point: u128,
+        k: usize,
+        version: u64,
+        okey: OutcomeKey,
+        reports: Arc<Vec<crate::pipeline::ObjectReport>>,
+    ) {
+        let key = Key { point, k };
+        let mut seg = self.segments[self.segment_of(&key)]
+            .lock()
+            .expect("shared-cache segment poisoned");
+        if seg.version != version {
+            return;
+        }
+        if let Some(slot) = seg.map.get_mut(&key) {
+            slot.entry.record_outcome(okey, reports);
+        }
+    }
+
+    /// Advance every segment to snapshot `version`, dropping only entries
+    /// whose candidate horizon one of the update `regions` intersects —
+    /// the same survivor test as [`VerifyCache::advance_version`], striped
+    /// per segment. `None` regions (unknown footprint) or a backwards
+    /// move clears the segment. The server calls this under its writer
+    /// lock *before* the new snapshot becomes visible, so no worker is
+    /// ever pinned to a version whose segments still hold unwalked
+    /// entries; a concurrent publish carrying the old version is dropped
+    /// by the per-segment version check (each segment records the last
+    /// version walked).
+    pub fn advance_version(&self, version: u64, regions: Option<&[Extent]>) {
+        for segment in &self.segments {
+            let mut seg = segment.lock().expect("shared-cache segment poisoned");
+            if seg.version == version {
+                continue;
+            }
+            let forward = version > seg.version;
+            seg.version = version;
+            seg.source = None;
+            seg.seen.clear();
+            match regions {
+                Some(regions) if forward => {
+                    let before = seg.map.len();
+                    seg.map
+                        .retain(|_, slot| regions.iter().all(|r| slot.entry.survives(r)));
+                    self.region_evictions
+                        .fetch_add((before - seg.map.len()) as u64, Ordering::Relaxed);
+                }
+                _ => {
+                    if !seg.map.is_empty() {
+                        seg.map.clear();
+                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -620,12 +1238,29 @@ mod tests {
         a.accumulate(&CacheStats {
             hits: 1,
             misses: 3,
+            shared_hits: 2,
+            outcome_hits: 1,
             invalidations: 2,
             region_evictions: 5,
         });
         assert_eq!((a.hits, a.misses, a.invalidations), (4, 4, 2));
+        assert_eq!((a.shared_hits, a.outcome_hits), (2, 1));
         assert_eq!(a.region_evictions, 5);
-        assert_eq!(a.hit_rate(), 0.5);
+        assert_eq!(a.lookups(), 10);
+        assert_eq!(a.hit_rate(), 0.6);
+    }
+
+    #[test]
+    fn promote_and_outcome_counters_keep_lookups_consistent() {
+        let mut cache = VerifyCache::new(CacheConfig::new(4, 0.0));
+        assert!(cache.lookup(1, 1).is_none()); // miss...
+        cache.promote_miss_to_shared_hit(); // ...answered by the L2
+        cache.note_outcome_hit();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.shared_hits, s.misses), (0, 1, 0));
+        assert_eq!(s.outcome_hits, 1);
+        assert_eq!(s.lookups(), 1);
+        assert_eq!(s.hit_rate(), 1.0);
     }
 
     #[test]
@@ -665,5 +1300,145 @@ mod tests {
         assert!(cache.lookup(point_key_1d(0.0), 1).is_some());
         cache.advance_version(0, &[]);
         assert!(cache.is_empty());
+    }
+
+    /// A coordinate-bearing shared entry at query point `q`.
+    fn shared_entry(q: f64) -> CachedQuery {
+        let objects = vec![UncertainObject::uniform(ObjectId(7), 1.0, 3.0).unwrap()];
+        CachedQuery::for_query(
+            Arc::new(CandidateSet::build(&objects, q, 0).unwrap()),
+            Some(vec![q]),
+            1,
+        )
+    }
+
+    #[test]
+    fn shared_tier_second_sight_admission() {
+        let tier = SharedVerifyCache::new(SharedCacheConfig::new(64));
+        let p = point_key_1d(0.0);
+        // First publish only records the sighting.
+        assert!(!tier.publish(p, 1, 0, 1, shared_entry(0.0)));
+        assert!(tier.lookup(p, 1, 0, 1).is_none());
+        // Second publish admits.
+        assert!(tier.publish(p, 1, 0, 1, shared_entry(0.0)));
+        assert!(tier.lookup(p, 1, 0, 1).is_some());
+        let s = tier.stats();
+        assert_eq!((s.deferred, s.admitted), (1, 1));
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn shared_tier_version_and_source_guards() {
+        let tier = SharedVerifyCache::new(SharedCacheConfig::new(64).admit_immediately());
+        let p = point_key_1d(0.0);
+        assert!(tier.publish(p, 1, 0, 1, shared_entry(0.0)));
+        // A stale-version publish or lookup never touches current state.
+        assert!(!tier.publish(p, 1, 7, 1, shared_entry(0.0)));
+        assert!(tier.lookup(p, 1, 7, 1).is_none());
+        assert!(tier.lookup(p, 1, 0, 1).is_some());
+        // A moved object count clears the segment (in-place mutation guard).
+        assert!(tier.lookup(p, 1, 0, 2).is_none());
+        assert!(tier.lookup(p, 1, 0, 2).is_none());
+        assert!(tier.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn shared_tier_ttl_expires_entries() {
+        let tier = SharedVerifyCache::new(
+            SharedCacheConfig::new(64)
+                .admit_immediately()
+                .with_ttl(Duration::ZERO),
+        );
+        let p = point_key_1d(0.0);
+        assert!(tier.publish(p, 1, 0, 1, shared_entry(0.0)));
+        assert_eq!(tier.len(), 1);
+        // Zero TTL: expired by the time any lookup sees it.
+        assert!(tier.lookup(p, 1, 0, 1).is_none());
+        assert!(tier.is_empty());
+        assert_eq!(tier.stats().expired, 1);
+    }
+
+    #[test]
+    fn shared_tier_segmented_lru_eviction_is_bounded() {
+        let tier = SharedVerifyCache::new(SharedCacheConfig::new(16).admit_immediately());
+        assert!(tier.segments() <= SHARED_SEGMENTS);
+        for i in 0..200u64 {
+            tier.publish(point_key_1d(i as f64), 1, 0, 1, shared_entry(i as f64));
+        }
+        // Per-segment LRU keeps the total at or under capacity.
+        assert!(tier.len() <= 16, "len {} exceeds capacity", tier.len());
+    }
+
+    #[test]
+    fn shared_tier_advance_version_walks_every_segment() {
+        let tier = SharedVerifyCache::new(SharedCacheConfig::new(256).admit_immediately());
+        // Spread entries across segments; all have horizon 3 around ~0.
+        for i in 0..32u64 {
+            let q = i as f64 * 0.001;
+            assert!(tier.publish(point_key_1d(q), 1, 0, 1, shared_entry(q)));
+        }
+        assert_eq!(tier.len(), 32);
+        // Far-away region: every entry survives, in every segment.
+        tier.advance_version(1, Some(&[Extent::new(vec![100.0], vec![101.0])]));
+        assert_eq!(tier.len(), 32);
+        assert!(tier.lookup(point_key_1d(0.0), 1, 1, 1).is_some());
+        assert!(
+            tier.lookup(point_key_1d(0.0), 1, 0, 1).is_none(),
+            "old version"
+        );
+        // Near region: every entry drops, in every segment.
+        tier.advance_version(2, Some(&[Extent::new(vec![0.5], vec![1.5])]));
+        assert!(tier.is_empty());
+        assert_eq!(tier.stats().region_evictions, 32);
+        // Unknown footprint clears.
+        assert!(tier.publish(point_key_1d(0.0), 1, 2, 1, shared_entry(0.0)));
+        tier.advance_version(3, None);
+        assert!(tier.is_empty());
+    }
+
+    #[test]
+    fn cached_query_outcome_memo_is_bounded_and_exact() {
+        use crate::pipeline::{PipelineConfig, QuerySpec};
+        use crate::Strategy;
+        let mut e = shared_entry(0.0);
+        let cfg = PipelineConfig::default();
+        let spec = QuerySpec::nn(0.3, 0.01, Strategy::Verified);
+        let key = OutcomeKey::new(&spec, &cfg);
+        assert!(e.outcome(&key).is_none());
+        e.record_outcome(key, Arc::new(Vec::new()));
+        assert!(e.outcome(&key).is_some());
+        // A different band misses; the threshold is keyed bit-exactly.
+        let other = OutcomeKey::new(&QuerySpec::nn(0.4, 0.01, Strategy::Verified), &cfg);
+        assert!(e.outcome(&other).is_none());
+        // MonteCarlo seeds are part of the band.
+        let mc1 = OutcomeKey::new(
+            &QuerySpec::nn(
+                0.3,
+                0.01,
+                Strategy::MonteCarlo {
+                    worlds: 64,
+                    seed: 1,
+                },
+            ),
+            &cfg,
+        );
+        let mc2 = OutcomeKey::new(
+            &QuerySpec::nn(
+                0.3,
+                0.01,
+                Strategy::MonteCarlo {
+                    worlds: 64,
+                    seed: 2,
+                },
+            ),
+            &cfg,
+        );
+        assert_ne!(mc1, mc2);
+        // The memo list is bounded, evicting oldest-first.
+        for i in 0..(OUTCOME_CAP + 2) {
+            let spec = QuerySpec::nn(0.01 + i as f64 * 0.05, 0.0, Strategy::Verified);
+            e.record_outcome(OutcomeKey::new(&spec, &cfg), Arc::new(Vec::new()));
+        }
+        assert!(e.outcome(&key).is_none(), "oldest band evicted");
     }
 }

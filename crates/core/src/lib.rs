@@ -86,9 +86,20 @@
 //! by quantized query point. Snapshot swaps invalidate it
 //! *incrementally*: only entries whose candidate horizon intersects an
 //! updated region drop ([`cache::VerifyCache::advance_version`]); the
-//! rest keep serving hits across versions. Verify/refine always re-run,
-//! so cached and uncached evaluation agree bit-for-bit
-//! (property-tested).
+//! rest keep serving hits across versions.
+//!
+//! Behind the per-thread cache sits an optional **shared tier**
+//! ([`cache::SharedVerifyCache`], enabled via [`PipelineConfig`]'s
+//! `shared_cache` knob): a lock-striped process-wide L2 that batch
+//! workers and server workers consult on local misses and publish local
+//! fills into, so one worker's miss warms every worker. Entries also
+//! memoize **verification outcomes** per exact (threshold, tolerance,
+//! strategy, config) band ([`cache::OutcomeKey`]) — a repeat query in a
+//! known band replays the memoized verdicts and bounds without touching
+//! verify or refine at all. Both layers are answer-invariant: cached,
+//! shared, and uncached evaluation agree bit-for-bit at quantum 0
+//! (property-tested in `tests/proptest_cache.rs` and
+//! `tests/proptest_shared_cache.rs`).
 //!
 //! ## Entry point
 //!
@@ -141,7 +152,10 @@ pub(crate) mod testutil;
 
 pub use batch::{BatchExecutor, BatchOutcome, BatchSummary};
 pub use bounds::ProbBound;
-pub use cache::{CacheConfig, CacheStats, VerifyCache};
+pub use cache::{
+    CacheConfig, CacheStats, OutcomeKey, SharedCacheConfig, SharedCacheStats, SharedVerifyCache,
+    VerifyCache,
+};
 pub use candidate::{CandidateMember, CandidateSet};
 pub use classify::{Classifier, Label};
 pub use distance::DistanceDistribution;

@@ -36,7 +36,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::bounds::ProbBound;
-use crate::cache::{CacheConfig, CacheStats, CachedQuery, VerifyCache};
+use crate::cache::{
+    CacheConfig, CacheStats, CachedQuery, OutcomeKey, SharedCacheConfig, SharedVerifyCache,
+    VerifyCache,
+};
 use crate::candidate::CandidateSet;
 use crate::classify::{Classifier, Label};
 use crate::distance::DistanceDistribution;
@@ -228,6 +231,13 @@ pub struct PipelineConfig {
     /// [`QueryScratch`] lazily grows a [`VerifyCache`] and the pipeline
     /// consults it transparently.
     pub cache: CacheConfig,
+    /// Process-wide shared cache tier (see
+    /// [`crate::cache::SharedVerifyCache`]): the L2 behind every
+    /// worker's per-thread cache. Only engages when `cache` is enabled
+    /// too — the execution surfaces (batch, server) build one tier and
+    /// attach it to each worker's scratch
+    /// ([`QueryScratch::attach_shared`]).
+    pub shared_cache: SharedCacheConfig,
 }
 
 impl Default for PipelineConfig {
@@ -237,6 +247,7 @@ impl Default for PipelineConfig {
             basic_tolerance: 1e-6,
             extended_verifiers: false,
             cache: CacheConfig::disabled(),
+            shared_cache: SharedCacheConfig::disabled(),
         }
     }
 }
@@ -334,6 +345,9 @@ pub struct QueryScratch {
     state: VerificationState,
     stages: Vec<StageReport>,
     cache: Option<VerifyCache>,
+    /// The process-wide L2 behind the per-thread cache, when the owning
+    /// execution surface attached one ([`attach_shared`](Self::attach_shared)).
+    shared: Option<Arc<SharedVerifyCache>>,
     /// Snapshot version to pin a lazily created cache to.
     snapshot_version: u64,
 }
@@ -360,6 +374,19 @@ impl QueryScratch {
             .as_ref()
             .map(VerifyCache::stats)
             .unwrap_or_default()
+    }
+
+    /// Attach the process-wide shared tier this scratch should consult on
+    /// local misses (and publish fresh fills into). Batch and server
+    /// surfaces call this once per worker; the tier only engages on
+    /// queries whose config also enables the per-thread cache.
+    pub fn attach_shared(&mut self, tier: Arc<SharedVerifyCache>) {
+        self.shared = Some(tier);
+    }
+
+    /// The attached shared tier, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedVerifyCache>> {
+        self.shared.as_ref()
     }
 
     /// Pin the snapshot version subsequent queries evaluate against.
@@ -461,7 +488,47 @@ pub fn cpnn_with<M: DistanceModel + ?Sized>(
             slot = Some((point, k));
         }
     }
+    // L2: a local miss consults the shared tier. A shared hit installs
+    // the entry into the local cache (so subsequent repeats on this
+    // worker stay lock-free) and reclassifies the counted miss.
+    let tier = scratch
+        .shared
+        .clone()
+        .filter(|_| cfg.shared_cache.is_enabled());
+    let total_objects = stats.total_objects;
+    let version = scratch.snapshot_version;
+    if hit.is_none() {
+        if let (Some((point, kk)), Some(tier)) = (slot, tier.as_ref()) {
+            if let Some(entry) = tier.lookup(point, kk, version, total_objects) {
+                if let Some(cache) = scratch.cache_mut(&cfg.cache) {
+                    cache.insert(point, kk, entry.clone());
+                    cache.promote_miss_to_shared_hit();
+                }
+                hit = Some(entry);
+            }
+        }
+    }
 
+    // Outcome memoization: an entry hit (either tier) whose entry has
+    // already been evaluated under this exact (spec, config) band replays
+    // the memoized reports — skipping verify *and* refine. Sound because
+    // the entry key pins (snapped point, k, version, source) and the
+    // outcome key pins every remaining input bit-exactly; strategies are
+    // deterministic functions of (candidates, spec, config).
+    let okey = slot.map(|_| OutcomeKey::new(spec, cfg));
+    if let (Some(entry), Some(okey)) = (hit.as_ref(), okey.as_ref()) {
+        if let Some(reports) = entry.outcome(okey) {
+            if let Some(cache) = scratch.cache_mut(&cfg.cache) {
+                cache.note_outcome_hit();
+            }
+            stats.candidates = entry.candidates().len();
+            return Ok(collect(reports.as_ref().clone(), stats));
+        }
+    }
+
+    // `fresh_coords` is `Some` exactly when filter + init ran here — the
+    // fill that should publish a complete entry upward afterwards.
+    let mut fresh_coords: Option<Option<Vec<f64>>> = None;
     let (cands, cached_table): (Arc<CandidateSet>, Option<Arc<SubregionTable>>) = match hit {
         Some(entry) => {
             stats.candidates = entry.candidates().len();
@@ -477,9 +544,10 @@ pub fn cpnn_with<M: DistanceModel + ?Sized>(
                     cache.insert(
                         point,
                         k,
-                        CachedQuery::for_query(Arc::clone(&cands), coords, k),
+                        CachedQuery::for_query(Arc::clone(&cands), coords.clone(), k),
                     );
                 }
+                fresh_coords = Some(coords);
             }
             (cands, None)
         }
@@ -491,12 +559,41 @@ pub fn cpnn_with<M: DistanceModel + ?Sized>(
         cfg,
         scratch,
         stats,
-        cached_table,
+        cached_table.clone(),
         &mut built_table,
     );
-    if let (Some((point, k)), Some(table)) = (slot, built_table) {
+    if let (Some((point, kk)), Ok(res)) = (slot, result.as_ref()) {
+        let okey = okey.expect("slot implies outcome key");
+        let reports = Arc::new(res.reports.clone());
+        // Local bookkeeping: attach the freshly built table and memoize
+        // this band's outcome on the entry.
         if let Some(cache) = scratch.cache_mut(&cfg.cache) {
-            cache.attach_table(point, k, table);
+            if let Some(table) = built_table.clone() {
+                cache.attach_table(point, kk, table);
+            }
+            cache.attach_outcome(point, kk, okey, Arc::clone(&reports));
+        }
+        // Shared bookkeeping: a fresh fill publishes the complete entry
+        // upward (admission control applies inside); an entry hit pushes
+        // just the new table/outcome onto the shared copy, if the tier
+        // holds one. A shared hit needs no republish of the entry itself.
+        if let Some(tier) = tier.as_ref() {
+            match fresh_coords {
+                Some(coords) => {
+                    let mut entry = CachedQuery::for_query(Arc::clone(&cands), coords, kk);
+                    if let Some(table) = built_table.or_else(|| cached_table.clone()) {
+                        entry.set_table(table);
+                    }
+                    entry.record_outcome(okey, reports);
+                    tier.publish(point, kk, version, total_objects, entry);
+                }
+                None => {
+                    if let Some(table) = built_table {
+                        tier.attach_table(point, kk, version, table);
+                    }
+                    tier.attach_outcome(point, kk, version, okey, reports);
+                }
+            }
         }
     }
     result

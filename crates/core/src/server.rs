@@ -41,6 +41,12 @@
 //!   candidate horizon intersects those regions
 //!   ([`crate::cache::VerifyCache::advance_version`]) instead of clearing
 //!   their whole cache.
+//! * **shared cache tier** — when the config enables both cache knobs,
+//!   all workers share one [`crate::cache::SharedVerifyCache`] L2: a
+//!   local miss consults it, a local fill publishes upward, so a query
+//!   warmed by one worker hits on every worker. Publishes fan the same
+//!   region-scoped invalidation out to every tier segment *before* the
+//!   new snapshot becomes visible.
 //! * **durability (opt-in)** — with a [`crate::storage::StorageBackend`]
 //!   [attached](QueryServer::attach_storage), every publish is made
 //!   durable **before** it becomes visible: coalesced bursts append one
@@ -99,6 +105,7 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::cache::SharedVerifyCache;
 use crate::error::CoreError;
 use crate::error::Result;
 use crate::object::ObjectId;
@@ -199,11 +206,21 @@ pub struct ServerStats {
     /// coalesced batches; direct [`QueryServer::insert`]/[`remove`](QueryServer::remove)
     /// calls are not counted here — they are their own swaps).
     pub applied_updates: u64,
-    /// Verification-cache hits across all workers (0 unless the server's
-    /// [`PipelineConfig`] enabled the cache; see [`crate::cache`]).
+    /// Local (per-worker) verification-cache hits across all workers (0
+    /// unless the server's [`PipelineConfig`] enabled the cache; see
+    /// [`crate::cache`]).
     pub cache_hits: u64,
-    /// Verification-cache misses across all workers.
+    /// Verification-cache misses across all workers (neither tier had
+    /// the entry).
     pub cache_misses: u64,
+    /// Local misses answered by the server's shared
+    /// [`SharedVerifyCache`] tier — state another worker computed and
+    /// published (0 unless `shared_cache` was enabled too). Attributed
+    /// to the worker that served the reply.
+    pub shared_hits: u64,
+    /// Entry hits that replayed a memoized verification outcome,
+    /// skipping verify/refine entirely.
+    pub outcome_hits: u64,
     /// Write-ahead journal records appended (0 unless a storage backend
     /// is [attached](QueryServer::attach_storage); one per durable burst
     /// or direct insert/remove).
@@ -280,8 +297,16 @@ struct Shared<M> {
     /// so [`QueryServer::stats`] reads are current.
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    shared_hits: AtomicU64,
+    outcome_hits: AtomicU64,
     wal_records: AtomicU64,
     checkpoints: AtomicU64,
+    /// The process-wide L2 every worker's scratch consults on local
+    /// misses, when the server's config enables both cache tiers. The
+    /// writer advances it inside [`publish`](Self::publish), *before*
+    /// the new snapshot becomes visible, so no worker is ever pinned to
+    /// a version whose segments have not been walked.
+    shared_cache: Option<Arc<SharedVerifyCache>>,
 }
 
 impl<M> Shared<M> {
@@ -297,6 +322,14 @@ impl<M> Shared<M> {
     /// journal (`None` = unknown, forces full cache clears downstream).
     fn publish(&self, next: Snapshot<M>, regions: Option<Vec<Extent>>) {
         let version = next.version;
+        // Fan the invalidation out to the shared cache tier *before* the
+        // snapshot swap: workers only evaluate at the new version after
+        // the swap lands, so by then every segment has been walked (a
+        // racing publish into an already-walked segment carries the old
+        // version and is dropped by the per-segment version check).
+        if let Some(tier) = &self.shared_cache {
+            tier.advance_version(version, regions.as_deref());
+        }
         // Journal *before* swapping the snapshot in: a worker can pin
         // whatever sits behind `current` the moment the swap lands (it
         // re-pins on any version movement, not just this one), so the
@@ -406,6 +439,10 @@ where
         } else {
             threads
         };
+        // One shared L2 tier per server, started at the initial version
+        // so recovered servers keep one coherent version sequence.
+        let shared_cache = (cfg.cache.is_enabled() && cfg.shared_cache.is_enabled())
+            .then(|| Arc::new(SharedVerifyCache::new_at(cfg.shared_cache, initial_version)));
         let shared = Arc::new(Shared {
             current: Mutex::new(Snapshot {
                 version: initial_version,
@@ -420,8 +457,11 @@ where
             applied_updates: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            shared_hits: AtomicU64::new(0),
+            outcome_hits: AtomicU64::new(0),
             wal_records: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            shared_cache,
         });
         let (tx, rx) = mpsc::channel::<Job<M>>();
         let rx = Arc::new(Mutex::new(rx));
@@ -694,6 +734,8 @@ impl<M: DistanceModel> QueryServer<M> {
             applied_updates: self.shared.applied_updates.load(Ordering::Relaxed),
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.shared.cache_misses.load(Ordering::Relaxed),
+            shared_hits: self.shared.shared_hits.load(Ordering::Relaxed),
+            outcome_hits: self.shared.outcome_hits.load(Ordering::Relaxed),
             wal_records: self.shared.wal_records.load(Ordering::Relaxed),
             checkpoints: self.shared.checkpoints.load(Ordering::Relaxed),
         }
@@ -835,6 +877,12 @@ where
     M: DistanceModel,
 {
     let mut scratch = QueryScratch::new();
+    // Every worker consults the same shared L2 on local misses; shared
+    // hits flush through *this* worker's counters, so they are
+    // attributed to the worker that served the reply.
+    if let Some(tier) = &shared.shared_cache {
+        scratch.attach_shared(Arc::clone(tier));
+    }
     // Last cache counters flushed to `shared` (deltas go out after every
     // job so `stats()` reads stay current).
     let mut flushed = crate::cache::CacheStats::default();
@@ -910,6 +958,12 @@ fn flush_cache_counters<M>(
     shared
         .cache_misses
         .fetch_add(now.misses - flushed.misses, Ordering::Relaxed);
+    shared
+        .shared_hits
+        .fetch_add(now.shared_hits - flushed.shared_hits, Ordering::Relaxed);
+    shared
+        .outcome_hits
+        .fetch_add(now.outcome_hits - flushed.outcome_hits, Ordering::Relaxed);
     *flushed = now;
 }
 
