@@ -26,7 +26,7 @@ use cpnn_bench::report::Table;
 /// The PR this tree's timings belong to. The default timing file is
 /// derived from it, so each PR's trajectory lands in its own
 /// `BENCH_pr<N>.json` (override any single run with `--bench-json PATH`).
-const CURRENT_PR: u32 = 8;
+const CURRENT_PR: u32 = 9;
 
 /// The current series file: `BENCH_pr<CURRENT_PR>.json`.
 fn current_series() -> String {
@@ -58,7 +58,7 @@ fn main() {
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] [--bench-json FILE (default {})] \
                      [fig9|fig10|fig11|fig12|fig13|fig14|table3|ablations|batch|serve|shard|\
-                     knn2d|cache|update|verify|recovery|all ...]",
+                     knn2d|cache|update|verify|recovery|router|all ...]",
                     current_series()
                 );
                 return;
@@ -87,6 +87,7 @@ fn main() {
         "update",
         "verify",
         "recovery",
+        "router",
     ];
     if let Some(unknown) = wanted.iter().find(|w| !KNOWN.contains(&w.as_str())) {
         eprintln!(
@@ -180,6 +181,9 @@ fn main() {
     }
     if want("recovery") {
         run("recovery", &experiments::recovery::run, &mut produced);
+    }
+    if want("router") {
+        run("router", &experiments::router::run, &mut produced);
     }
 
     for (t, _) in &produced {

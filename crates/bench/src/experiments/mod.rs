@@ -13,6 +13,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod knn2d;
 pub mod recovery;
+pub mod router;
 pub mod serve;
 pub mod shard;
 pub mod table3;

@@ -31,6 +31,7 @@ use cpnn_datagen::{
 };
 
 mod args;
+mod distributed;
 
 use args::{ArgBag, UsageError};
 
@@ -60,6 +61,9 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "knn2d" => knn2d(&mut bag),
         "range" => range(&mut bag),
         "serve" => serve(&mut bag),
+        "shard-split" => distributed::shard_split(&mut bag),
+        "shard-serve" => distributed::shard_serve(&mut bag),
+        "route" => distributed::route(&mut bag),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -114,7 +118,23 @@ fn print_usage() {
          \x20                                              ahead journal) and recovers from DIR\n\
          \x20                                              on restart (FILE then only seeds a\n\
          \x20                                              fresh DIR); `serve help` for the\n\
-         \x20                                              protocol"
+         \x20                                              protocol\n\
+         \x20 shard-split FILE --out DIR [--shards N]      partition a dataset into per-shard\n\
+         \x20             [--shard-balance width|quantile] durable data dirs (DIR/shard{{i}})\n\
+         \x20                                              plus a DIR/shards.cpsm map for\n\
+         \x20                                              `route`\n\
+         \x20 shard-serve DIR [--listen ADDR] [--threads T] [--checkpoint-every N]\n\
+         \x20                                              host one shard as its own process:\n\
+         \x20                                              recover DIR (checkpoint + journal),\n\
+         \x20                                              serve filter/update frames on a\n\
+         \x20                                              socket (default DIR/shard.sock)\n\
+         \x20                                              until killed; restart to recover\n\
+         \x20 route MAPFILE [--queries FILE] [--timeout-ms N] [--retries N] [--backoff-ms N]\n\
+         \x20                                              query router over shard processes:\n\
+         \x20                                              same line protocol as `serve`, with\n\
+         \x20                                              horizon-pruned fan-out, router-side\n\
+         \x20                                              verification, and typed `unavailable`\n\
+         \x20                                              degradation when a shard dies"
     );
 }
 

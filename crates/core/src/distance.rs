@@ -86,6 +86,23 @@ impl DistanceDistribution {
         })
     }
 
+    /// Wrap an already-folded distance histogram — the decode half of the
+    /// distributed-serving wire codec.
+    ///
+    /// A shard process folds its objects' pdfs locally
+    /// ([`from_pdf`](Self::from_pdf)) and ships the resulting histogram's
+    /// raw parts; the router reassembles it through
+    /// [`HistogramPdf::from_raw_parts`] (which validates every histogram
+    /// invariant without renormalizing) and wraps it here. Because the
+    /// round trip preserves every `f64` bit, a routed candidate's
+    /// distribution compares equal to the one a single-process
+    /// [`ShardedDb`](crate::shard::ShardedDb) would have built, which is
+    /// what makes routed answers bit-identical to local ones
+    /// (property-tested in `crates/router/tests/proptest_router.rs`).
+    pub fn from_histogram(hist: HistogramPdf) -> Self {
+        Self { hist }
+    }
+
     /// Re-bin onto at most `max_bins` equal-width bins (mass-preserving at
     /// the new edges). This is the paper's "represent a distance pdf as a
     /// histogram" step: it bounds the number of subregion endpoints, trading

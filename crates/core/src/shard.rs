@@ -486,36 +486,60 @@ impl<M: ShardableModel> ShardedDb<M> {
     where
         M::Query: ShardPoint,
     {
-        let k = k.max(1);
-        // (mindist, maxdist, object count, shard index) per non-empty shard.
-        let info: Vec<(f64, f64, usize, usize)> = self
+        let summaries: Vec<(Option<Extent>, usize)> = self
             .shards
             .iter()
-            .enumerate()
-            .filter_map(|(i, s)| {
-                s.model_extent()
-                    .map(|e| (e.mindist(q), e.maxdist(q), s.total_objects(), i))
-            })
+            .map(|s| (s.model_extent(), s.total_objects()))
             .collect();
-        let mut by_far: Vec<(f64, usize)> = info.iter().map(|&(_, far, c, _)| (far, c)).collect();
-        by_far.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut h0 = f64::INFINITY;
-        let mut seen = 0usize;
-        for (far, count) in by_far {
-            seen += count;
-            if seen >= k {
-                h0 = far;
-                break;
-            }
-        }
-        let mut selected: Vec<(f64, usize)> = info
-            .into_iter()
-            .filter(|&(near, _, _, _)| near <= h0)
-            .map(|(near, _, _, i)| (near, i))
-            .collect();
-        selected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        selected
+        select_overlapping(&summaries, q, k)
     }
+}
+
+/// Shard selection over `(extent, object count)` summaries — the shared
+/// core of [`ShardedDb::overlapping`] and the socket router's fan-out
+/// pruning (`cpnn-router`), which runs the **same algorithm** over
+/// summaries reported by remote shard processes so that routed and local
+/// queries visit identical shard sets in an identical order.
+///
+/// `shards[i]` describes shard `i`: its exact extent (`None` when empty —
+/// empty shards are never selected) and its object count. Returns the
+/// `(mindist, shard index)` pairs a `k`-NN query at `q` must visit,
+/// sorted ascending by distance bound (ties by shard index). See
+/// [`ShardedDb::overlapping`] for the horizon argument.
+pub fn select_overlapping<P: ShardPoint>(
+    shards: &[(Option<Extent>, usize)],
+    q: &P,
+    k: usize,
+) -> Vec<(f64, usize)> {
+    let k = k.max(1);
+    // (mindist, maxdist, object count, shard index) per non-empty shard.
+    let info: Vec<(f64, f64, usize, usize)> = shards
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (extent, count))| {
+            extent
+                .as_ref()
+                .map(|e| (e.mindist(q), e.maxdist(q), *count, i))
+        })
+        .collect();
+    let mut by_far: Vec<(f64, usize)> = info.iter().map(|&(_, far, c, _)| (far, c)).collect();
+    by_far.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut h0 = f64::INFINITY;
+    let mut seen = 0usize;
+    for (far, count) in by_far {
+        seen += count;
+        if seen >= k {
+            h0 = far;
+            break;
+        }
+    }
+    let mut selected: Vec<(f64, usize)> = info
+        .into_iter()
+        .filter(|&(near, _, _, _)| near <= h0)
+        .map(|(near, _, _, i)| (near, i))
+        .collect();
+    selected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    selected
 }
 
 /// Copy-on-write successors touching only the owning shard: the
@@ -657,8 +681,11 @@ where
 }
 
 /// Index of the slab whose `[bounds[i], bounds[i+1])` interval holds
-/// `center`, clamped into `[0, n)`.
-fn slab_of(bounds: &[f64], center: f64) -> usize {
+/// `center`, clamped into `[0, n)` — the routing key shared by
+/// [`ShardedDb`] inserts and the socket router (`cpnn-router`), which
+/// must route an insert to the same shard process the in-process
+/// database would have path-copied.
+pub fn slab_of(bounds: &[f64], center: f64) -> usize {
     let n = bounds.len() - 1;
     let i = bounds.partition_point(|b| *b <= center);
     i.saturating_sub(1).min(n.saturating_sub(1))

@@ -40,6 +40,15 @@ pub enum PdfError {
         /// Actual length.
         actual: usize,
     },
+    /// A cdf knot sequence was not a valid cumulative distribution
+    /// (non-monotone, outside `[0, 1]`, or inconsistent with its bar
+    /// masses).
+    InvalidCdf {
+        /// Index of the first offending cdf knot.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for PdfError {
@@ -61,6 +70,9 @@ impl fmt::Display for PdfError {
                 )
             }
             PdfError::ZeroMass => write!(f, "pdf has zero total mass; cannot normalize"),
+            PdfError::InvalidCdf { index, value } => {
+                write!(f, "invalid cdf knot {value} at index {index}")
+            }
             PdfError::LengthMismatch { expected, actual } => {
                 write!(f, "length mismatch: expected {expected}, got {actual}")
             }

@@ -79,6 +79,79 @@ impl HistogramPdf {
         Self::from_densities(vec![lo, hi], vec![1.0])
     }
 
+    /// Reassemble a histogram from the exact parts a previous instance
+    /// exposed through [`edges`](Self::edges), [`densities`](Self::densities),
+    /// and [`cdf_at_edges`](Self::cdf_at_edges) — the transport codec for
+    /// shipping an already-normalized histogram across a process boundary
+    /// **bit for bit**.
+    ///
+    /// Unlike [`from_densities`](Self::from_densities) this constructor
+    /// never renormalizes (renormalizing divides every density by the
+    /// computed mass, which is not an identity in floating point even for
+    /// an already-normalized histogram) and never re-accumulates the cdf;
+    /// every invariant is *checked* instead: edges strictly increasing and
+    /// finite, densities non-negative and finite, cdf knots a monotone
+    /// sequence in `[0, 1]` starting at 0, ending at exactly 1, and
+    /// consistent with the bar masses to within accumulation rounding.
+    /// `parts → from_raw_parts → accessors` is the identity, so a decoded
+    /// distribution compares equal (`PartialEq` on the raw `f64` vectors)
+    /// to the one encoded.
+    pub fn from_raw_parts(edges: Vec<f64>, density: Vec<f64>, cdf: Vec<f64>) -> Result<Self> {
+        Self::validate_edges(&edges)?;
+        if density.len() + 1 != edges.len() {
+            return Err(PdfError::LengthMismatch {
+                expected: edges.len() - 1,
+                actual: density.len(),
+            });
+        }
+        for (i, &d) in density.iter().enumerate() {
+            if !(d >= 0.0) || !d.is_finite() {
+                return Err(PdfError::InvalidDensity { index: i, value: d });
+            }
+        }
+        if cdf.len() != edges.len() {
+            return Err(PdfError::LengthMismatch {
+                expected: edges.len(),
+                actual: cdf.len(),
+            });
+        }
+        if cdf[0] != 0.0 {
+            return Err(PdfError::InvalidCdf {
+                index: 0,
+                value: cdf[0],
+            });
+        }
+        if *cdf.last().expect("cdf has >= 2 knots") != 1.0 {
+            return Err(PdfError::InvalidCdf {
+                index: cdf.len() - 1,
+                value: *cdf.last().expect("cdf has >= 2 knots"),
+            });
+        }
+        for (i, w) in cdf.windows(2).enumerate() {
+            if !w[1].is_finite() || w[1] < w[0] || w[1] > 1.0 {
+                return Err(PdfError::InvalidCdf {
+                    index: i + 1,
+                    value: w[1],
+                });
+            }
+            // The step must match the bar mass up to accumulation rounding
+            // (`accumulate` sums `d·width` in order; a foreign cdf that
+            // disagrees beyond rounding is not this histogram's cdf).
+            let mass = density[i] * (edges[i + 1] - edges[i]);
+            if (w[1] - w[0] - mass).abs() > 1e-9 + 1e-9 * mass.abs() {
+                return Err(PdfError::InvalidCdf {
+                    index: i + 1,
+                    value: w[1],
+                });
+            }
+        }
+        Ok(Self {
+            edges,
+            density,
+            cdf,
+        })
+    }
+
     /// Equi-width histogram over `[lo, hi]` whose bar masses are the
     /// integrals of `f` over each bin (Gauss–Legendre order 8 per bin),
     /// normalized to total mass one.
