@@ -133,10 +133,33 @@ fn coalesced_latency(db: &ShardedDb<UncertainDb>, rounds: usize) -> Duration {
     total / ops.max(1) as u32
 }
 
+/// Post-workload R-tree quality counters, aggregated over every shard of
+/// the server's final snapshot: total node count, and the average leaf
+/// fill factor (leaf entries / leaf capacity).
+fn index_quality(db: &ShardedDb<UncertainDb>) -> (usize, f64) {
+    let mut stats = cpnn_core::TreeStats::default();
+    let mut max_entries = 0;
+    for s in 0..db.num_shards() {
+        let model = db.shard_model(s);
+        let t = model.index_stats();
+        stats.nodes += t.nodes;
+        stats.leaves += t.leaves;
+        stats.leaf_entries += t.leaf_entries;
+        max_entries = max_entries.max(model.index_params().max_entries);
+    }
+    (stats.nodes, stats.leaf_fill(max_entries))
+}
+
 /// Sustained mixed read/write throughput: a read-heavy stream (15 : 1)
 /// with queued updates flushed per burst, through a multi-worker server.
-/// Returns queries per second of wall-clock time.
-fn mixed_throughput(db: &ShardedDb<UncertainDb>, n_queries: usize, threads: usize) -> f64 {
+/// Returns queries per second of wall-clock time, plus the post-workload
+/// [`index_quality`] counters of the final snapshot (how healthy the
+/// persistent R-tree is after the update churn).
+fn mixed_throughput(
+    db: &ShardedDb<UncertainDb>,
+    n_queries: usize,
+    threads: usize,
+) -> (f64, usize, f64) {
     let server = QueryServer::start(db.clone(), threads, db.pipeline_config());
     let points = query_points(0x0DDC0DE, n_queries);
     let spec = QuerySpec::nn(DEFAULT_P, DEFAULT_DELTA, Strategy::Verified);
@@ -163,8 +186,10 @@ fn mixed_throughput(db: &ShardedDb<UncertainDb>, n_queries: usize, threads: usiz
         assert!(t.wait().result.is_ok());
     }
     let wall = start.elapsed();
+    let (nodes, leaf_fill) = index_quality(&server.snapshot().model);
     server.shutdown();
-    n_queries as f64 / wall.as_secs_f64().max(1e-9)
+    let qps = n_queries as f64 / wall.as_secs_f64().max(1e-9);
+    (qps, nodes, leaf_fill)
 }
 
 /// Run the experiment. Rows sweep |T| × shard count; columns compare the
@@ -195,6 +220,8 @@ pub fn run(quick: bool) -> Table {
             "speedup",
             "coalesced (µs/op)",
             "mixed q/s",
+            "rtree nodes",
+            "leaf fill",
         ],
     );
     table.note(format!(
@@ -204,7 +231,9 @@ pub fn run(quick: bool) -> Table {
          coalesced bursts are {BURST} queued ops per flush (one publish \
          each); mixed streams {n_queries} VR queries (P = {DEFAULT_P}, \
          Δ = {DEFAULT_DELTA}) with 1 flushed update per 15 queries on \
-         {threads} worker thread(s); {reps} reps per latency cell"
+         {threads} worker thread(s); {reps} reps per latency cell; \
+         rtree nodes / leaf fill are post-workload counters of the final \
+         snapshot's shard indexes (avg leaf entries over leaf capacity)"
     ));
     for &size in sizes {
         let objects = db_of(size);
@@ -214,7 +243,7 @@ pub fn run(quick: bool) -> Table {
             let rebuild = rebuild_latency(&db, reps);
             let path = path_copy_latency(&db, reps);
             let coalesced = coalesced_latency(&db, rounds);
-            let qps = mixed_throughput(&db, n_queries, threads);
+            let (qps, nodes, leaf_fill) = mixed_throughput(&db, n_queries, threads);
             let rebuild_us = rebuild.as_secs_f64() * 1e6;
             let path_us = path.as_secs_f64() * 1e6;
             table.push_row(vec![
@@ -225,6 +254,8 @@ pub fn run(quick: bool) -> Table {
                 format!("{:.1}x", rebuild_us / path_us.max(1e-9)),
                 format!("{:.1}", coalesced.as_secs_f64() * 1e6),
                 format!("{qps:.0}"),
+                nodes.to_string(),
+                format!("{leaf_fill:.3}"),
             ]);
         }
     }

@@ -21,6 +21,7 @@ use cpnn_core::exact::subregion_qualification;
 use cpnn_core::framework::{default_verifiers, run_verification_into};
 use cpnn_core::refine::incremental_refine_with;
 use cpnn_core::verifiers::reference::reference_verifiers;
+use cpnn_core::verifiers::simd::{active_tier, force_tier, SimdTier};
 use cpnn_core::verifiers::{kernels, VerificationState, Verifier};
 use cpnn_core::{CandidateSet, ObjectId, RefinementOrder, SubregionTable, UncertainObject};
 
@@ -73,8 +74,10 @@ fn time_pass(
     best
 }
 
-/// Run the kernel-vs-legacy grid. Columns: |C|, M, legacy and kernel best
-/// pass times, and the kernel speedup (legacy / kernel).
+/// Run the kernel-vs-legacy grid. Columns: |C|, M, the table build-only
+/// time (the cache-blocked `SubregionTable::build`), the legacy pass, the
+/// kernel pass at forced-scalar dispatch, the kernel pass at the host's
+/// best SIMD tier, the simd-over-scalar speedup, and the dispatched tier.
 pub fn run(quick: bool) -> Table {
     let sizes: Vec<usize> = if quick {
         vec![16, 64, 128]
@@ -85,17 +88,37 @@ pub fn run(quick: bool) -> Table {
     let reps = if quick { 15 } else { 40 };
     let mut table = Table::new(
         "Verify",
-        "verification-kernel vs legacy-path time per query (verify + refine)",
-        &["|C|", "M", "legacy (ms)", "kernel (ms)", "kernel speedup"],
+        "verification-kernel vs legacy-path time per query (build / verify + refine)",
+        &[
+            "|C|",
+            "M",
+            "build (ms)",
+            "legacy (ms)",
+            "kernel scalar (ms)",
+            "kernel simd (ms)",
+            "simd speedup",
+            "tier",
+        ],
     );
     table.note(format!(
         "best of {reps} passes; chain RS, L-SR, U-SR + incremental refinement at P = 1/|C|, Δ = 0.01; \
-         legacy = verifiers::reference + naive integrand, kernel = verifiers::kernels"
+         legacy = verifiers::reference + naive integrand, kernel = verifiers::kernels; \
+         build = cache-blocked SubregionTable::build only; scalar = CPNN_SIMD=off dispatch, \
+         simd = auto dispatch; bit-identical outputs at every tier (tests/proptest_kernels.rs)"
     ));
     for &c in &sizes {
         for &g in &groups {
             let cands = candidate_set(c, g);
+            // Build-only lane: best-of-reps table construction (untimed
+            // first build warms the allocator).
             let sub = SubregionTable::build(&cands);
+            let mut build = Duration::MAX;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let t = std::hint::black_box(SubregionTable::build(&cands));
+                build = build.min(start.elapsed());
+                drop(t);
+            }
             let classifier = Classifier::new(1.0 / c as f64, 0.01).expect("valid classifier");
             let mut state = VerificationState::new(&sub);
             let legacy_chain = reference_verifiers();
@@ -108,7 +131,17 @@ pub fn run(quick: bool) -> Table {
                 |i, j, _| subregion_qualification(&sub, i, j),
             );
             let kernel_chain = default_verifiers();
-            let kernel = time_pass(
+            force_tier(Some(SimdTier::Scalar));
+            let scalar = time_pass(
+                &sub,
+                &classifier,
+                &kernel_chain,
+                &mut state,
+                reps,
+                |i, j, s| kernels::nn_qualification(&sub, i, j, s),
+            );
+            force_tier(None);
+            let simd = time_pass(
                 &sub,
                 &classifier,
                 &kernel_chain,
@@ -119,12 +152,15 @@ pub fn run(quick: bool) -> Table {
             table.push_row(vec![
                 c.to_string(),
                 sub.subregion_count().to_string(),
+                ms(build),
                 ms(legacy),
-                ms(kernel),
+                ms(scalar),
+                ms(simd),
                 format!(
                     "{:.2}x",
-                    legacy.as_secs_f64() / kernel.as_secs_f64().max(1e-12)
+                    scalar.as_secs_f64() / simd.as_secs_f64().max(1e-12)
                 ),
+                active_tier().name().to_string(),
             ]);
         }
     }

@@ -140,6 +140,14 @@ impl DistanceDistribution {
         self.hist.cdf_many_into(rs, out);
     }
 
+    /// Resumable chunk form of [`Self::cdf_many_into`]: evaluate one
+    /// ascending chunk, continuing the histogram merge from bin `*bin`.
+    /// Chunked calls over a split slice are bit-identical to one whole-slice
+    /// call — see [`HistogramPdf::cdf_many_resume`].
+    pub fn cdf_many_resume(&self, rs: &[f64], bin: &mut usize, out: &mut [f64]) {
+        self.hist.cdf_many_resume(rs, bin, out);
+    }
+
     /// Distance pdf `di(r)`.
     pub fn density(&self, r: f64) -> f64 {
         self.hist.density(r)

@@ -201,6 +201,18 @@ impl UncertainDb {
         Self::with_config(objects, EngineConfig::default())
     }
 
+    /// Structural quality counters of the spatial index (node and leaf
+    /// counts, leaf occupancy) — index-health diagnostics for sustained
+    /// update workloads.
+    pub fn index_stats(&self) -> cpnn_rtree::TreeStats {
+        self.store.index().stats()
+    }
+
+    /// The spatial index's fan-out parameters (for fill-factor reporting).
+    pub fn index_params(&self) -> cpnn_rtree::Params {
+        self.store.index().params()
+    }
+
     /// Partition `objects` into a domain-sharded database
     /// ([`ShardedDb`]): each shard owns its own R-tree, queries fan out
     /// only to overlapping shards, and updates path-copy only the owning

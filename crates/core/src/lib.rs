@@ -158,6 +158,7 @@ pub use cache::{
 };
 pub use candidate::{CandidateMember, CandidateSet};
 pub use classify::{Classifier, Label};
+pub use cpnn_rtree::TreeStats;
 pub use distance::DistanceDistribution;
 pub use distance2d::{cpnn_2d, pnn_2d, CircleObject, Cpnn2dResult};
 pub use engine::{

@@ -25,6 +25,14 @@ use crate::candidate::CandidateSet;
 /// (the paper's `U_k ∩ S_j ≠ ∅` membership test).
 pub const MASS_EPS: f64 = 1e-12;
 
+/// End-point columns per block of the cache-blocked table fill. One block
+/// of cdf columns touches `BUILD_BLOCK · 8 B = 2 KiB` per object row slot,
+/// and consecutive members land in the same cache lines (column-major), so
+/// the scatter working set (~16 KiB of distinct lines for 8-member groups)
+/// stays L1-resident across all candidates instead of streaming one full
+/// `L+1`-column row per member through the cache.
+const BUILD_BLOCK: usize = 256;
+
 /// The subregion table: end-points plus the `(s_ij, D_i(e_j))` pairs of
 /// Fig. 7(b).
 ///
@@ -108,19 +116,46 @@ impl SubregionTable {
         let mut mass = vec![0.0; n * l];
         let mut cdf = vec![0.0; n * (l + 1)];
         let mut rightmost = vec![0.0; n];
-        // Per object: one sorted merge pass over the distance histogram
-        // (cdf_many_into) instead of an independent binary search per
-        // end-point, then scatter the row into the column-major arrays.
-        let mut row: Vec<f64> = Vec::with_capacity(l + 1);
-        for (i, member) in candidates.members().iter().enumerate() {
-            member.dist.cdf_many_into(&endpoints, &mut row);
-            for j in 0..=l {
-                cdf[j * n + i] = row[j];
+        // Cache-blocked fill: sweep the end-points in BUILD_BLOCK-column
+        // chunks across *all* members before advancing, resuming each
+        // member's sorted histogram merge from a per-member bin cursor
+        // (cdf_many_resume). Chunked evaluation is bit-identical to one
+        // full cdf_many_into row per member, and the column-major scatter
+        // now reuses L1-resident lines across consecutive members.
+        let cols = l + 1;
+        let mut cursors = vec![0usize; n];
+        // Per member: the last cdf value of the previous block, so the mass
+        // column straddling a block boundary needs no second pass.
+        let mut prev = vec![0.0f64; n];
+        let mut block = [0.0f64; BUILD_BLOCK];
+        let mut j0 = 0;
+        while j0 < cols {
+            let j1 = (j0 + BUILD_BLOCK).min(cols);
+            let xs = &endpoints[j0..j1];
+            for (i, member) in candidates.members().iter().enumerate() {
+                let out = &mut block[..j1 - j0];
+                member.dist.cdf_many_resume(xs, &mut cursors[i], out);
+                // Scatter the cdf chunk and fold the mass differences in
+                // while the chunk is still in registers/L1 — the exact
+                // expressions of the old row-at-a-time fill, on exactly the
+                // old row values, so every output is bit-equal.
+                for (dj, &v) in out.iter().enumerate() {
+                    cdf[(j0 + dj) * n + i] = v;
+                }
+                if j0 > 0 {
+                    mass[(j0 - 1) * n + i] = (out[0] - prev[i]).max(0.0);
+                }
+                for dj in 0..j1 - j0 - 1 {
+                    mass[(j0 + dj) * n + i] = (out[dj + 1] - out[dj]).max(0.0);
+                }
+                prev[i] = out[j1 - j0 - 1];
             }
-            for j in 0..l {
-                mass[j * n + i] = (row[j + 1] - row[j]).max(0.0);
-            }
-            rightmost[i] = (1.0 - row[l]).max(0.0);
+            j0 = j1;
+        }
+        // After the last block `prev[i]` holds `D_i(e_L)` — the rightmost
+        // column — for every member.
+        for i in 0..n {
+            rightmost[i] = (1.0 - prev[i]).max(0.0);
         }
         // Column-major mass makes the membership count a contiguous scan.
         let counts = mass
@@ -189,6 +224,13 @@ impl SubregionTable {
     /// `i` is `s_ij`.
     pub fn mass_col(&self, j: usize) -> &[f64] {
         &self.mass[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Full column-major cdf array — all `L + 1` end-point columns
+    /// contiguous (`cdf_all()[j·n + i] = D_i(e_j)`). Input for the
+    /// multi-column SIMD survival-product builder.
+    pub(crate) fn cdf_all(&self) -> &[f64] {
+        &self.cdf
     }
 
     /// Rightmost-subregion probability `s_{iM} = 1 − D_i(fmin)`.
@@ -332,6 +374,62 @@ mod tests {
                 assert!((t.cdf_interp(i, j, 1.0) - t.cdf_at(i, j + 1)).abs() < 1e-12);
             }
         }
+    }
+
+    /// Per-member one-shot reference for the blocked fill: every cdf, mass,
+    /// and rightmost cell must be bit-equal to one whole-row
+    /// `cdf_many_into` pass per member (the pre-blocking implementation).
+    fn assert_build_matches_row_reference(
+        t: &SubregionTable,
+        cands: &crate::candidate::CandidateSet,
+    ) {
+        let l = t.left_regions();
+        let mut row = Vec::new();
+        for (i, member) in cands.members().iter().enumerate() {
+            member.dist.cdf_many_into(t.endpoints(), &mut row);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(t.cdf_at(i, j).to_bits(), v.to_bits(), "cdf ({i},{j})");
+            }
+            for j in 0..l {
+                let want = (row[j + 1] - row[j]).max(0.0);
+                assert_eq!(t.mass(i, j).to_bits(), want.to_bits(), "mass ({i},{j})");
+            }
+            let want = (1.0 - row[l]).max(0.0);
+            assert_eq!(t.rightmost(i).to_bits(), want.to_bits(), "rightmost {i}");
+        }
+    }
+
+    #[test]
+    fn blocked_build_matches_row_reference_bitwise() {
+        let (cands, _) = fig7_scenario();
+        let t = SubregionTable::build(&cands);
+        assert_build_matches_row_reference(&t, &cands);
+    }
+
+    #[test]
+    fn blocked_build_spans_multiple_blocks_bitwise() {
+        // Enough staggered near points that the end-point list crosses at
+        // least one BUILD_BLOCK boundary, so the resumable cursors carry
+        // real state between blocks.
+        let objects: Vec<_> = (0..300u32)
+            .map(|k| {
+                let lo = 1.0 + k as f64 * 0.01;
+                crate::object::UncertainObject::uniform(
+                    crate::object::ObjectId(k as u64),
+                    lo,
+                    lo + 5.0,
+                )
+                .unwrap()
+            })
+            .collect();
+        let cands = crate::candidate::CandidateSet::build(&objects, 0.0, 0).unwrap();
+        let t = SubregionTable::build(&cands);
+        assert!(
+            t.left_regions() + 1 > super::BUILD_BLOCK,
+            "scenario too small to cross a block boundary: {} cols",
+            t.left_regions() + 1
+        );
+        assert_build_matches_row_reference(&t, &cands);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use cpnn_pdf::integrate::{gauss_legendre, GlOrder};
 
 use crate::subregion::{SubregionTable, MASS_EPS};
-use crate::verifiers::ExcludeOneProduct;
+use crate::verifiers::{simd, ExcludeOneProduct};
 
 /// Reusable kernel buffers, threaded through the pipeline inside
 /// [`crate::verifiers::VerificationState`] (and hence per-query scratch).
@@ -57,6 +57,16 @@ pub struct KernelScratch {
     pub(crate) coef_mass: Vec<f64>,
     /// Refinement visit order (indices of massive subregions).
     pub(crate) regions: Vec<usize>,
+    /// SIMD staging buffer: per-object `q_ij` values for the current
+    /// end-point column, filled by the vector kernels of
+    /// [`crate::verifiers::simd`] and consumed by the scalar
+    /// label/mass-gated application loops. Pool-reused like every other
+    /// scratch buffer (`Vec<f64>` is 8-byte aligned; the kernels use
+    /// explicitly unaligned loads, penalty-free on every SSE2+ micro-arch).
+    pub(crate) q_col: Vec<f64>,
+    /// Second SIMD staging buffer (SR-k stages lower and upper tails for
+    /// the same column pair in one pass).
+    pub(crate) q_hi_col: Vec<f64>,
 }
 
 /// Upper size (in `f64`s per half-table) of the shared survival product
@@ -84,8 +94,7 @@ impl KernelScratch {
     /// flag) or the table exceeds [`SHARED_PRODUCTS_MAX`] (returns `false`;
     /// callers then recompute per column). Each column runs the exact
     /// multiplication chain of [`ExcludeOneProduct::recompute_survival`], so
-    /// [`Self::col_parts`] feeds inner loops bit-identical products either
-    /// way.
+    /// the staging kernels consume bit-identical products either way.
     pub(crate) fn try_shared_products(&mut self, table: &SubregionTable) -> bool {
         let n = table.n_objects();
         let cols = table.left_regions() + 1;
@@ -101,34 +110,142 @@ impl KernelScratch {
         self.col_prefix.resize(cols * stride, 0.0);
         self.col_suffix.clear();
         self.col_suffix.resize(cols * stride, 0.0);
-        for j in 0..cols {
-            let cdf = table.cdf_col(j);
-            let prefix = &mut self.col_prefix[j * stride..(j + 1) * stride];
-            prefix[0] = 1.0;
-            let mut acc = 1.0;
-            for (i, &c) in cdf.iter().enumerate() {
-                acc *= 1.0 - c;
-                prefix[i + 1] = acc;
-            }
-            let suffix = &mut self.col_suffix[j * stride..(j + 1) * stride];
-            suffix[n] = 1.0;
-            for i in (0..n).rev() {
-                suffix[i] = (1.0 - cdf[i]) * suffix[i + 1];
-            }
-        }
+        // Vector tiers run several independent column chains in lockstep;
+        // per column the chain order is the scalar one, so the products are
+        // bit-identical at every dispatch tier.
+        simd::shared_products(
+            table.cdf_all(),
+            n,
+            cols,
+            &mut self.col_prefix,
+            &mut self.col_suffix,
+        );
         self.products_ready = true;
         true
     }
 
-    /// Prefix/suffix slices of end-point column `j` from the shared product
-    /// table: `prefix[i] · suffix[i + 1] = Π_{k≠i} (1 − D_k(e_j))`.
-    #[inline]
-    pub(crate) fn col_parts(&self, j: usize) -> (&[f64], &[f64]) {
-        let base = j * self.col_stride;
-        (
-            &self.col_prefix[base..base + self.col_stride],
-            &self.col_suffix[base..base + self.col_stride],
-        )
+    /// The exclude-one `(prefix, suffix)` product slices for end-point
+    /// column `col`: the shared column table when `shared`, else the
+    /// ping-pong fallback product (already recomputed by the caller). The
+    /// fused scalar verifier paths consume these directly when few rows
+    /// are still unlabeled and whole-column staging would not pay.
+    pub(crate) fn col_products(&self, shared: bool, col: usize) -> (&[f64], &[f64]) {
+        if shared {
+            let base = col * self.col_stride;
+            (
+                &self.col_prefix[base..base + self.col_stride],
+                &self.col_suffix[base..base + self.col_stride],
+            )
+        } else {
+            self.excl.parts()
+        }
+    }
+
+    /// The two `(prefix, suffix)` product pairs U-SR's trapezoid reads for
+    /// the column pair `(j, j+1)`: `(pc, sc)` at the near end-point and
+    /// `(pn, sn)` at the far one. Shared mode slices the column table;
+    /// non-shared mode returns the ping-pong pair (`excl` = `Y_j`,
+    /// `excl_next` = `Y_{j+1}`, both recomputed by the caller). Used by the
+    /// fused scalar U-SR path when staging would not pay.
+    pub(crate) fn usr_products(&self, shared: bool, j: usize) -> (&[f64], &[f64], &[f64], &[f64]) {
+        if shared {
+            let base = j * self.col_stride;
+            let base_next = (j + 1) * self.col_stride;
+            (
+                &self.col_prefix[base..base + self.col_stride],
+                &self.col_suffix[base..base + self.col_stride],
+                &self.col_prefix[base_next..base_next + self.col_stride],
+                &self.col_suffix[base_next..base_next + self.col_stride],
+            )
+        } else {
+            let (pc, sc) = self.excl.parts();
+            let (pn, sn) = self.excl_next.parts();
+            (pc, sc, pn, sn)
+        }
+    }
+
+    /// Stage L-SR lower bounds for end-point column `j` into `q_col`:
+    /// `q_col[i] = (prefix[i] · suffix[i+1] · inv_cj).clamp(0, 1)` via the
+    /// active vector tier. `shared` selects the shared column table at `j`
+    /// versus the ping-pong fallback product (`excl`, already recomputed by
+    /// the caller). Lives on `KernelScratch` so the borrows split per field.
+    pub(crate) fn stage_lsr(&mut self, n: usize, shared: bool, j: usize, inv_cj: f64) {
+        ensure_len(&mut self.q_col, n);
+        let (pref, suff) = if shared {
+            let base = j * self.col_stride;
+            (
+                &self.col_prefix[base..base + self.col_stride],
+                &self.col_suffix[base..base + self.col_stride],
+            )
+        } else {
+            self.excl.parts()
+        };
+        simd::fill_excl_scaled(pref, suff, inv_cj, &mut self.q_col);
+    }
+
+    /// Stage FL-SR lower bounds for end-point column `col` into `q_col`:
+    /// `q_col[i] = (prefix[i] · suffix[i+1]).clamp(0, 1)`. Non-shared mode
+    /// reads `excl` (recomputed at `col` by the caller).
+    pub(crate) fn stage_excl(&mut self, n: usize, shared: bool, col: usize) {
+        ensure_len(&mut self.q_col, n);
+        let (pref, suff) = if shared {
+            let base = col * self.col_stride;
+            (
+                &self.col_prefix[base..base + self.col_stride],
+                &self.col_suffix[base..base + self.col_stride],
+            )
+        } else {
+            self.excl.parts()
+        };
+        simd::fill_excl(pref, suff, &mut self.q_col);
+    }
+
+    /// Stage U-SR trapezoid upper bounds for the column pair `(j, j+1)` into
+    /// `q_col`: `q_col[i] = 0.5·(Y_{j+1}(i) + Y_j(i))`, unclamped — the
+    /// application loop clamps per cell against its own lower bound.
+    /// Non-shared mode reads the ping-pong pair (`excl` = `Y_j`,
+    /// `excl_next` = `Y_{j+1}`, both recomputed by the caller).
+    pub(crate) fn stage_usr(&mut self, n: usize, shared: bool, j: usize) {
+        ensure_len(&mut self.q_col, n);
+        let (pc, sc, pn, sn) = if shared {
+            let base = j * self.col_stride;
+            let base_next = (j + 1) * self.col_stride;
+            (
+                &self.col_prefix[base..base + self.col_stride],
+                &self.col_suffix[base..base + self.col_stride],
+                &self.col_prefix[base_next..base_next + self.col_stride],
+                &self.col_suffix[base_next..base_next + self.col_stride],
+            )
+        } else {
+            let (pc, sc) = self.excl.parts();
+            let (pn, sn) = self.excl_next.parts();
+            (pc, sc, pn, sn)
+        };
+        simd::fill_usr(pc, sc, pn, sn, &mut self.q_col);
+    }
+
+    /// Stage SR-k exclude-one tails for the current column pair:
+    /// `q_col[i] = Pr[≤ limit | excl. i]` from the `dp_next` state with
+    /// probabilities `lo_probs` (lower bounds at `e_{j+1}`), and `q_hi_col`
+    /// likewise from `dp` with `hi_probs` (upper bounds at `e_j`). Every
+    /// object is staged — the application loop skips labeled ones.
+    pub(crate) fn stage_knn_tails(&mut self, lo_probs: &[f64], hi_probs: &[f64]) {
+        ensure_len(&mut self.q_col, lo_probs.len());
+        simd::pb_tails_excluding_many(&self.dp_next, lo_probs, &mut self.q_col, &mut self.dp_spare);
+        ensure_len(&mut self.q_hi_col, hi_probs.len());
+        simd::pb_tails_excluding_many(&self.dp, hi_probs, &mut self.q_hi_col, &mut self.dp_spare);
+    }
+}
+
+/// Size a staging buffer to exactly `n` without touching its contents when
+/// it already fits: the staging kernels overwrite every element, so the
+/// per-column `clear` + zero-fill the naive `resize` pattern pays would be
+/// pure memset overhead in the verify inner loop.
+#[inline]
+fn ensure_len(buf: &mut Vec<f64>, n: usize) {
+    if buf.len() != n {
+        buf.clear();
+        buf.resize(n, 0.0);
     }
 }
 
@@ -140,7 +257,8 @@ impl KernelScratch {
 /// as the primitive for callers that need the factor vector itself.
 pub fn survival_into(cdf_col: &[f64], out: &mut Vec<f64>) {
     out.clear();
-    out.extend(cdf_col.iter().map(|&c| 1.0 - c));
+    out.resize(cdf_col.len(), 0.0);
+    simd::fill_survival(cdf_col, out);
 }
 
 /// Poisson-binomial DP column step: rebuild `dp` in place so that
@@ -153,10 +271,7 @@ pub fn pb_into(dp: &mut Vec<f64>, probs: &[f64], limit: usize) {
     dp[0] = 1.0;
     for &p in probs {
         let p = p.clamp(0.0, 1.0);
-        for c in (0..=limit).rev() {
-            let come = if c > 0 { dp[c - 1] * p } else { 0.0 };
-            dp[c] = dp[c] * (1.0 - p) + come;
-        }
+        simd::pb_row_update(dp, p);
     }
 }
 
@@ -177,10 +292,7 @@ pub fn pb_tail_excluding(dp: &[f64], probs: &[f64], i: usize, spare: &mut Vec<f6
                 continue;
             }
             let q = raw.clamp(0.0, 1.0);
-            for c in (0..=limit).rev() {
-                let come = if c > 0 { spare[c - 1] * q } else { 0.0 };
-                spare[c] = spare[c] * (1.0 - q) + come;
-            }
+            simd::pb_row_update(spare, q);
         }
         return spare.iter().sum::<f64>();
     }
@@ -290,11 +402,7 @@ pub fn knn_qualification(
                 dp[0] = 1.0;
                 for (a_k, m_k) in coef_cdf.iter().zip(coef_mass) {
                     let pr = (a_k + t * m_k).clamp(0.0, 1.0);
-                    for c in (0..=limit).rev() {
-                        let stay = dp[c] * (1.0 - pr);
-                        let come = if c > 0 { dp[c - 1] * pr } else { 0.0 };
-                        dp[c] = stay + come;
-                    }
+                    simd::pb_row_update(dp, pr);
                 }
                 dp.iter().sum::<f64>().clamp(0.0, 1.0)
             },

@@ -21,6 +21,7 @@ mod lsr;
 mod products;
 pub mod reference;
 mod rs;
+pub mod simd;
 mod usr;
 
 pub use flsr::FarLowerSubregion;

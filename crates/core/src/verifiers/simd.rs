@@ -1,0 +1,788 @@
+//! Explicit SIMD lanes for the column-major verification kernels.
+//!
+//! Every function here is a *drop-in* vector form of a scalar loop that
+//! lives (and stays) in [`kernels`](crate::verifiers::kernels), the
+//! verifier inner loops, or the subregion builder. The dispatch tier comes
+//! from [`cpnn_pdf::simd`] (re-exported below) so the whole workspace — the
+//! pdf interpolation sweep included — flips on one cached decision:
+//! `is_x86_feature_detected!` once per process, `CPNN_SIMD=off|sse2|avx2`
+//! to override, [`force_tier`] for in-process tier sweeps in tests and
+//! benches.
+//!
+//! # Bit-identity argument
+//!
+//! Only loops whose iterations are **lane-independent** are vectorized:
+//! each output element depends on its own inputs through the exact scalar
+//! expression tree (`sub → mul → add → …`, never a fused multiply-add the
+//! scalar code does not perform), and IEEE-754 `addpd`/`subpd`/`mulpd`/
+//! `divpd` round identically to their scalar counterparts per lane.
+//! Anything with a serial dependency keeps scalar order:
+//!
+//! * the exclude-one **prefix/suffix product chains** are multiplied in
+//!   scalar order — the multi-column builders below put *four independent
+//!   columns* in the four lanes instead of splitting one chain;
+//! * the Poisson-binomial **row update** reads only pre-update state, so
+//!   rows vectorize whole; the per-factor sweep over probabilities stays
+//!   in its original order;
+//! * **reductions** (`Σ mass·q`, Gauss–Legendre accumulation, DP tail
+//!   sums) are untouched.
+//!
+//! Clamps replicate `f64::clamp` with compare-and-select, so `-0.0` and
+//! NaN lanes behave exactly like the scalar branch. The property tests in
+//! `tests/proptest_kernels.rs` assert `to_bits()` equality of verdicts and
+//! bounds across every available tier, and CI re-runs them under
+//! `CPNN_SIMD=off` and `CPNN_SIMD=sse2` on every merge.
+
+pub use cpnn_pdf::simd::{active_tier, cpu_features, detected_tier, force_tier, SimdTier};
+
+/// Survival transform: `out[i] = 1 − cdf[i]`.
+pub fn fill_survival(cdf: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(cdf.len(), out.len());
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { fill_survival_avx2(cdf, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => unsafe { fill_survival_sse2(cdf, out) },
+        _ => fill_survival_scalar(cdf, out),
+    }
+}
+
+/// Scalar reference for [`fill_survival`].
+pub fn fill_survival_scalar(cdf: &[f64], out: &mut [f64]) {
+    for (o, &c) in out.iter_mut().zip(cdf) {
+        *o = 1.0 - c;
+    }
+}
+
+/// L-SR staging: `out[i] = (pref[i] · suff[i+1] · inv_cj).clamp(0, 1)`.
+pub fn fill_excl_scaled(pref: &[f64], suff: &[f64], inv_cj: f64, out: &mut [f64]) {
+    debug_assert!(pref.len() >= out.len() && suff.len() > out.len());
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { fill_excl_scaled_avx2(pref, suff, inv_cj, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => unsafe { fill_excl_scaled_sse2(pref, suff, inv_cj, out) },
+        _ => fill_excl_scaled_scalar(pref, suff, inv_cj, out),
+    }
+}
+
+/// Scalar reference for [`fill_excl_scaled`] — the exact L-SR expression.
+pub fn fill_excl_scaled_scalar(pref: &[f64], suff: &[f64], inv_cj: f64, out: &mut [f64]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = (pref[i] * suff[i + 1] * inv_cj).clamp(0.0, 1.0);
+    }
+}
+
+/// FL-SR staging: `out[i] = (pref[i] · suff[i+1]).clamp(0, 1)`.
+pub fn fill_excl(pref: &[f64], suff: &[f64], out: &mut [f64]) {
+    debug_assert!(pref.len() >= out.len() && suff.len() > out.len());
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { fill_excl_avx2(pref, suff, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => unsafe { fill_excl_sse2(pref, suff, out) },
+        _ => fill_excl_scalar(pref, suff, out),
+    }
+}
+
+/// Scalar reference for [`fill_excl`] — the exact FL-SR expression.
+pub fn fill_excl_scalar(pref: &[f64], suff: &[f64], out: &mut [f64]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = (pref[i] * suff[i + 1]).clamp(0.0, 1.0);
+    }
+}
+
+/// U-SR staging:
+/// `out[i] = ½ (pn[i]·sn[i+1] + pc[i]·sc[i+1])` (unclamped — the verifier
+/// clamps against the per-cell lower bound afterwards).
+pub fn fill_usr(pc: &[f64], sc: &[f64], pn: &[f64], sn: &[f64], out: &mut [f64]) {
+    debug_assert!(pc.len() >= out.len() && sc.len() > out.len());
+    debug_assert!(pn.len() >= out.len() && sn.len() > out.len());
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { fill_usr_avx2(pc, sc, pn, sn, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => unsafe { fill_usr_sse2(pc, sc, pn, sn, out) },
+        _ => fill_usr_scalar(pc, sc, pn, sn, out),
+    }
+}
+
+/// Scalar reference for [`fill_usr`] — the exact U-SR expression.
+pub fn fill_usr_scalar(pc: &[f64], sc: &[f64], pn: &[f64], sn: &[f64], out: &mut [f64]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = 0.5 * (pn[i] * sn[i + 1] + pc[i] * sc[i + 1]);
+    }
+}
+
+/// One Poisson-binomial DP row update with an already-clamped success
+/// probability `p`: `dp[c] ← dp[c]·(1−p) + dp[c−1]·p` for every `c`
+/// (with `dp[−1] = 0`), reading only pre-update state.
+///
+/// This is the inner step of [`kernels::pb_into`](super::kernels::pb_into),
+/// the near-one fallback recompute, and the k-NN qualification integrand —
+/// all of which share the exact expression tree replicated here.
+pub fn pb_row_update(dp: &mut [f64], p: f64) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { pb_row_update_avx2(dp, p) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => unsafe { pb_row_update_sse2(dp, p) },
+        _ => pb_row_update_scalar(dp, p),
+    }
+}
+
+/// Scalar reference for [`pb_row_update`] — the retained DP row loop.
+pub fn pb_row_update_scalar(dp: &mut [f64], p: f64) {
+    for c in (0..dp.len()).rev() {
+        let come = if c > 0 { dp[c - 1] * p } else { 0.0 };
+        dp[c] = dp[c] * (1.0 - p) + come;
+    }
+}
+
+/// Exclude-one Poisson-binomial tails for **every** object at once:
+/// `out[i] = Pr[≤ limit successes among probs \ {i}]`, deconvolving the
+/// shared state `dp` per lane (four objects per AVX2 register). Lanes with
+/// `probs[i] > 0.999` are ill-conditioned for deconvolution and are
+/// recomputed scalar via
+/// [`kernels::pb_tail_excluding`](super::kernels::pb_tail_excluding)
+/// (which matches the scalar fallback bit for bit); `spare` is its scratch.
+pub fn pb_tails_excluding_many(dp: &[f64], probs: &[f64], out: &mut [f64], spare: &mut Vec<f64>) {
+    debug_assert_eq!(probs.len(), out.len());
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { pb_tails_avx2(dp, probs, out, spare) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => unsafe { pb_tails_sse2(dp, probs, out, spare) },
+        _ => pb_tails_scalar(dp, probs, out, spare),
+    }
+}
+
+/// Scalar reference for [`pb_tails_excluding_many`]: one
+/// [`kernels::pb_tail_excluding`](super::kernels::pb_tail_excluding) call
+/// per object.
+pub fn pb_tails_scalar(dp: &[f64], probs: &[f64], out: &mut [f64], spare: &mut Vec<f64>) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = super::kernels::pb_tail_excluding(dp, probs, i, spare);
+    }
+}
+
+/// Build the shared exclude-one survival product tables for `cols`
+/// end-point columns: for column `j`,
+/// `prefix[j·stride + i + 1] = Π_{k≤i} (1 − cdf[j·n + k])` (with
+/// `prefix[j·stride] = 1`) and `suffix[j·stride + i] = Π_{k≥i} (1 − …)`
+/// (with `suffix[j·stride + n] = 1`), `stride = n + 1`.
+///
+/// Each column's multiplication chain is serial, so the vector tiers put
+/// *independent columns* in the lanes (4 chains per AVX2 register, 2 per
+/// SSE2) and run them in lockstep — per column the chain order is exactly
+/// the scalar one, so the products are bit-identical.
+pub fn shared_products(cdf: &[f64], n: usize, cols: usize, prefix: &mut [f64], suffix: &mut [f64]) {
+    let stride = n + 1;
+    debug_assert_eq!(cdf.len(), cols * n);
+    debug_assert_eq!(prefix.len(), cols * stride);
+    debug_assert_eq!(suffix.len(), cols * stride);
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { shared_products_avx2(cdf, n, cols, prefix, suffix) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => unsafe { shared_products_sse2(cdf, n, cols, prefix, suffix) },
+        _ => shared_products_scalar(cdf, n, cols, 0, prefix, suffix),
+    }
+}
+
+/// Scalar reference for [`shared_products`], starting at column `j0` —
+/// the retained per-column chain loops, also the remainder handler for the
+/// vector tiers.
+pub fn shared_products_scalar(
+    cdf: &[f64],
+    n: usize,
+    cols: usize,
+    j0: usize,
+    prefix: &mut [f64],
+    suffix: &mut [f64],
+) {
+    let stride = n + 1;
+    for j in j0..cols {
+        let col = &cdf[j * n..(j + 1) * n];
+        let pre = &mut prefix[j * stride..(j + 1) * stride];
+        pre[0] = 1.0;
+        let mut acc = 1.0;
+        for (i, &c) in col.iter().enumerate() {
+            acc *= 1.0 - c;
+            pre[i + 1] = acc;
+        }
+        let suf = &mut suffix[j * stride..(j + 1) * stride];
+        suf[n] = 1.0;
+        for i in (0..n).rev() {
+            suf[i] = (1.0 - col[i]) * suf[i + 1];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 implementations. Each `# Safety` contract is "the corresponding
+// feature is available", which the dispatch in the public wrappers
+// guarantees via `active_tier()` (detection-capped, see cpnn_pdf::simd).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// `f64::clamp(x, 0, 1)` semantics per lane: compare-and-select keeps
+    /// NaN and `-0.0` lanes exactly as the scalar branchy clamp would.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn clamp01_avx2(t: __m256d) -> __m256d {
+        let zero = _mm256_setzero_pd();
+        let one = _mm256_set1_pd(1.0);
+        let t = _mm256_blendv_pd(t, zero, _mm256_cmp_pd::<_CMP_LT_OQ>(t, zero));
+        _mm256_blendv_pd(t, one, _mm256_cmp_pd::<_CMP_GT_OQ>(t, one))
+    }
+
+    /// SSE2 form of [`clamp01_avx2`] (select via and/andnot/or).
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn clamp01_sse2(t: __m128d) -> __m128d {
+        let zero = _mm_setzero_pd();
+        let one = _mm_set1_pd(1.0);
+        let lt = _mm_cmplt_pd(t, zero);
+        let t = _mm_andnot_pd(lt, t); // below-zero lanes -> +0.0 bits
+        let gt = _mm_cmpgt_pd(t, one);
+        _mm_or_pd(_mm_andnot_pd(gt, t), _mm_and_pd(gt, one))
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_survival_avx2(cdf: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let one = _mm256_set1_pd(1.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let c = _mm256_loadu_pd(cdf.as_ptr().add(i));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_sub_pd(one, c));
+        i += 4;
+    }
+    fill_survival_scalar(&cdf[i..], &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn fill_survival_sse2(cdf: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let one = _mm_set1_pd(1.0);
+    let mut i = 0;
+    while i + 2 <= n {
+        let c = _mm_loadu_pd(cdf.as_ptr().add(i));
+        _mm_storeu_pd(out.as_mut_ptr().add(i), _mm_sub_pd(one, c));
+        i += 2;
+    }
+    fill_survival_scalar(&cdf[i..], &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_excl_scaled_avx2(pref: &[f64], suff: &[f64], inv_cj: f64, out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let inv = _mm256_set1_pd(inv_cj);
+    let mut i = 0;
+    while i + 4 <= n {
+        let p = _mm256_loadu_pd(pref.as_ptr().add(i));
+        let s = _mm256_loadu_pd(suff.as_ptr().add(i + 1));
+        let t = _mm256_mul_pd(_mm256_mul_pd(p, s), inv);
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), x86::clamp01_avx2(t));
+        i += 4;
+    }
+    fill_excl_scaled_scalar(&pref[i..], &suff[i..], inv_cj, &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn fill_excl_scaled_sse2(pref: &[f64], suff: &[f64], inv_cj: f64, out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let inv = _mm_set1_pd(inv_cj);
+    let mut i = 0;
+    while i + 2 <= n {
+        let p = _mm_loadu_pd(pref.as_ptr().add(i));
+        let s = _mm_loadu_pd(suff.as_ptr().add(i + 1));
+        let t = _mm_mul_pd(_mm_mul_pd(p, s), inv);
+        _mm_storeu_pd(out.as_mut_ptr().add(i), x86::clamp01_sse2(t));
+        i += 2;
+    }
+    fill_excl_scaled_scalar(&pref[i..], &suff[i..], inv_cj, &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_excl_avx2(pref: &[f64], suff: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let p = _mm256_loadu_pd(pref.as_ptr().add(i));
+        let s = _mm256_loadu_pd(suff.as_ptr().add(i + 1));
+        _mm256_storeu_pd(
+            out.as_mut_ptr().add(i),
+            x86::clamp01_avx2(_mm256_mul_pd(p, s)),
+        );
+        i += 4;
+    }
+    fill_excl_scalar(&pref[i..], &suff[i..], &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn fill_excl_sse2(pref: &[f64], suff: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let mut i = 0;
+    while i + 2 <= n {
+        let p = _mm_loadu_pd(pref.as_ptr().add(i));
+        let s = _mm_loadu_pd(suff.as_ptr().add(i + 1));
+        _mm_storeu_pd(out.as_mut_ptr().add(i), x86::clamp01_sse2(_mm_mul_pd(p, s)));
+        i += 2;
+    }
+    fill_excl_scalar(&pref[i..], &suff[i..], &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_usr_avx2(pc: &[f64], sc: &[f64], pn: &[f64], sn: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let half = _mm256_set1_pd(0.5);
+    let mut i = 0;
+    while i + 4 <= n {
+        let next = _mm256_mul_pd(
+            _mm256_loadu_pd(pn.as_ptr().add(i)),
+            _mm256_loadu_pd(sn.as_ptr().add(i + 1)),
+        );
+        let cur = _mm256_mul_pd(
+            _mm256_loadu_pd(pc.as_ptr().add(i)),
+            _mm256_loadu_pd(sc.as_ptr().add(i + 1)),
+        );
+        let t = _mm256_mul_pd(half, _mm256_add_pd(next, cur));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), t);
+        i += 4;
+    }
+    fill_usr_scalar(&pc[i..], &sc[i..], &pn[i..], &sn[i..], &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn fill_usr_sse2(pc: &[f64], sc: &[f64], pn: &[f64], sn: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let half = _mm_set1_pd(0.5);
+    let mut i = 0;
+    while i + 2 <= n {
+        let next = _mm_mul_pd(
+            _mm_loadu_pd(pn.as_ptr().add(i)),
+            _mm_loadu_pd(sn.as_ptr().add(i + 1)),
+        );
+        let cur = _mm_mul_pd(
+            _mm_loadu_pd(pc.as_ptr().add(i)),
+            _mm_loadu_pd(sc.as_ptr().add(i + 1)),
+        );
+        let t = _mm_mul_pd(half, _mm_add_pd(next, cur));
+        _mm_storeu_pd(out.as_mut_ptr().add(i), t);
+        i += 2;
+    }
+    fill_usr_scalar(&pc[i..], &sc[i..], &pn[i..], &sn[i..], &mut out[i..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pb_row_update_avx2(dp: &mut [f64], p: f64) {
+    use std::arch::x86_64::*;
+    let n = dp.len();
+    let chunks = n.saturating_sub(1) / 4;
+    let vec_end = 1 + 4 * chunks; // vector region is indices [1, vec_end)
+                                  // Top remainder first, descending: it reads only indices below itself,
+                                  // which nothing has overwritten yet.
+    for c in (vec_end..n).rev() {
+        let come = dp[c - 1] * p;
+        dp[c] = dp[c] * (1.0 - p) + come;
+    }
+    let pv = _mm256_set1_pd(p);
+    let qv = _mm256_set1_pd(1.0 - p);
+    let base = dp.as_mut_ptr();
+    // Chunks descending: chunk at s writes [s, s+4) and reads [s-1, s+4),
+    // i.e. nothing at or above what an earlier (higher) chunk rewrote.
+    for chunk in (0..chunks).rev() {
+        let s = 1 + 4 * chunk;
+        let cur = _mm256_loadu_pd(base.add(s));
+        let prev = _mm256_loadu_pd(base.add(s - 1));
+        let t = _mm256_add_pd(_mm256_mul_pd(cur, qv), _mm256_mul_pd(prev, pv));
+        _mm256_storeu_pd(base.add(s), t);
+    }
+    // Index 0 (the `come = 0` case), via the scalar reference.
+    pb_row_update_scalar(&mut dp[..1.min(n)], p);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn pb_row_update_sse2(dp: &mut [f64], p: f64) {
+    use std::arch::x86_64::*;
+    let n = dp.len();
+    let chunks = n.saturating_sub(1) / 2;
+    let vec_end = 1 + 2 * chunks;
+    for c in (vec_end..n).rev() {
+        let come = dp[c - 1] * p;
+        dp[c] = dp[c] * (1.0 - p) + come;
+    }
+    let pv = _mm_set1_pd(p);
+    let qv = _mm_set1_pd(1.0 - p);
+    let base = dp.as_mut_ptr();
+    for chunk in (0..chunks).rev() {
+        let s = 1 + 2 * chunk;
+        let cur = _mm_loadu_pd(base.add(s));
+        let prev = _mm_loadu_pd(base.add(s - 1));
+        let t = _mm_add_pd(_mm_mul_pd(cur, qv), _mm_mul_pd(prev, pv));
+        _mm_storeu_pd(base.add(s), t);
+    }
+    pb_row_update_scalar(&mut dp[..1.min(n)], p);
+}
+
+/// Deconvolution threshold shared with the scalar kernel: above this the
+/// division by `1 − p` is ill-conditioned and lanes fall back to a skip-one
+/// recompute.
+const PB_FALLBACK_P: f64 = 0.999;
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pb_tails_avx2(dp: &[f64], probs: &[f64], out: &mut [f64], spare: &mut Vec<f64>) {
+    use std::arch::x86_64::*;
+    let n = probs.len();
+    let one = _mm256_set1_pd(1.0);
+    let thresh = _mm256_set1_pd(PB_FALLBACK_P);
+    let mut i = 0;
+    while i + 4 <= n {
+        let p = x86::clamp01_avx2(_mm256_loadu_pd(probs.as_ptr().add(i)));
+        let q = _mm256_sub_pd(one, p);
+        let mut prev = _mm256_setzero_pd();
+        let mut tail = _mm256_setzero_pd();
+        for &d in dp {
+            let dv = _mm256_set1_pd(d);
+            let excl =
+                x86::clamp01_avx2(_mm256_div_pd(_mm256_sub_pd(dv, _mm256_mul_pd(p, prev)), q));
+            tail = _mm256_add_pd(tail, excl);
+            prev = excl;
+        }
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), x86::clamp01_avx2(tail));
+        // Ill-conditioned lanes (p ≈ 1): overwrite with the scalar skip-one
+        // recompute, exactly as the scalar kernel would have branched.
+        let mask = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_GT_OQ>(p, thresh));
+        if mask != 0 {
+            for lane in 0..4 {
+                if mask & (1 << lane) != 0 {
+                    out[i + lane] = super::kernels::pb_tail_excluding(dp, probs, i + lane, spare);
+                }
+            }
+        }
+        i += 4;
+    }
+    for (k, o) in out.iter_mut().enumerate().take(n).skip(i) {
+        *o = super::kernels::pb_tail_excluding(dp, probs, k, spare);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn pb_tails_sse2(dp: &[f64], probs: &[f64], out: &mut [f64], spare: &mut Vec<f64>) {
+    use std::arch::x86_64::*;
+    let n = probs.len();
+    let one = _mm_set1_pd(1.0);
+    let thresh = _mm_set1_pd(PB_FALLBACK_P);
+    let mut i = 0;
+    while i + 2 <= n {
+        let p = x86::clamp01_sse2(_mm_loadu_pd(probs.as_ptr().add(i)));
+        let q = _mm_sub_pd(one, p);
+        let mut prev = _mm_setzero_pd();
+        let mut tail = _mm_setzero_pd();
+        for &d in dp {
+            let dv = _mm_set1_pd(d);
+            let excl = x86::clamp01_sse2(_mm_div_pd(_mm_sub_pd(dv, _mm_mul_pd(p, prev)), q));
+            tail = _mm_add_pd(tail, excl);
+            prev = excl;
+        }
+        _mm_storeu_pd(out.as_mut_ptr().add(i), x86::clamp01_sse2(tail));
+        let mask = _mm_movemask_pd(_mm_cmpgt_pd(p, thresh));
+        if mask != 0 {
+            for lane in 0..2 {
+                if mask & (1 << lane) != 0 {
+                    out[i + lane] = super::kernels::pb_tail_excluding(dp, probs, i + lane, spare);
+                }
+            }
+        }
+        i += 2;
+    }
+    for (k, o) in out.iter_mut().enumerate().take(n).skip(i) {
+        *o = super::kernels::pb_tail_excluding(dp, probs, k, spare);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn shared_products_avx2(
+    cdf: &[f64],
+    n: usize,
+    cols: usize,
+    prefix: &mut [f64],
+    suffix: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let stride = n + 1;
+    let one = _mm256_set1_pd(1.0);
+    let src = cdf.as_ptr();
+    let pre = prefix.as_mut_ptr();
+    let suf = suffix.as_mut_ptr();
+    let mut j = 0;
+    // Four independent columns per register: each lane runs its column's
+    // serial multiplication chain in the scalar order.
+    while j + 4 <= cols {
+        let (c0, c1, c2, c3) = (j * n, (j + 1) * n, (j + 2) * n, (j + 3) * n);
+        let (p0, p1, p2, p3) = (
+            j * stride,
+            (j + 1) * stride,
+            (j + 2) * stride,
+            (j + 3) * stride,
+        );
+        *pre.add(p0) = 1.0;
+        *pre.add(p1) = 1.0;
+        *pre.add(p2) = 1.0;
+        *pre.add(p3) = 1.0;
+        let mut acc = one;
+        for i in 0..n {
+            let c = _mm256_set_pd(
+                *src.add(c3 + i),
+                *src.add(c2 + i),
+                *src.add(c1 + i),
+                *src.add(c0 + i),
+            );
+            acc = _mm256_mul_pd(acc, _mm256_sub_pd(one, c));
+            let lo = _mm256_castpd256_pd128(acc);
+            let hi = _mm256_extractf128_pd::<1>(acc);
+            _mm_storel_pd(pre.add(p0 + i + 1), lo);
+            _mm_storeh_pd(pre.add(p1 + i + 1), lo);
+            _mm_storel_pd(pre.add(p2 + i + 1), hi);
+            _mm_storeh_pd(pre.add(p3 + i + 1), hi);
+        }
+        *suf.add(p0 + n) = 1.0;
+        *suf.add(p1 + n) = 1.0;
+        *suf.add(p2 + n) = 1.0;
+        *suf.add(p3 + n) = 1.0;
+        let mut acc = one;
+        for i in (0..n).rev() {
+            let c = _mm256_set_pd(
+                *src.add(c3 + i),
+                *src.add(c2 + i),
+                *src.add(c1 + i),
+                *src.add(c0 + i),
+            );
+            acc = _mm256_mul_pd(_mm256_sub_pd(one, c), acc);
+            let lo = _mm256_castpd256_pd128(acc);
+            let hi = _mm256_extractf128_pd::<1>(acc);
+            _mm_storel_pd(suf.add(p0 + i), lo);
+            _mm_storeh_pd(suf.add(p1 + i), lo);
+            _mm_storel_pd(suf.add(p2 + i), hi);
+            _mm_storeh_pd(suf.add(p3 + i), hi);
+        }
+        j += 4;
+    }
+    shared_products_scalar(cdf, n, cols, j, prefix, suffix);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn shared_products_sse2(
+    cdf: &[f64],
+    n: usize,
+    cols: usize,
+    prefix: &mut [f64],
+    suffix: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let stride = n + 1;
+    let one = _mm_set1_pd(1.0);
+    let src = cdf.as_ptr();
+    let pre = prefix.as_mut_ptr();
+    let suf = suffix.as_mut_ptr();
+    let mut j = 0;
+    while j + 2 <= cols {
+        let (c0, c1) = (j * n, (j + 1) * n);
+        let (p0, p1) = (j * stride, (j + 1) * stride);
+        *pre.add(p0) = 1.0;
+        *pre.add(p1) = 1.0;
+        let mut acc = one;
+        for i in 0..n {
+            let c = _mm_set_pd(*src.add(c1 + i), *src.add(c0 + i));
+            acc = _mm_mul_pd(acc, _mm_sub_pd(one, c));
+            _mm_storel_pd(pre.add(p0 + i + 1), acc);
+            _mm_storeh_pd(pre.add(p1 + i + 1), acc);
+        }
+        *suf.add(p0 + n) = 1.0;
+        *suf.add(p1 + n) = 1.0;
+        let mut acc = one;
+        for i in (0..n).rev() {
+            let c = _mm_set_pd(*src.add(c1 + i), *src.add(c0 + i));
+            acc = _mm_mul_pd(_mm_sub_pd(one, c), acc);
+            _mm_storel_pd(suf.add(p0 + i), acc);
+            _mm_storeh_pd(suf.add(p1 + i), acc);
+        }
+        j += 2;
+    }
+    shared_products_scalar(cdf, n, cols, j, prefix, suffix);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that flip the process-global dispatch tier.
+    /// (Even racing flips could only change *which* bit-identical kernel
+    /// runs, but serial tests make failures deterministic.)
+    static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_each_tier(mut f: impl FnMut(SimdTier)) {
+        let _guard = TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for tier in SimdTier::available() {
+            let eff = force_tier(Some(tier));
+            assert_eq!(eff, tier, "available tier must be forceable");
+            f(tier);
+        }
+        force_tier(None);
+    }
+
+    fn assert_bits_eq(want: &[f64], got: &[f64], what: &str) {
+        assert_eq!(want.len(), got.len());
+        for (i, (w, g)) in want.iter().zip(got).enumerate() {
+            assert_eq!(w.to_bits(), g.to_bits(), "{what}[{i}]: {w} vs {g}");
+        }
+    }
+
+    /// Awkward-length pseudo-random inputs covering clamp boundaries.
+    fn noisy(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Mostly [0, 1], occasionally outside to hit the clamps.
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 1.2 - 0.05
+            })
+            .collect()
+    }
+
+    #[test]
+    fn survival_all_tiers_bitwise() {
+        let cdf = noisy(23, 1);
+        let mut want = vec![0.0; 23];
+        fill_survival_scalar(&cdf, &mut want);
+        with_each_tier(|tier| {
+            let mut got = vec![0.0; 23];
+            fill_survival(&cdf, &mut got);
+            assert_bits_eq(&want, &got, &format!("survival@{}", tier.name()));
+        });
+    }
+
+    #[test]
+    fn excl_kernels_all_tiers_bitwise() {
+        let n = 19;
+        let pref = noisy(n + 1, 2);
+        let suff = noisy(n + 1, 3);
+        let pref2 = noisy(n + 1, 4);
+        let suff2 = noisy(n + 1, 5);
+        let mut want = vec![0.0; n];
+        let mut want_scaled = vec![0.0; n];
+        let mut want_usr = vec![0.0; n];
+        fill_excl_scalar(&pref, &suff, &mut want);
+        fill_excl_scaled_scalar(&pref, &suff, 1.0 / 3.0, &mut want_scaled);
+        fill_usr_scalar(&pref, &suff, &pref2, &suff2, &mut want_usr);
+        with_each_tier(|tier| {
+            let mut got = vec![0.0; n];
+            fill_excl(&pref, &suff, &mut got);
+            assert_bits_eq(&want, &got, &format!("excl@{}", tier.name()));
+            fill_excl_scaled(&pref, &suff, 1.0 / 3.0, &mut got);
+            assert_bits_eq(&want_scaled, &got, &format!("excl_scaled@{}", tier.name()));
+            fill_usr(&pref, &suff, &pref2, &suff2, &mut got);
+            assert_bits_eq(&want_usr, &got, &format!("usr@{}", tier.name()));
+        });
+    }
+
+    #[test]
+    fn pb_row_update_all_tiers_bitwise() {
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 13] {
+            let init = noisy(len, 6);
+            for p in [0.0, 0.3, 0.997, 1.0] {
+                let mut want = init.clone();
+                pb_row_update_scalar(&mut want, p);
+                with_each_tier(|tier| {
+                    let mut got = init.clone();
+                    pb_row_update(&mut got, p);
+                    assert_bits_eq(
+                        &want,
+                        &got,
+                        &format!("pb_row(len={len},p={p})@{}", tier.name()),
+                    );
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn pb_tails_all_tiers_bitwise() {
+        // Mix of mild and near-one probabilities to hit both the vector
+        // deconvolution and the per-lane fallback.
+        let probs: Vec<f64> = vec![0.2, 0.9999, 0.5, 0.0, 1.0, 0.97, 0.3, 0.9995, 0.12];
+        for limit in [0usize, 1, 2, 4] {
+            let mut dp = Vec::new();
+            super::super::kernels::pb_into(&mut dp, &probs, limit);
+            let mut spare = Vec::new();
+            let mut want = vec![0.0; probs.len()];
+            pb_tails_scalar(&dp, &probs, &mut want, &mut spare);
+            with_each_tier(|tier| {
+                let mut got = vec![0.0; probs.len()];
+                pb_tails_excluding_many(&dp, &probs, &mut got, &mut spare);
+                assert_bits_eq(
+                    &want,
+                    &got,
+                    &format!("pb_tails(limit={limit})@{}", tier.name()),
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn shared_products_all_tiers_bitwise() {
+        for (n, cols) in [(5usize, 6usize), (8, 4), (3, 9), (1, 2), (16, 17)] {
+            let cdf = noisy(n * cols, 7);
+            let stride = n + 1;
+            let mut want_pre = vec![0.0; cols * stride];
+            let mut want_suf = vec![0.0; cols * stride];
+            shared_products_scalar(&cdf, n, cols, 0, &mut want_pre, &mut want_suf);
+            with_each_tier(|tier| {
+                let mut pre = vec![0.0; cols * stride];
+                let mut suf = vec![0.0; cols * stride];
+                shared_products(&cdf, n, cols, &mut pre, &mut suf);
+                assert_bits_eq(
+                    &want_pre,
+                    &pre,
+                    &format!("prefix(n={n},cols={cols})@{}", tier.name()),
+                );
+                assert_bits_eq(
+                    &want_suf,
+                    &suf,
+                    &format!("suffix(n={n},cols={cols})@{}", tier.name()),
+                );
+            });
+        }
+    }
+}

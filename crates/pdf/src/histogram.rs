@@ -246,31 +246,78 @@ impl HistogramPdf {
     /// `xs` must be sorted ascending (`debug_assert`ed); the subregion
     /// end-point list already is.
     pub fn cdf_many_into(&self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(xs.len(), 0.0);
+        let mut bin = 0usize;
+        self.cdf_many_resume(xs, &mut bin, out);
+    }
+
+    /// Resumable slice form of [`cdf_many_into`](Self::cdf_many_into): the
+    /// sweep's bin cursor lives in `bin`, so a caller can evaluate one long
+    /// ascending grid in several consecutive chunks (the cache-blocked
+    /// subregion-table build does exactly this, one cursor per member)
+    /// without restarting the edge merge from bin 0 each time.
+    ///
+    /// Points sharing a bin form a *run*, and each run's interpolation is
+    /// evaluated with [`crate::simd::fill_interp`] — vector lanes at the
+    /// active dispatch tier, bit-identical to [`Pdf::cdf`] per point.
+    ///
+    /// Contract: `xs` ascends, `out.len() == xs.len()`, `*bin` was produced
+    /// by a previous call on the same histogram with points `≤ xs[0]` (or is
+    /// 0), all `debug_assert`ed.
+    pub fn cdf_many_resume(&self, xs: &[f64], bin: &mut usize, out: &mut [f64]) {
         debug_assert!(
             xs.windows(2).all(|w| w[0] <= w[1]),
-            "cdf_many_into requires ascending inputs"
+            "cdf_many_resume requires ascending inputs"
         );
-        out.clear();
-        out.reserve(xs.len());
+        debug_assert_eq!(xs.len(), out.len());
         let n = self.density.len();
         let lo = self.edges[0];
         let hi = self.edges[n];
-        // `b` is the current bin: the largest index with edges[b] <= x.
-        // Because xs ascends, it only ever moves right.
-        let mut b = 0usize;
-        for &x in xs {
-            let v = if x <= lo {
-                0.0
-            } else if x >= hi {
-                1.0
-            } else {
-                while self.edges[b + 1] <= x {
-                    b += 1;
-                }
-                (self.cdf[b] + self.density[b] * (x - self.edges[b])).clamp(0.0, 1.0)
-            };
-            out.push(v);
+        // Leading out-of-support run: cdf = 0 at or below the left edge.
+        let mut i = 0usize;
+        while i < xs.len() && xs[i] <= lo {
+            out[i] = 0.0;
+            i += 1;
         }
+        // Trailing out-of-support run: cdf = 1 at or beyond the right edge.
+        let mut end = xs.len();
+        while end > i && xs[end - 1] >= hi {
+            end -= 1;
+            out[end] = 1.0;
+        }
+        // `b` is the current bin: the largest index with edges[b] <= x.
+        // Because xs ascends (across calls too), it only ever moves right.
+        let mut b = *bin;
+        debug_assert!(b < n, "stale bin cursor");
+        while i < end {
+            let x0 = xs[i];
+            while self.edges[b + 1] <= x0 {
+                b += 1;
+            }
+            debug_assert!(self.edges[b] <= x0, "cursor resumed past its points");
+            // The run of points that stay inside bin b.
+            let mut j = i + 1;
+            while j < end && xs[j] < self.edges[b + 1] {
+                j += 1;
+            }
+            if j == i + 1 {
+                // Singleton run — the common case when sorted end-points
+                // spread across the bins. Same expression as
+                // `fill_interp_scalar`, evaluated in place.
+                out[i] = (self.cdf[b] + self.density[b] * (x0 - self.edges[b])).clamp(0.0, 1.0);
+            } else {
+                crate::simd::fill_interp(
+                    self.cdf[b],
+                    self.density[b],
+                    self.edges[b],
+                    &xs[i..j],
+                    &mut out[i..j],
+                );
+            }
+            i = j;
+        }
+        *bin = b;
     }
 
     /// Index of the bin containing `x` (bins are `[e_i, e_{i+1})`, with the
@@ -494,6 +541,30 @@ mod tests {
             h.cdf_many_into(&xs, &mut out);
             for (&x, &v) in xs.iter().zip(&out) {
                 assert_eq!(v.to_bits(), h.cdf(x).to_bits(), "x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_many_resume_chunks_match_one_shot_bitwise() {
+        let h = example();
+        let mut rng = StdRng::seed_from_u64(11);
+        use rand::Rng;
+        for chunk in [1usize, 2, 3, 5, 64] {
+            let mut xs: Vec<f64> = (0..41).map(|_| rng.gen_range(8.0..22.0)).collect();
+            xs.sort_by(f64::total_cmp);
+            let mut whole = Vec::new();
+            h.cdf_many_into(&xs, &mut whole);
+            let mut chunked = vec![0.0; xs.len()];
+            let mut bin = 0usize;
+            let mut at = 0usize;
+            while at < xs.len() {
+                let end = (at + chunk).min(xs.len());
+                h.cdf_many_resume(&xs[at..end], &mut bin, &mut chunked[at..end]);
+                at = end;
+            }
+            for (i, (&w, &c)) in whole.iter().zip(&chunked).enumerate() {
+                assert_eq!(w.to_bits(), c.to_bits(), "chunk {chunk} point {i}");
             }
         }
     }

@@ -1,0 +1,341 @@
+//! Runtime-dispatched SIMD tiers and the vector interpolation kernel used
+//! by [`HistogramPdf::cdf_many_into`](crate::HistogramPdf::cdf_many_into).
+//!
+//! This module is the single source of truth for "which vector lanes may
+//! this process use": the verifier kernels in `cpnn-core` re-export
+//! [`SimdTier`] / [`active_tier`] from here so the whole stack dispatches
+//! off one cached decision.
+//!
+//! # Bit-identity contract
+//!
+//! Every vector path in this workspace evaluates **exactly the same IEEE-754
+//! expression sequence as its scalar reference, lane-wise** — only loops
+//! whose iterations are independent are vectorized, reductions keep scalar
+//! order, and no FMA contraction is used where the scalar code performs a
+//! separate multiply and add (`vmulpd` + `vaddpd`, never `vfmadd`). Since
+//! `addpd`/`subpd`/`mulpd`/`divpd` are IEEE-correctly-rounded per lane, the
+//! vector result is bit-identical to the scalar one; the property tests in
+//! `cpnn-core` assert this with `to_bits()` equality at every tier.
+//!
+//! # Dispatch
+//!
+//! The tier is detected once (`is_x86_feature_detected!`) and cached in a
+//! [`OnceLock`]. The environment variable `CPNN_SIMD` overrides detection
+//! at first use — `off` (scalar), `sse2`, or `avx2` — and is capped at what
+//! the CPU actually supports, so forcing `avx2` on a non-AVX2 host safely
+//! degrades instead of faulting. Benchmarks and tests may additionally flip
+//! tiers *within* a process via [`force_tier`]; because every tier is
+//! bit-identical, a mid-flight tier switch can change performance only,
+//! never results.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// The instruction-set tier a kernel dispatches to.
+///
+/// Ordered: a larger tier is a superset of the smaller ones, and forced
+/// tiers are capped at the detected maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdTier {
+    /// Pure scalar kernels (the retained reference implementations).
+    Scalar,
+    /// 128-bit `std::arch` lanes (baseline on every `x86_64`).
+    Sse2,
+    /// 256-bit `std::arch` lanes (AVX2; FMA is detected and reported but
+    /// deliberately never used for contraction — see the module docs).
+    Avx2,
+}
+
+impl SimdTier {
+    /// Stable lower-case name (`"scalar"`, `"sse2"`, `"avx2"`), used in
+    /// bench JSON headers and the `CPNN_SIMD` override.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+
+    /// `f64` lanes per vector register at this tier.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdTier::Scalar => 1,
+            SimdTier::Sse2 => 2,
+            SimdTier::Avx2 => 4,
+        }
+    }
+
+    /// Every tier the current process can run, best first — the probe list
+    /// for "prove bit-identity at all tiers" test sweeps.
+    pub fn available() -> Vec<SimdTier> {
+        let mut tiers = vec![cpu_max_tier()];
+        if tiers[0] == SimdTier::Avx2 {
+            tiers.push(SimdTier::Sse2);
+        }
+        if tiers.last() != Some(&SimdTier::Scalar) {
+            tiers.push(SimdTier::Scalar);
+        }
+        tiers
+    }
+}
+
+/// Highest tier the CPU supports, independent of overrides.
+fn cpu_max_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdTier::Avx2;
+        }
+        // SSE2 is part of the x86_64 baseline.
+        SimdTier::Sse2
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdTier::Scalar
+    }
+}
+
+/// Tier decided at first use: CPU capability, capped by `CPNN_SIMD`.
+fn detect_tier() -> SimdTier {
+    let max = cpu_max_tier();
+    match std::env::var("CPNN_SIMD") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "off" | "scalar" | "0" => SimdTier::Scalar,
+            "sse2" => SimdTier::Sse2.min(max),
+            "avx2" => SimdTier::Avx2.min(max),
+            other => {
+                eprintln!("CPNN_SIMD={other:?} not recognized (want off|sse2|avx2); using auto");
+                max
+            }
+        },
+        Err(_) => max,
+    }
+}
+
+static DETECTED: OnceLock<SimdTier> = OnceLock::new();
+/// In-process override slot for benches/tests: 0 = none, otherwise tier + 1.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// The tier detected for this process (CPU features ∧ `CPNN_SIMD`),
+/// computed once and cached.
+pub fn detected_tier() -> SimdTier {
+    *DETECTED.get_or_init(detect_tier)
+}
+
+/// The tier kernels dispatch to *right now*: [`force_tier`] override if
+/// set, else [`detected_tier`].
+#[inline]
+pub fn active_tier() -> SimdTier {
+    match FORCED.load(Ordering::Relaxed) {
+        0 => detected_tier(),
+        1 => SimdTier::Scalar,
+        2 => SimdTier::Sse2,
+        _ => SimdTier::Avx2,
+    }
+}
+
+/// Force a dispatch tier for this process (benches and tier-sweep tests);
+/// `None` restores auto-detection. The request is capped at the CPU's
+/// capability, and the *effective* tier is returned.
+///
+/// Safe to call at any time: all tiers are bit-identical, so flipping the
+/// tier mid-flight affects speed only, never results.
+pub fn force_tier(tier: Option<SimdTier>) -> SimdTier {
+    match tier {
+        None => {
+            FORCED.store(0, Ordering::Relaxed);
+            detected_tier()
+        }
+        Some(t) => {
+            let eff = t.min(cpu_max_tier());
+            FORCED.store(
+                match eff {
+                    SimdTier::Scalar => 1,
+                    SimdTier::Sse2 => 2,
+                    SimdTier::Avx2 => 3,
+                },
+                Ordering::Relaxed,
+            );
+            eff
+        }
+    }
+}
+
+/// Comma-joined list of the vector features this CPU reports (probed once),
+/// recorded in bench JSON headers so perf series are comparable across
+/// machines.
+pub fn cpu_features() -> &'static str {
+    static FEATURES: OnceLock<String> = OnceLock::new();
+    FEATURES.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut found: Vec<&str> = vec!["sse2"];
+            if std::arch::is_x86_feature_detected!("sse4.2") {
+                found.push("sse4.2");
+            }
+            if std::arch::is_x86_feature_detected!("avx") {
+                found.push("avx");
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                found.push("avx2");
+            }
+            if std::arch::is_x86_feature_detected!("fma") {
+                found.push("fma");
+            }
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                found.push("avx512f");
+            }
+            found.join(",")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            String::from("none")
+        }
+    })
+}
+
+/// Piecewise-linear cdf interpolation over one histogram-bin *run*:
+/// `out[i] = (c + d · (xs[i] − e)).clamp(0, 1)` for every lane, where
+/// `c`/`d`/`e` are the bin's cumulative mass, density, and left edge.
+///
+/// Bit-identical to the scalar expression in
+/// [`Pdf::cdf`](crate::traits::Pdf::cdf): per lane it performs the same
+/// `sub → mul → add → clamp` sequence (no FMA), and the clamp replicates
+/// `f64::clamp` semantics exactly (`< 0 → 0`, `> 1 → 1`, all other values
+/// — including `-0.0` and NaN — pass through).
+#[inline]
+pub fn fill_interp(c: f64, d: f64, e: f64, xs: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(xs.len(), out.len());
+    // Bin runs are usually shorter than one vector register (sorted
+    // end-points spread across the histogram's bins); below one AVX2 lane
+    // count the dispatch can't win, and scalar ≡ vector bit-for-bit, so
+    // the fast path is free to skip it.
+    if xs.len() < 4 {
+        return fill_interp_scalar(c, d, e, xs, out);
+    }
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { fill_interp_avx2(c, d, e, xs, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => unsafe { fill_interp_sse2(c, d, e, xs, out) },
+        _ => fill_interp_scalar(c, d, e, xs, out),
+    }
+}
+
+/// Scalar reference for [`fill_interp`].
+pub fn fill_interp_scalar(c: f64, d: f64, e: f64, xs: &[f64], out: &mut [f64]) {
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = (c + d * (x - e)).clamp(0.0, 1.0);
+    }
+}
+
+/// # Safety
+/// Requires AVX2 support (guaranteed by the [`active_tier`] dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_interp_avx2(c: f64, d: f64, e: f64, xs: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let cv = _mm256_set1_pd(c);
+    let dv = _mm256_set1_pd(d);
+    let ev = _mm256_set1_pd(e);
+    let zero = _mm256_setzero_pd();
+    let one = _mm256_set1_pd(1.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+        // c + d*(x - e): sub, mul, add — the scalar sequence, no FMA.
+        let t = _mm256_add_pd(cv, _mm256_mul_pd(dv, _mm256_sub_pd(x, ev)));
+        // clamp(0, 1) with f64::clamp semantics: compare-and-select, so
+        // NaN and -0.0 behave exactly like the scalar branchy clamp.
+        let t = _mm256_blendv_pd(t, zero, _mm256_cmp_pd::<_CMP_LT_OQ>(t, zero));
+        let t = _mm256_blendv_pd(t, one, _mm256_cmp_pd::<_CMP_GT_OQ>(t, one));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), t);
+        i += 4;
+    }
+    fill_interp_scalar(c, d, e, &xs[i..], &mut out[i..]);
+}
+
+/// # Safety
+/// SSE2 is part of the `x86_64` baseline; always safe there.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn fill_interp_sse2(c: f64, d: f64, e: f64, xs: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let cv = _mm_set1_pd(c);
+    let dv = _mm_set1_pd(d);
+    let ev = _mm_set1_pd(e);
+    let zero = _mm_setzero_pd();
+    let one = _mm_set1_pd(1.0);
+    let mut i = 0;
+    while i + 2 <= n {
+        let x = _mm_loadu_pd(xs.as_ptr().add(i));
+        let t = _mm_add_pd(cv, _mm_mul_pd(dv, _mm_sub_pd(x, ev)));
+        // Select-by-mask clamp (SSE2 has no blendv): lanes below 0 become
+        // +0.0, lanes above 1 become 1.0, everything else passes through.
+        let lt = _mm_cmplt_pd(t, zero);
+        let t = _mm_andnot_pd(lt, t); // below-zero lanes -> +0.0 bits
+        let gt = _mm_cmpgt_pd(t, one);
+        let t = _mm_or_pd(_mm_andnot_pd(gt, t), _mm_and_pd(gt, one));
+        _mm_storeu_pd(out.as_mut_ptr().add(i), t);
+        i += 2;
+    }
+    fill_interp_scalar(c, d, e, &xs[i..], &mut out[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_and_lanes() {
+        assert_eq!(SimdTier::Scalar.name(), "scalar");
+        assert_eq!(SimdTier::Sse2.lanes(), 2);
+        assert_eq!(SimdTier::Avx2.lanes(), 4);
+        assert!(SimdTier::Scalar < SimdTier::Sse2);
+    }
+
+    #[test]
+    fn force_tier_is_capped_and_reversible() {
+        let auto = detected_tier();
+        let eff = force_tier(Some(SimdTier::Avx2));
+        assert!(eff <= auto.max(eff)); // capped at the CPU maximum
+        assert_eq!(active_tier(), eff);
+        let back = force_tier(None);
+        assert_eq!(back, auto);
+        assert_eq!(active_tier(), auto);
+    }
+
+    #[test]
+    fn available_tiers_end_at_scalar() {
+        let tiers = SimdTier::available();
+        assert_eq!(tiers.last(), Some(&SimdTier::Scalar));
+        assert!(!tiers.is_empty());
+    }
+
+    #[test]
+    fn cpu_features_is_nonempty() {
+        assert!(!cpu_features().is_empty());
+    }
+
+    #[test]
+    fn fill_interp_all_tiers_match_scalar_bitwise() {
+        // Awkward lengths, out-of-range values, a NaN-free mix spanning the
+        // clamp boundaries, and exact 0/1 results.
+        let xs: Vec<f64> = (0..37).map(|i| -1.0 + 0.11 * i as f64).collect();
+        let (c, d, e) = (0.25, 0.7, 0.4);
+        let mut want = vec![0.0; xs.len()];
+        fill_interp_scalar(c, d, e, &xs, &mut want);
+        for tier in SimdTier::available() {
+            force_tier(Some(tier));
+            let mut got = vec![0.0; xs.len()];
+            fill_interp(c, d, e, &xs, &mut got);
+            for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                assert_eq!(w.to_bits(), g.to_bits(), "tier {tier:?} lane {i}");
+            }
+        }
+        force_tier(None);
+    }
+}

@@ -16,7 +16,7 @@
 //! 2. **Merge** — shard replies carry raw filter output (bit-exact
 //!    histograms, see [`crate::wire`]); [`merge_replies`] wraps each
 //!    reply in a buffered [`DistanceModel`] and runs the *same*
-//!    [`fan_out_filter`] over them, sorted by `(mindist, shard index)`
+//!    [`fan_out_filter`](cpnn_core::pipeline::fan_out_filter) over them, sorted by `(mindist, shard index)`
 //!    — so the merged survivor set is a pure function of the reply
 //!    *contents*, independent of arrival order (property-tested with
 //!    shuffled replies).
@@ -186,7 +186,7 @@ pub struct ClusterStats {
 
 /// A buffered shard reply masquerading as a [`DistanceModel`]: `filter`
 /// replays the shipped survivor set verbatim. Wrapping replies in these
-/// lets the router merge through the *real* [`fan_out_filter`] — same
+/// lets the router merge through the *real* [`fan_out_filter`](cpnn_core::pipeline::fan_out_filter) — same
 /// horizon bookkeeping, same skip rule — instead of a reimplementation.
 struct BufferedReply {
     items: Vec<(ObjectId, cpnn_core::DistanceDistribution)>,
@@ -227,7 +227,7 @@ pub struct ShardReply {
 /// Merge shard filter replies into one [`Filtered`] — the routed twin of
 /// [`ShardedDb::filter`](cpnn_core::ShardedDb). Replies are first sorted
 /// by `(near, shard index)` — the exact order [`select_overlapping`]
-/// yields — then fed through the real [`fan_out_filter`], so the result
+/// yields — then fed through the real [`fan_out_filter`](cpnn_core::pipeline::fan_out_filter), so the result
 /// is independent of the order replies arrived in: shuffling the input
 /// changes nothing (property-tested in `tests/proptest_router.rs`).
 pub fn merge_replies(mut replies: Vec<ShardReply>, k: usize) -> cpnn_core::Result<Filtered> {

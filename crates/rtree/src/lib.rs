@@ -40,4 +40,4 @@ pub use filter::{Candidate, FilterStats};
 pub use geometry::Rect;
 pub use index::SpatialIndex;
 pub use node::Params;
-pub use tree::RTree;
+pub use tree::{RTree, TreeStats};

@@ -33,6 +33,29 @@ pub struct RTree<T, const D: usize> {
     params: Params,
 }
 
+/// Structural quality counters returned by [`RTree::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Total nodes, internal and leaf (equals [`RTree::node_count`]).
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Entries stored across all leaves (equals [`RTree::len`]).
+    pub leaf_entries: usize,
+}
+
+impl TreeStats {
+    /// Average leaf fill factor in `[0, 1]` against a fan-out cap of
+    /// `max_entries` per leaf. 0.0 for an empty tree.
+    pub fn leaf_fill(&self, max_entries: usize) -> f64 {
+        let capacity = self.leaves * max_entries;
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.leaf_entries as f64 / capacity as f64
+    }
+}
+
 /// Cheap: clones the root `Arc`, not the tree.
 impl<T, const D: usize> Clone for RTree<T, D> {
     fn clone(&self) -> Self {
@@ -97,6 +120,31 @@ impl<T, const D: usize> RTree<T, D> {
     /// Total node count (for fill-factor diagnostics).
     pub fn node_count(&self) -> usize {
         self.root.node_count()
+    }
+
+    /// Structural quality counters (one depth-first walk): total nodes,
+    /// leaf nodes, and entries stored across leaves. Average leaf fill
+    /// factor is [`TreeStats::leaf_fill`] against
+    /// [`Params::max_entries`] — a health signal for sustained update
+    /// workloads, where repeated splits and underfull merges degrade it.
+    pub fn stats(&self) -> TreeStats {
+        fn walk<T, const D: usize>(node: &Node<T, D>, s: &mut TreeStats) {
+            s.nodes += 1;
+            match node {
+                Node::Leaf(entries) => {
+                    s.leaves += 1;
+                    s.leaf_entries += entries.len();
+                }
+                Node::Internal(children) => {
+                    for c in children {
+                        walk(&c.node, s);
+                    }
+                }
+            }
+        }
+        let mut s = TreeStats::default();
+        walk(&self.root, &mut s);
+        s
     }
 
     /// The tree's fan-out parameters.
@@ -486,6 +534,25 @@ mod tests {
         let mut out = Vec::new();
         walk(&t.root, &mut out);
         out
+    }
+
+    #[test]
+    fn stats_count_nodes_leaves_and_entries() {
+        let t = interval_tree(
+            &(0..100)
+                .map(|i| (i as f64, i as f64 + 0.5))
+                .collect::<Vec<_>>(),
+        );
+        let s = t.stats();
+        assert_eq!(s.nodes, t.node_count());
+        assert_eq!(s.leaf_entries, t.len());
+        assert!(s.leaves >= 1 && s.leaves <= s.nodes);
+        let fill = s.leaf_fill(t.params().max_entries);
+        assert!(fill > 0.0 && fill <= 1.0, "fill = {fill}");
+        // Empty tree: zero entries, fill reported as 0.
+        let empty: RTree<usize, 1> = RTree::default();
+        assert_eq!(empty.stats().leaf_entries, 0);
+        assert_eq!(empty.stats().leaf_fill(empty.params().max_entries), 0.0);
     }
 
     #[test]
